@@ -1,0 +1,150 @@
+"""FIG10 — sampling effects on runtime and pattern quality (Figure 10).
+
+Part 1 (10a-10e): LCA sample-rate sweep over fixed join graphs — how many
+ground-truth top-10 patterns survive sampling, and the runtime curve.
+Part 2 (10f/10g): λF1-samp sweep — NDCG and recall of the sampled top-k
+against the exact run.
+
+Paper shapes: runtime grows with the LCA sample (quadratic pair
+generation); matches are high for skewed columns even at small rates;
+NDCG stays ≥ ~0.6 and reaches 1.0 as the rate approaches 1.
+"""
+
+import pytest
+
+from repro.core import CajadeConfig, JoinConditionSpec, JoinGraph
+from repro.datasets import query_by_name, user_study_query
+from repro.experiments import (
+    f1_sampling_quality_experiment,
+    lca_sampling_experiment,
+)
+
+from conftest import format_table
+
+LCA_RATES = [0.03, 0.1, 0.3, 1.0]
+F1_RATES = [0.1, 0.3, 0.5, 1.0]
+BASE = dict(top_k=10, num_selected_attrs=3, seed=2)
+
+
+def nba_join_graphs() -> dict[str, JoinGraph]:
+    """Ω1/Ω2 of Figure 10a (adapted to our generated schema)."""
+    aliases = {"g": "game", "t": "team", "s": "season"}
+    omega1 = JoinGraph.initial(aliases)
+    salary_cond = JoinConditionSpec((("season_id", "season_id"),))
+    player_cond = JoinConditionSpec((("player_id", "player_id"),))
+    omega2 = JoinGraph.initial(aliases).with_new_node(
+        0, "player_salary", salary_cond, "g"
+    ).with_new_node(1, "player", player_cond, None)
+    return {"omega1_PT": omega1, "omega2_PT-salary-player": omega2}
+
+
+def mimic_join_graphs() -> dict[str, JoinGraph]:
+    """Ω3/Ω4 of Figure 10a."""
+    aliases = {"admissions": "admissions"}
+    omega3 = JoinGraph.initial(aliases)
+    pai_cond = JoinConditionSpec((("hadm_id", "hadm_id"),))
+    patient_cond = JoinConditionSpec((("subject_id", "subject_id"),))
+    omega4 = JoinGraph.initial(aliases).with_new_node(
+        0, "patients_admit_info", pai_cond, "admissions"
+    ).with_new_node(1, "patients", patient_cond, None)
+    return {"omega3_PT": omega3, "omega4_PT-admitinfo-patients": omega4}
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_lca_sampling_nba(benchmark, nba, report):
+    db, _ = nba
+
+    def run():
+        out = {}
+        for name, graph in nba_join_graphs().items():
+            points, rows, attrs = lca_sampling_experiment(
+                db, user_study_query(), graph, LCA_RATES,
+                CajadeConfig(**BASE),
+            )
+            out[name] = (points, rows, attrs)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for name, (points, rows, attrs) in results.items():
+        lines.append(f"{name}: APT {rows} rows, {attrs} attributes")
+        lines.append(
+            format_table(
+                ["sample rate", "runtime", "top-10 matches"],
+                [
+                    [f"{p.sample_rate:g}", f"{p.runtime_seconds:.2f}s",
+                     p.matches_in_top10]
+                    for p in points
+                ],
+            )
+        )
+    report("fig10_lca_sampling_nba", "\n".join(lines))
+    for name, (points, rows, _) in results.items():
+        # Full-rate run recovers the ground truth (exactly when the APT
+        # fits under the LCA row cap; mostly when the cap kicks in —
+        # mirroring the paper's Fig 10c sensitivity discussion).
+        expected = 10 if rows <= 1000 else 6
+        assert points[-1].matches_in_top10 >= expected
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_lca_sampling_mimic(benchmark, mimic, report):
+    db, _ = mimic
+
+    def run():
+        out = {}
+        for name, graph in mimic_join_graphs().items():
+            points, rows, attrs = lca_sampling_experiment(
+                db, query_by_name("Qmimic4"), graph, LCA_RATES,
+                CajadeConfig(**BASE),
+            )
+            out[name] = (points, rows, attrs)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for name, (points, rows, attrs) in results.items():
+        lines.append(f"{name}: APT {rows} rows, {attrs} attributes")
+        lines.append(
+            format_table(
+                ["sample rate", "runtime", "top-10 matches"],
+                [
+                    [f"{p.sample_rate:g}", f"{p.runtime_seconds:.2f}s",
+                     p.matches_in_top10]
+                    for p in points
+                ],
+            )
+        )
+    report("fig10_lca_sampling_mimic", "\n".join(lines))
+    for name, (points, rows, _) in results.items():
+        expected = 10 if rows <= 1000 else 6
+        assert points[-1].matches_in_top10 >= expected
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_f1_sampling_quality(benchmark, nba, report):
+    db, sg = nba
+    config = CajadeConfig(**BASE).with_overrides(max_join_edges=1)
+    out = benchmark.pedantic(
+        lambda: f1_sampling_quality_experiment(
+            db, sg, user_study_query(), F1_RATES, config
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig10_f1_sampling_quality",
+        format_table(
+            ["λF1-samp", "NDCG", "recall"],
+            [
+                [f"{r:g}", f"{out[r]['ndcg']:.3f}", f"{out[r]['recall']:.3f}"]
+                for r in F1_RATES
+            ],
+        ),
+    )
+    # Paper shape: exact rate reproduces the ground truth; quality stays
+    # usable (the paper reports NDCG >= ~0.6 on NBA) even for aggressive
+    # sampling, and improves with the rate.
+    assert out[1.0]["ndcg"] == pytest.approx(1.0)
+    assert all(out[r]["ndcg"] >= 0.55 for r in F1_RATES)
+    assert out[1.0]["ndcg"] >= out[F1_RATES[0]]["ndcg"]

@@ -1,0 +1,60 @@
+"""FIG12 — runtime across the 10-query workload (paper Figure 12).
+
+Runs Qnba1..5 and Qmimic1..5 with λF1-samp = 0.3 and reports runtime plus
+the number of (valid) join graphs per query.  Paper shape: runtime is
+relatively stable across queries and correlates with the join-graph
+count.
+"""
+
+import pytest
+
+from repro.core import CajadeConfig
+from repro.experiments import varying_queries_experiment
+
+from conftest import format_table
+
+BASE = dict(
+    max_join_edges=2, top_k=10, f1_sample_rate=0.3,
+    num_selected_attrs=3, seed=2,
+)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_varying_queries(benchmark, nba, mimic, report):
+    out = benchmark.pedantic(
+        lambda: varying_queries_experiment(nba, mimic, CajadeConfig(**BASE)),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig12_varying_queries",
+        format_table(
+            ["query", "runtime", "valid join graphs", "mined"],
+            [
+                [
+                    name,
+                    f"{stats['runtime']:.2f}s",
+                    int(stats["join_graphs"]),
+                    int(stats["mined"]),
+                ]
+                for name, stats in out.items()
+            ],
+        ),
+    )
+    assert len(out) == 10
+    assert all(stats["runtime"] > 0 for stats in out.values())
+    # Paper shape: runtime correlates with the number of join graphs —
+    # check the rank correlation is positive.
+    names = list(out)
+    runtimes = [out[n]["runtime"] for n in names]
+    graphs = [out[n]["join_graphs"] for n in names]
+    concordant = discordant = 0
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            dr = runtimes[i] - runtimes[j]
+            dg = graphs[i] - graphs[j]
+            if dr * dg > 0:
+                concordant += 1
+            elif dr * dg < 0:
+                discordant += 1
+    assert concordant >= discordant

@@ -1,0 +1,72 @@
+"""FIG13 — CAPE's counterbalance explanations (paper Figure 13).
+
+UQcape1: "Why was GSW's number of wins high in 2015-16?" → CAPE returns
+low-win seasons.  UQcape2: "Why were LeBron James's average points low in
+2010-11?" → CAPE returns his high-scoring seasons.  The paper's point is
+that CAPE is orthogonal to CaJaDE (trend counterbalances vs contextual
+patterns).
+"""
+
+import pytest
+
+from repro.baselines import CapeExplainer
+from repro.datasets import query_by_name
+
+from conftest import format_table
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_cape_gsw_wins(benchmark, nba, report):
+    db, _ = nba
+    result = db.sql(query_by_name("Qnba4").sql)
+
+    def run():
+        cape = CapeExplainer(result, "season_name", "win")
+        return cape.explain("2015-16", "high", k=3)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig13_cape_gsw_wins",
+        "UQcape1: why was GSW's win count high in 2015-16?\n"
+        + format_table(
+            ["rank", "counterbalance (season, wins)", "residual"],
+            [
+                [i + 1, f"({c.group_value}, {c.aggregate_value:g})",
+                 f"{c.residual:+.2f}"]
+                for i, c in enumerate(out.counterbalances)
+            ],
+        ),
+    )
+    assert out.is_outlier
+    assert len(out.counterbalances) == 3
+    # Counterbalances are low-win seasons (negative residuals).
+    assert all(c.residual < 0 for c in out.counterbalances)
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_cape_lebron_points(benchmark, nba, report):
+    db, _ = nba
+    result = db.sql(query_by_name("Qnba3").sql)
+
+    def run():
+        cape = CapeExplainer(result, "season_name", "avg_pts")
+        return cape.explain("2010-11", "low", k=3)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig13_cape_lebron",
+        "UQcape2: why were LeBron James's average points low in 2010-11?\n"
+        + format_table(
+            ["rank", "counterbalance (season, avg pts)", "residual"],
+            [
+                [i + 1, f"({c.group_value}, {c.aggregate_value:.1f})",
+                 f"{c.residual:+.2f}"]
+                for i, c in enumerate(out.counterbalances)
+            ],
+        ),
+    )
+    # Counterbalances deviate high — like the paper's (LeBron, 2009-10,
+    # 29.7) row.
+    assert all(c.residual > 0 for c in out.counterbalances)
+    seasons = [c.group_value for c in out.counterbalances]
+    assert "2009-10" in seasons

@@ -1,0 +1,65 @@
+"""FIG7 — feature-selection runtime breakdown (paper Figure 7 / 7a).
+
+Columns: λF1-samp ∈ {0.1, 0.3, 1.0} with feature selection, plus the
+'w/o feature sel.' arm.  Rows: the paper's pipeline steps.  The paper's
+shape to reproduce: F-score Calc. grows with the sample rate and explodes
+without feature selection; Feature Selection itself costs a near-constant
+amount.
+"""
+
+import pytest
+
+from repro.core import CajadeConfig
+from repro.datasets import query_by_name, user_study_query
+from repro.experiments import feature_selection_experiment
+
+from conftest import format_table
+
+F1_RATES = [0.1, 0.3, 1.0]
+BASE = dict(max_join_edges=2, top_k=10, num_selected_attrs=3, seed=2)
+
+
+def _run(db, sg, workload):
+    return feature_selection_experiment(
+        db, sg, workload, F1_RATES, CajadeConfig(**BASE)
+    )
+
+
+def _render(table) -> str:
+    steps = sorted({s for col in table.values() for s in col})
+    headers = ["Step"] + list(table)
+    rows = []
+    for step in steps:
+        rows.append(
+            [step]
+            + [f"{table[col].get(step, 0.0):.2f}" for col in table]
+        )
+    rows.append(
+        ["total"] + [f"{sum(table[col].values()):.2f}" for col in table]
+    )
+    return format_table(headers, rows)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_nba_feature_selection(benchmark, nba, report):
+    db, sg = nba
+    table = benchmark.pedantic(
+        lambda: _run(db, sg, user_study_query()), rounds=1, iterations=1
+    )
+    report("fig7_nba_feature_selection", _render(table))
+    naive = table["w/o feature sel."]
+    cheapest = table[f"fs λF1={F1_RATES[0]:g}"]
+    # Paper shape: the naive arm's F-score calculation dominates.
+    assert naive["F-score Calc."] > cheapest["F-score Calc."]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_mimic_feature_selection(benchmark, mimic, report):
+    db, sg = mimic
+    table = benchmark.pedantic(
+        lambda: _run(db, sg, query_by_name("Qmimic4")),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig7_mimic_feature_selection", _render(table))
+    assert all("F-score Calc." in col for col in table.values())

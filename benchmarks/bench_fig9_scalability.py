@@ -1,0 +1,96 @@
+"""FIG9 — scalability in database size (paper Figure 9a-9d).
+
+Runs the UQ1 / Qmimic4 questions at increasing scale factors and prints
+the per-step runtime breakdown tables (the paper's Figures 9c/9d).  The
+shapes to reproduce: total runtime grows sublinearly-to-linearly with the
+database (log-scale x-axis in the paper), and F-score calculation is the
+dominant step at larger scales.
+"""
+
+import pytest
+
+from repro.core import CajadeConfig
+from repro.datasets import load_mimic, load_nba, query_by_name, user_study_query
+from repro.experiments import scalability_experiment
+
+from conftest import format_table
+
+NBA_SCALES = [0.06, 0.12, 0.25]
+MIMIC_SCALES = [0.05, 0.1, 0.2]
+BASE = dict(max_join_edges=2, top_k=10, num_selected_attrs=3, seed=2)
+
+
+def _render(series) -> str:
+    steps = sorted({s for col in series.values() for s in col})
+    headers = ["Step"] + [f"SF {s:g}" for s in series]
+    rows = [
+        [step] + [f"{series[s].get(step, 0.0):.2f}" for s in series]
+        for step in steps
+    ]
+    return format_table(headers, rows)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_nba_scalability(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: scalability_experiment(
+            lambda s: load_nba(scale=s, seed=5),
+            user_study_query(),
+            NBA_SCALES,
+            f1_rate=0.3,
+            base_config=CajadeConfig(**BASE),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig9_nba_scalability", _render(series))
+    totals = [series[s]["total"] for s in NBA_SCALES]
+    # Paper shape: runtime increases with database size...
+    assert totals[-1] > totals[0]
+    # ...but sublinearly w.r.t. the ~4x data growth (log-scale plot).
+    assert totals[-1] < totals[0] * 16
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_mimic_scalability(benchmark, report):
+    series = benchmark.pedantic(
+        lambda: scalability_experiment(
+            lambda s: load_mimic(scale=s, seed=5),
+            query_by_name("Qmimic4"),
+            MIMIC_SCALES,
+            f1_rate=0.3,
+            base_config=CajadeConfig(**BASE),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig9_mimic_scalability", _render(series))
+    totals = [series[s]["total"] for s in MIMIC_SCALES]
+    assert totals[-1] > totals[0] * 0.8
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_sampling_beats_exact_at_scale(benchmark, report):
+    """The paper's λF1-samp=0.1 vs 0.7 comparison at the largest size."""
+    def run():
+        db, sg = load_nba(scale=NBA_SCALES[-1], seed=5)
+        from repro.experiments import explain_with_breakdown
+
+        out = {}
+        for rate in (0.1, 0.7):
+            config = CajadeConfig(**BASE).with_overrides(f1_sample_rate=rate)
+            _, breakdown = explain_with_breakdown(
+                db, sg, user_study_query(), config
+            )
+            out[rate] = sum(breakdown.values())
+        return out
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig9_sampling_vs_exact",
+        format_table(
+            ["λF1-samp", "total runtime"],
+            [[f"{r:g}", f"{t:.2f}s"] for r, t in totals.items()],
+        ),
+    )
+    assert totals[0.1] <= totals[0.7] * 1.15

@@ -1,0 +1,66 @@
+"""TAB4 — NBA case study: top-3 explanations per query (paper Table 4).
+
+Runs Qnba1..Qnba5 with their user questions and prints the top-3
+explanations with F-scores.  Shape assertions check the *kind* of signal
+the paper reports per query (salary/minutes/usage for Qnba1, assist
+stats for Qnba2, team/salary change for Qnba3, ...).
+"""
+
+import pytest
+
+from repro.core import CajadeConfig, CajadeExplainer
+from repro.datasets import nba_queries
+
+BASE = dict(
+    max_join_edges=2, top_k=10, f1_sample_rate=0.5,
+    num_selected_attrs=4, seed=3,
+)
+
+# Attribute families the paper's Table 4 explanations draw from.
+EXPECTED_SIGNALS = {
+    "Qnba1": {"salary", "tspct", "usage", "minutes", "points", "efgpct"},
+    "Qnba2": {"assistpoints", "assists", "assisted_two_spct", "points",
+              "player_name", "offrebounds", "salary"},
+    "Qnba3": {"salary", "team", "usage", "points", "minutes", "efgpct",
+              "tspct"},
+    "Qnba4": {"player_name", "salary", "fg_three_pct", "points",
+              "fg_three_m", "assistpoints", "home_points", "away_points",
+              "minutes", "assists"},
+    "Qnba5": {"salary", "usage", "minutes", "points", "efgpct", "team",
+              "tspct", "away_points"},
+}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_nba_case_study(benchmark, nba, report):
+    db, sg = nba
+    explainer = CajadeExplainer(db, sg, CajadeConfig(**BASE))
+
+    def run():
+        out = {}
+        for workload in nba_queries():
+            result = explainer.explain(workload.sql, workload.question)
+            out[workload.name] = (workload, result)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for name, (workload, result) in results.items():
+        lines.append(f"=== {name}: {workload.description} ===")
+        lines.append(f"question: {workload.question.describe()}")
+        for rank, e in enumerate(result.top(3), start=1):
+            lines.append(f"  {rank}. {e.describe()}")
+        lines.append("")
+    report("table4_nba_case_study", "\n".join(lines))
+
+    for name, (workload, result) in results.items():
+        assert result.explanations, f"{name} produced no explanations"
+        used = set()
+        for e in result.top(5):
+            used |= {a.split(".")[-1] for a in e.pattern.attributes}
+        overlap = used & EXPECTED_SIGNALS[name]
+        assert overlap, (
+            f"{name}: none of the paper's signal families "
+            f"{EXPECTED_SIGNALS[name]} appear in {used}"
+        )

@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures and writes
+the same rows/series the paper reports to ``benchmarks/results/*.txt``
+(absolute numbers differ from the paper's testbed; the shape is what is
+reproduced — see EXPERIMENTS.md).
+
+Scales are kept small so the whole suite finishes in minutes; pass
+``--nba-scale`` / ``--mimic-scale`` to grow them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--nba-scale", type=float, default=0.12)
+    parser.addoption("--mimic-scale", type=float, default=0.1)
+
+
+@pytest.fixture(scope="session")
+def nba(request):
+    from repro.datasets import load_nba
+
+    return load_nba(scale=request.config.getoption("--nba-scale"), seed=5)
+
+
+@pytest.fixture(scope="session")
+def mimic(request):
+    from repro.datasets import load_mimic
+
+    return load_mimic(scale=request.config.getoption("--mimic-scale"), seed=5)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, capsys):
+    """Write a named result table to disk and echo it to the terminal."""
+
+    def _report(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return _report
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Fixed-width text table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(values):
+        return "  ".join(str(v).ljust(w) for v, w in zip(values, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

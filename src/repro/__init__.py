@@ -1,0 +1,49 @@
+"""repro — a reproduction of CaJaDE (SIGMOD 2021).
+
+"Putting Things into Context: Rich Explanations for Query Answers using
+Join Graphs" — Li, Miao, Zeng, Glavic, Roy.
+
+The public API re-exports the most commonly used entry points:
+
+>>> from repro import CajadeExplainer, ComparisonQuestion
+>>> from repro.datasets import load_nba
+>>> db, schema_graph = load_nba(scale=0.25)
+>>> explainer = CajadeExplainer(db, schema_graph)
+>>> result = explainer.explain(sql, ComparisonQuestion(t1, t2))
+>>> print(result.describe(3))
+"""
+
+from .core import (
+    CajadeConfig,
+    CajadeExplainer,
+    ComparisonQuestion,
+    Explanation,
+    ExplanationResult,
+    JoinGraph,
+    OutlierQuestion,
+    Pattern,
+    SchemaGraph,
+    StepTimer,
+)
+from .db import Database, ProvenanceTable, Relation, TableSchema, parse_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CajadeConfig",
+    "CajadeExplainer",
+    "ComparisonQuestion",
+    "Database",
+    "Explanation",
+    "ExplanationResult",
+    "JoinGraph",
+    "OutlierQuestion",
+    "parse_sql",
+    "Pattern",
+    "ProvenanceTable",
+    "Relation",
+    "SchemaGraph",
+    "StepTimer",
+    "TableSchema",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against: ET [19], CAPE [34], provenance-only."""
+
+from .cape import CapeExplainer, CapeResult, Counterbalance
+from .explanation_tables import (
+    ETPattern,
+    ExplanationTables,
+    discretize_numeric_columns,
+)
+from .provenance_only import ProvenanceOnlyExplainer
+
+__all__ = [
+    "CapeExplainer",
+    "CapeResult",
+    "Counterbalance",
+    "discretize_numeric_columns",
+    "ETPattern",
+    "ExplanationTables",
+    "ProvenanceOnlyExplainer",
+]

@@ -1,0 +1,126 @@
+"""CAPE (Miao et al., SIGMOD 2019 [34]) — the counterbalance baseline.
+
+CAPE explains an outlier aggregate value by finding *counterbalances*:
+other output tuples that deviate from a learned trend in the opposite
+direction.  The paper's §5.6 comparison feeds CAPE the NBA questions
+"why was GSW's win count high in 2015-16?" and "why were LeBron James's
+average points low in 2010-11?" and reports the top-3 counterbalances
+(Figure 13).
+
+This implementation captures CAPE's mechanism for single-relation,
+single-group-by-attribute queries: fit a least-squares linear trend of
+the aggregate value over the (ordinal) group attribute, score every
+output tuple by its residual, check the user tuple is an outlier in the
+claimed direction, and return the top-k tuples whose residuals point the
+other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..db.relation import Relation
+
+
+@dataclass(frozen=True)
+class Counterbalance:
+    """One CAPE explanation: an opposite-direction outlier tuple."""
+
+    group_value: Any
+    aggregate_value: float
+    residual: float
+
+    def describe(self) -> str:
+        return (
+            f"({self.group_value}, {self.aggregate_value:g}) "
+            f"residual {self.residual:+.2f}"
+        )
+
+
+@dataclass
+class CapeResult:
+    """Outcome of a CAPE run."""
+
+    question_residual: float
+    direction: str
+    is_outlier: bool
+    counterbalances: list[Counterbalance]
+    slope: float
+    intercept: float
+
+
+class CapeExplainer:
+    """Counterbalance explanations over an aggregate query result.
+
+    Args:
+        result: the aggregate query's result relation.
+        group_column: the group-by output column (ordinal; values are
+            ranked by sort order, e.g. season names).
+        value_column: the aggregate output column.
+    """
+
+    def __init__(self, result: Relation, group_column: str, value_column: str):
+        self.group_column = group_column
+        self.value_column = value_column
+        groups = list(result.column(group_column))
+        values = result.column(value_column).astype(np.float64)
+        order = np.argsort(np.array([str(g) for g in groups]))
+        self.groups = [groups[i] for i in order]
+        self.values = values[order]
+        if len(self.values) < 3:
+            raise ValueError("CAPE needs at least 3 output tuples")
+        x = np.arange(len(self.values), dtype=np.float64)
+        self.slope, self.intercept = np.polyfit(x, self.values, deg=1)
+        self.residuals = self.values - (self.slope * x + self.intercept)
+
+    def explain(
+        self,
+        group_value: Any,
+        direction: str,
+        k: int = 3,
+        outlier_sigma: float = 0.6,
+    ) -> CapeResult:
+        """Top-k counterbalances for "why is <group_value> <direction>?".
+
+        ``direction`` is "high" or "low".  The user tuple is confirmed an
+        outlier when its residual exceeds ``outlier_sigma`` residual
+        standard deviations in the claimed direction.
+        """
+        if direction not in ("high", "low"):
+            raise ValueError("direction must be 'high' or 'low'")
+        try:
+            position = self.groups.index(group_value)
+        except ValueError as exc:
+            raise KeyError(
+                f"{group_value!r} is not an output group"
+            ) from exc
+        residual = float(self.residuals[position])
+        sigma = float(self.residuals.std()) or 1.0
+        is_outlier = (
+            residual > outlier_sigma * sigma
+            if direction == "high"
+            else residual < -outlier_sigma * sigma
+        )
+        # Counterbalances deviate the *other* way.
+        wanted_sign = -1.0 if direction == "high" else 1.0
+        scored = [
+            Counterbalance(
+                group_value=self.groups[i],
+                aggregate_value=float(self.values[i]),
+                residual=float(self.residuals[i]),
+            )
+            for i in range(len(self.groups))
+            if i != position and self.residuals[i] * wanted_sign > 0
+        ]
+        scored.sort(key=lambda c: -abs(c.residual))
+        return CapeResult(
+            question_residual=residual,
+            direction=direction,
+            is_outlier=is_outlier,
+            counterbalances=scored[:k],
+            slope=float(self.slope),
+            intercept=float(self.intercept),
+        )

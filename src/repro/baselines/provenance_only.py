@@ -1,0 +1,36 @@
+"""Provenance-only explanations — the user study's comparison arm (§6.3).
+
+Identical pattern mining, but restricted to the provenance table itself
+(join graphs with zero edges).  Realized by running CaJaDE with
+λ#edges = 0, which enumerates exactly Ω0.
+"""
+
+from __future__ import annotations
+
+from ..core.config import CajadeConfig
+from ..core.explainer import CajadeExplainer, ExplanationResult
+from ..core.question import ComparisonQuestion, OutlierQuestion
+from ..core.schema_graph import SchemaGraph
+from ..db.database import Database
+from ..db.query import Query
+
+
+class ProvenanceOnlyExplainer:
+    """Pattern summaries of the unaugmented provenance table."""
+
+    def __init__(self, db: Database, config: CajadeConfig | None = None):
+        base = config or CajadeConfig()
+        self._inner = CajadeExplainer(
+            db,
+            schema_graph=SchemaGraph(tables=db.table_names),
+            config=base.with_overrides(max_join_edges=0),
+        )
+
+    def explain(
+        self,
+        query: str | Query,
+        question: ComparisonQuestion | OutlierQuestion,
+        k: int | None = None,
+    ) -> ExplanationResult:
+        """Top-k provenance-only explanations for a user question."""
+        return self._inner.explain(query, question, k=k)

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate``  — write a synthetic NBA or MIMIC database to a CSV
+  directory (loadable with ``repro.db.csvio.load_database``);
+- ``explain``   — run CaJaDE on a CSV database with an inline SQL query
+  and user question;
+- ``workload``  — run one of the paper's named workload queries
+  (Qnba1..5, Qmimic1..5) on a freshly generated dataset.
+
+Examples:
+
+    python -m repro generate nba --scale 0.25 --out /tmp/nba
+    python -m repro explain /tmp/nba \
+        --sql "SELECT COUNT(*) AS win, s.season_name FROM team t, game g, \
+               season s WHERE t.team_id = g.winner_id AND \
+               g.season_id = s.season_id AND t.team = 'GSW' \
+               GROUP BY s.season_name" \
+        --t1 season_name=2015-16 --t2 season_name=2012-13
+    python -m repro workload Qmimic4 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from .core.config import CajadeConfig
+from .core.explainer import CajadeExplainer
+from .core.question import ComparisonQuestion, OutlierQuestion
+from .core.schema_graph import SchemaGraph
+
+
+def _parse_tuple_spec(spec: list[str]) -> dict[str, Any]:
+    """Parse ``name=value`` pairs; values try int, float, then str."""
+    out: dict[str, Any] = {}
+    for item in spec:
+        if "=" not in item:
+            raise SystemExit(f"bad tuple spec {item!r}; expected name=value")
+        name, raw = item.split("=", 1)
+        value: Any = raw
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+        out[name] = value
+    return out
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--edges", type=int, default=2,
+                        help="λ#edges (default 2)")
+    parser.add_argument("--top-k", type=int, default=10)
+    parser.add_argument("--f1-sample", type=float, default=0.3,
+                        help="λF1-samp (default 0.3)")
+    parser.add_argument("--sel-attrs", type=float, default=4,
+                        help="λ#sel-attr (default 4)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--sentences", action="store_true",
+                        help="also print natural-language renderings")
+
+
+def _config_from(args: argparse.Namespace) -> CajadeConfig:
+    return CajadeConfig(
+        max_join_edges=args.edges,
+        top_k=args.top_k,
+        f1_sample_rate=args.f1_sample,
+        num_selected_attrs=args.sel_attrs,
+        seed=args.seed,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .db.csvio import save_database
+
+    if args.dataset == "nba":
+        from .datasets import generate_nba
+
+        db = generate_nba(scale=args.scale, seed=args.seed)
+    else:
+        from .datasets import generate_mimic
+
+        db = generate_mimic(scale=args.scale, seed=args.seed)
+    save_database(db, args.out)
+    print(f"wrote {db} to {args.out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .db.csvio import load_database
+
+    db = load_database(args.database)
+    schema_graph = SchemaGraph.from_database(db)
+    config = _config_from(args)
+    explainer = CajadeExplainer(db, schema_graph, config)
+
+    t1 = _parse_tuple_spec(args.t1)
+    if args.t2:
+        question: ComparisonQuestion | OutlierQuestion = ComparisonQuestion(
+            t1, _parse_tuple_spec(args.t2)
+        )
+    else:
+        question = OutlierQuestion(t1)
+    result = explainer.explain(args.sql, question)
+    print(result.describe())
+    if args.sentences:
+        print()
+        for explanation in result.explanations:
+            print("-", explanation.to_sentence())
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from .datasets import load_mimic, load_nba, query_by_name
+
+    workload = query_by_name(args.name)
+    if workload.dataset == "nba":
+        db, schema_graph = load_nba(scale=args.scale, seed=args.seed)
+    else:
+        db, schema_graph = load_mimic(scale=args.scale, seed=args.seed)
+    config = _config_from(args)
+    explainer = CajadeExplainer(db, schema_graph, config)
+    print(f"{workload.name}: {workload.description}")
+    print(f"question: {workload.question.describe()}")
+    result = explainer.explain(workload.sql, workload.question)
+    print(result.describe())
+    if args.sentences:
+        print()
+        for explanation in result.explanations:
+            print("-", explanation.to_sentence())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CaJaDE: rich explanations for query answers using "
+        "join graphs (SIGMOD 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("dataset", choices=["nba", "mimic"])
+    gen.add_argument("--scale", type=float, default=0.25)
+    gen.add_argument("--seed", type=int, default=11)
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.set_defaults(func=cmd_generate)
+
+    exp = sub.add_parser("explain", help="explain a query answer")
+    exp.add_argument("database", help="CSV database directory")
+    exp.add_argument("--sql", required=True)
+    exp.add_argument(
+        "--t1", nargs="+", required=True,
+        metavar="NAME=VALUE", help="primary output tuple",
+    )
+    exp.add_argument(
+        "--t2", nargs="+", default=None,
+        metavar="NAME=VALUE",
+        help="secondary output tuple (omit for an outlier question)",
+    )
+    _add_config_flags(exp)
+    exp.set_defaults(func=cmd_explain)
+
+    wl = sub.add_parser("workload", help="run a paper workload query")
+    wl.add_argument("name", help="Qnba1..Qnba5 or Qmimic1..Qmimic5")
+    wl.add_argument("--scale", type=float, default=0.2)
+    _add_config_flags(wl)
+    wl.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""Augmented provenance tables (paper Definition 4).
+
+For a join graph Ω, APT(Q, D, Ω) = σ_θΩ(PT(Q, D) × S_1 × ... × S_p) — the
+provenance table joined with every context node's relation on the edge
+conditions.  Materialization walks Ω breadth-first from the PT node doing
+hash joins; edges closing cycles among visited nodes become post-filters.
+
+Each APT row keeps its originating provenance row's ``__pt_row_id`` so
+Definition 7's per-PT-row coverage is computable: a PT row is covered by a
+pattern iff at least one of its APT rows matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.errors import ExecutionError
+from ..db.executor import hash_join
+from ..db.provenance import PT_ROW_ID, ProvenanceTable
+from ..db.relation import Relation
+from ..db.types import ColumnType
+from .join_graph import JoinGraph
+
+PT_COLUMN_PREFIX = "prov."
+
+
+@dataclass
+class APTAttribute:
+    """Metadata about one minable APT attribute."""
+
+    name: str
+    is_numeric: bool
+    from_provenance: bool
+
+    @property
+    def display_name(self) -> str:
+        if self.from_provenance:
+            return f"{PT_COLUMN_PREFIX}{self.name}"
+        return self.name
+
+
+@dataclass
+class AugmentedProvenanceTable:
+    """A materialized APT plus attribute metadata for pattern mining."""
+
+    join_graph: JoinGraph
+    relation: Relation
+    attributes: list[APTAttribute]
+    excluded_attributes: list[str]
+
+    @property
+    def num_rows(self) -> int:
+        return self.relation.num_rows
+
+    @property
+    def pt_row_ids(self) -> np.ndarray:
+        return self.relation.column(PT_ROW_ID)
+
+    def minable_columns(self) -> dict[str, np.ndarray]:
+        """Attribute name → column array for every minable attribute."""
+        return {
+            a.name: self.relation.column(a.name) for a in self.attributes
+        }
+
+    def attribute(self, name: str) -> APTAttribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(name)
+
+    def numeric_attribute_names(self) -> set[str]:
+        return {a.name for a in self.attributes if a.is_numeric}
+
+    def categorical_attribute_names(self) -> set[str]:
+        return {a.name for a in self.attributes if not a.is_numeric}
+
+    def __repr__(self) -> str:
+        return (
+            f"APT({self.join_graph.structure()!r}, {self.num_rows} rows, "
+            f"{len(self.attributes)} minable attributes)"
+        )
+
+
+def materialize_apt(
+    join_graph: JoinGraph,
+    pt: ProvenanceTable,
+    db: Database,
+    restrict_row_ids: np.ndarray | None = None,
+) -> AugmentedProvenanceTable:
+    """Materialize APT(Q, D, Ω).
+
+    ``restrict_row_ids`` limits the provenance side to the rows that
+    matter for a question (the union of t1's and t2's provenance) — the
+    result is then APT(Q, D, Ω, t1) ⊎ APT(Q, D, Ω, t2), which is all the
+    mining pipeline consumes.
+    """
+    base = pt.relation
+    if restrict_row_ids is not None:
+        wanted = np.isin(base.column(PT_ROW_ID), restrict_row_ids)
+        base = base.filter_mask(wanted)
+
+    aliases = join_graph.materialization_aliases()
+    current = base
+    visited: set[int] = {join_graph.pt_node.nid}
+    remaining_edges = list(join_graph.edges)
+
+    def pt_side_column(attr: str, pt_alias: str | None) -> str:
+        if pt_alias is not None:
+            candidate = f"{pt_alias}.{attr}"
+            if candidate in current.column_names:
+                return candidate
+        # Fall back to unique suffix resolution over PT columns.
+        hits = [
+            c
+            for c in current.column_names
+            if c.split(".")[-1] == attr and not _is_context_column(c, aliases)
+        ]
+        if len(hits) == 1:
+            return hits[0]
+        raise ExecutionError(
+            f"cannot resolve PT-side join attribute {attr!r} "
+            f"(alias {pt_alias!r}); candidates: {hits}"
+        )
+
+    def left_column(edge, node_id: int, attr: str) -> str:
+        """Resolve an already-joined endpoint's attribute to a column."""
+        if node_id == join_graph.pt_node.nid:
+            return pt_side_column(attr, edge.pt_alias)
+        return f"{aliases[node_id]}.{attr}"
+
+    while True:
+        # Pick a not-yet-visited node reachable from the visited set and
+        # collect every edge linking it to visited nodes (parallel edges
+        # conjoin).
+        frontier: dict[int, list] = {}
+        for edge in remaining_edges:
+            for new, old in ((edge.v, edge.u), (edge.u, edge.v)):
+                if old in visited and new not in visited:
+                    frontier.setdefault(new, []).append(edge)
+                    break
+        if not frontier:
+            break
+        node_id = min(frontier)
+        edges = frontier[node_id]
+        node = join_graph.node(node_id)
+        context = db.table(node.label).prefix_columns(f"{aliases[node_id]}.")
+        conditions: list[tuple[str, str]] = []
+        for edge in edges:
+            if edge.v == node_id:
+                pairs = edge.condition.pairs
+                anchor = edge.u
+                for a_attr, b_attr in pairs:
+                    conditions.append(
+                        (
+                            left_column(edge, anchor, a_attr),
+                            f"{aliases[node_id]}.{b_attr}",
+                        )
+                    )
+            else:
+                pairs = edge.condition.pairs
+                anchor = edge.v
+                for a_attr, b_attr in pairs:
+                    conditions.append(
+                        (
+                            left_column(edge, anchor, b_attr),
+                            f"{aliases[node_id]}.{a_attr}",
+                        )
+                    )
+        current = hash_join(current, context, conditions)
+        visited.add(node_id)
+        remaining_edges = [e for e in remaining_edges if e not in edges]
+
+    # Any remaining edges close cycles among visited nodes: filter.
+    for edge in remaining_edges:
+        if edge.u not in visited or edge.v not in visited:
+            raise ExecutionError(
+                "join graph is disconnected; cannot materialize APT"
+            )
+        mask = np.ones(current.num_rows, dtype=bool)
+        for a_attr, b_attr in edge.condition.pairs:
+            left = current.column(left_column(edge, edge.u, a_attr))
+            right = current.column(left_column(edge, edge.v, b_attr))
+            if left.dtype == object or right.dtype == object:
+                mask &= np.array(
+                    [
+                        l is not None and r is not None and l == r
+                        for l, r in zip(left, right)
+                    ],
+                    dtype=bool,
+                )
+            else:
+                with np.errstate(invalid="ignore"):
+                    mask &= np.asarray(left == right)
+        current = current.filter_mask(mask)
+
+    return _wrap_apt(join_graph, pt, current, db)
+
+
+def _is_context_column(name: str, aliases: dict[int, str]) -> bool:
+    prefix = name.split(".")[0]
+    return prefix in set(aliases.values())
+
+
+def _key_columns_of(db: Database, table: str) -> set[str]:
+    """PK columns, FK columns and FK-referenced columns of a relation.
+
+    Key/id columns are surrogate labels: a pattern like ``season_id = 7``
+    carries no human-readable information, and none of the paper's
+    reported explanations contain id constants.  They are therefore
+    excluded from mining (join conditions still use them, of course).
+    """
+    keys: set[str] = set(db.table(table).schema.primary_key)
+    for fk in db.foreign_keys:
+        if fk.table == table:
+            keys.update(fk.columns)
+        if fk.ref_table == table:
+            keys.update(fk.ref_columns)
+    return keys
+
+
+def _wrap_apt(
+    join_graph: JoinGraph,
+    pt: ProvenanceTable,
+    relation: Relation,
+    db: Database,
+) -> AugmentedProvenanceTable:
+    """Attach attribute metadata; exclude non-minable columns.
+
+    Excluded from mining (but kept in the relation):
+    - the synthetic ``__pt_row_id`` lineage column;
+    - the query's group-by attributes (they exactly capture the answer
+      tuples, paper §2.4) — including renamed copies with the same bare
+      attribute name joined in from context nodes, which would otherwise
+      yield degenerate perfect-F-score patterns;
+    - key/id columns (PK or FK participants) of the source relation.
+    """
+    group_cols = set(pt.group_columns)
+    group_bare = {c.split(".")[-1] for c in group_cols}
+    pt_cols = set(pt.data_columns)
+
+    alias_to_table = {
+        alias: join_graph.node(nid).label
+        for nid, alias in join_graph.materialization_aliases().items()
+    }
+    alias_to_table.update(join_graph.query_aliases)
+    key_cache: dict[str, set[str]] = {}
+
+    def is_key_column(name: str) -> bool:
+        if "." not in name:
+            return False
+        prefix, bare = name.split(".", 1)
+        table = alias_to_table.get(prefix)
+        if table is None or not db.has_table(table):
+            return False
+        if table not in key_cache:
+            key_cache[table] = _key_columns_of(db, table)
+        return bare in key_cache[table]
+
+    attributes: list[APTAttribute] = []
+    excluded: list[str] = []
+    for name in relation.column_names:
+        if name == PT_ROW_ID:
+            continue
+        bare = name.split(".")[-1]
+        if name in group_cols or bare in group_bare or is_key_column(name):
+            excluded.append(name)
+            continue
+        ctype = relation.column_type(name)
+        attributes.append(
+            APTAttribute(
+                name=name,
+                is_numeric=ctype.is_numeric,
+                from_provenance=name in pt_cols,
+            )
+        )
+    return AugmentedProvenanceTable(
+        join_graph=join_graph,
+        relation=relation,
+        attributes=attributes,
+        excluded_attributes=excluded,
+    )

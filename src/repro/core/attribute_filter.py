@@ -1,0 +1,202 @@
+"""Attribute clustering and relevance filtering (paper §3.1).
+
+``filterAttrs`` from Algorithm 1:
+
+1. Train a random forest predicting which of the two question outputs an
+   APT row's provenance belongs to, and rank attributes by impurity-based
+   relevance.  Keep the top λ#sel-attr.
+2. Cluster mutually correlated attributes (VARCLUS-style) and keep one
+   representative per cluster, removing redundant near-duplicates such as
+   an id column and its name column.
+3. Split survivors into numeric and categorical sets for the mining phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.random_forest import RandomForestClassifier
+from ..ml.varclus import AttributeCluster, cluster_attributes, encode_columns
+from .apt import AugmentedProvenanceTable
+from .config import CajadeConfig
+from .quality import QualityEvaluator
+
+
+@dataclass
+class FilteredAttributes:
+    """Result of the §3.1 preprocessing step."""
+
+    numeric: list[str]
+    categorical: list[str]
+    clusters: list[AttributeCluster]
+    relevance: dict[str, float]
+
+    @property
+    def all_selected(self) -> list[str]:
+        return sorted(self.numeric) + sorted(self.categorical)
+
+
+def filter_attributes(
+    apt: AugmentedProvenanceTable,
+    evaluator: QualityEvaluator,
+    config: CajadeConfig,
+    rng: np.random.Generator,
+) -> FilteredAttributes:
+    """Run clustering + random-forest relevance selection on an APT.
+
+    With ``config.use_feature_selection`` disabled, all minable attributes
+    pass through untouched (the paper's "Naive" arm of Figure 7).
+    """
+    columns = evaluator.columns()
+    names = sorted(columns)
+    if not config.use_feature_selection or not names:
+        return _passthrough(apt, names)
+
+    labels = evaluator.side_labels()
+    informative = labels > 0
+    if informative.sum() < 4 or len(set(labels[informative].tolist())) < 2:
+        return _passthrough(apt, names)
+
+    # -- drop categorical attributes that cannot reach λrecall ----------
+    # An equality pattern on attribute A can cover at most
+    # max-frequency(A) provenance rows of either side; if that bound is
+    # already below the recall threshold the attribute is a dead end
+    # (near-unique columns such as timestamps).  Dropping them here also
+    # protects the random forest from its high-cardinality bias.
+    n1, n2 = evaluator.universe_sizes
+    names = [
+        n
+        for n in names
+        if apt.attribute(n).is_numeric
+        or _best_possible_recall(columns[n], labels, n1, n2)
+        >= config.recall_threshold
+    ]
+    if not names:
+        return _passthrough(apt, [])
+
+    # -- optional FD guard (paper §8 future work) ------------------------
+    if config.exclude_group_determined:
+        names = [
+            n
+            for n in names
+            if not _is_group_determined(columns[n], labels)
+        ]
+        if not names:
+            return _passthrough(apt, [])
+
+    # -- cluster correlated attributes, keep representatives -----------
+    clusters = cluster_attributes(
+        {n: columns[n] for n in names},
+        threshold=config.correlation_threshold,
+        same_type_only=True,
+    )
+    representatives = sorted(c.representative for c in clusters)
+
+    # -- random-forest relevance over cluster representatives ----------
+    rep_columns = {n: columns[n] for n in representatives}
+    matrix = encode_columns(rep_columns)
+    y = (labels[informative] == 1).astype(np.float64)
+    X = matrix[informative]
+    forest = RandomForestClassifier(
+        n_estimators=config.rf_num_trees,
+        max_depth=config.rf_max_depth,
+        max_samples=config.rf_max_samples,
+        random_state=config.seed,
+    )
+    forest.fit(X, y)
+    assert forest.feature_importances_ is not None
+    relevance = dict(zip(representatives, forest.feature_importances_))
+
+    keep_count = config.selected_attr_count(len(representatives))
+    ranked = sorted(representatives, key=lambda n: (-relevance[n], n))
+    kept = set(ranked[:keep_count])
+
+    numeric: list[str] = []
+    categorical: list[str] = []
+    for name in sorted(kept):
+        if apt.attribute(name).is_numeric:
+            numeric.append(name)
+        else:
+            categorical.append(name)
+    # Guarantee at least one categorical attribute survives when the APT
+    # has any: the LCA phase (§3.2) mines categorical attributes first and
+    # yields nothing otherwise.
+    if not categorical:
+        fallback = [
+            n for n in ranked if not apt.attribute(n).is_numeric
+        ]
+        if fallback:
+            categorical.append(fallback[0])
+    return FilteredAttributes(
+        numeric=numeric,
+        categorical=categorical,
+        clusters=clusters,
+        relevance=relevance,
+    )
+
+
+def _is_group_determined(values: np.ndarray, labels: np.ndarray) -> bool:
+    """Whether an attribute is an alias of the question's group key.
+
+    True when each side's rows carry exactly one non-NULL value and the
+    two values differ — any equality pattern on such an attribute merely
+    restates which output tuple a row belongs to.
+    """
+    import math
+
+    side_values: list[set] = []
+    for side in (1, 2):
+        mask = labels == side
+        seen = set()
+        for value in values[mask]:
+            if value is None:
+                continue
+            if isinstance(value, (float, np.floating)) and math.isnan(value):
+                continue
+            seen.add(value)
+        if len(seen) != 1:
+            return False
+        side_values.append(seen)
+    return side_values[0] != side_values[1]
+
+
+def _best_possible_recall(
+    values: np.ndarray, labels: np.ndarray, n1: int, n2: int
+) -> float:
+    """Upper bound on the recall of any equality pattern on a column.
+
+    Counts the most frequent non-NULL value per question side and divides
+    by that side's provenance size; the max over sides bounds what LCA
+    candidates on this attribute can achieve.
+    """
+    best = 0.0
+    for side, size in ((1, n1), (2, n2)):
+        if size == 0:
+            continue
+        counts: dict[object, int] = {}
+        mask = labels == side
+        for value in values[mask]:
+            if value is None:
+                continue
+            counts[value] = counts.get(value, 0) + 1
+        if counts:
+            best = max(best, max(counts.values()) / size)
+    return best
+
+
+def _passthrough(
+    apt: AugmentedProvenanceTable, names: list[str]
+) -> FilteredAttributes:
+    numeric = [n for n in names if apt.attribute(n).is_numeric]
+    categorical = [n for n in names if not apt.attribute(n).is_numeric]
+    clusters = [
+        AttributeCluster(members=[n], representative=n) for n in names
+    ]
+    return FilteredAttributes(
+        numeric=numeric,
+        categorical=categorical,
+        clusters=clusters,
+        relevance={n: 1.0 for n in names},
+    )

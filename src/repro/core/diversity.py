@@ -1,0 +1,84 @@
+"""Diversity-aware top-k selection (paper §3.5).
+
+Ranking purely by F-score tends to return near-duplicate patterns.  The
+paper reranks with
+
+    wscore(Φ) = Fscore(Φ) + min_{Φ' ∈ R} D(Φ, Φ')
+    D(Φ, Φ')  = Σ_{A : Φ.A ≠ *} matchscore(Φ, Φ', A) / |Φ|
+
+where matchscore awards +1 when Φ' does not use A, penalizes −0.3 when
+both use A with different constants, and −2 when both use A with the same
+constant.  The highest-F-score pattern seeds R; selection repeats until k
+patterns are chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .pattern import Pattern
+
+MATCH_FREE = 1.0
+MATCH_DIFFERENT_CONSTANT = -0.3
+MATCH_SAME_CONSTANT = -2.0
+
+
+def match_score(phi: Pattern, other: Pattern, attribute: str) -> float:
+    """The paper's matchscore(Φ, Φ', A) for an attribute used by Φ."""
+    if not other.uses(attribute):
+        return MATCH_FREE
+    if phi.value_of(attribute) == other.value_of(attribute):
+        return MATCH_SAME_CONSTANT
+    return MATCH_DIFFERENT_CONSTANT
+
+
+def dissimilarity(phi: Pattern, other: Pattern) -> float:
+    """D(Φ, Φ') ∈ [−2, 1]; larger means more dissimilar."""
+    if phi.size == 0:
+        return MATCH_FREE
+    total = sum(
+        match_score(phi, other, attribute) for attribute in phi.attributes
+    )
+    return total / phi.size
+
+
+def wscore(
+    phi: Pattern, f_score: float, selected: Sequence[Pattern]
+) -> float:
+    """F-score plus distance to the most similar already-selected pattern."""
+    if not selected:
+        return f_score
+    return f_score + min(dissimilarity(phi, other) for other in selected)
+
+
+def select_diverse_top_k(
+    candidates: Sequence[tuple[Pattern, float, Any]],
+    k: int,
+) -> list[tuple[Pattern, float, Any]]:
+    """Greedy wscore selection of k diverse candidates.
+
+    ``candidates`` are (pattern, f_score, payload) triples; the payload is
+    carried through untouched (the mining pipeline stores full explanation
+    records there).  The first pick is always the highest F-score; every
+    subsequent pick maximizes wscore against the already-selected set.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    remaining = sorted(
+        candidates, key=lambda c: (-c[1], c[0].describe())
+    )
+    if not remaining:
+        return []
+    selected: list[tuple[Pattern, float, Any]] = [remaining.pop(0)]
+    while remaining and len(selected) < k:
+        chosen_patterns = [entry[0] for entry in selected]
+        best_index = 0
+        best_score = float("-inf")
+        for index, (pattern, f_score, _payload) in enumerate(remaining):
+            score = wscore(pattern, f_score, chosen_patterns)
+            if score > best_score:
+                best_score = score
+                best_index = index
+        selected.append(remaining.pop(best_index))
+    return selected

@@ -1,0 +1,266 @@
+"""Join-graph enumeration — Algorithm 2.
+
+Iteration i extends every join graph of size i−1 by one edge conforming to
+the schema graph, either (i) to a fresh node or (ii) as a parallel edge
+between existing nodes.  λ#edges bounds the size.  Structural duplicates
+(label-preserving isomorphic graphs reached via different extension
+orders) are eliminated with a canonical signature.
+
+``is_valid`` applies the paper's two filters before pattern mining:
+
+- *primary-key connectivity*: every context node's relation must have all
+  of its primary-key attributes constrained by some incident edge
+  (prevents the redundancy-blowup join graphs of §4);
+- *cost*: the estimated materialization cost of the APT query must stay
+  below λqcost, estimated from catalog statistics with the textbook
+  equi-join cardinality formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..db.database import Database
+from ..db.provenance import PT_ROW_ID, ProvenanceTable
+from ..db.query import Query
+from ..db.statistics import TableStatistics, estimate_join_cardinality
+from .config import CajadeConfig
+from .join_graph import PT_LABEL, JGEdge, JoinGraph
+from .schema_graph import SchemaGraph
+
+
+@dataclass
+class EnumerationStats:
+    """Counters describing one enumeration run (Figure 12's 'number of
+    join graphs')."""
+
+    generated: int = 0
+    duplicates: int = 0
+    invalid_pk: int = 0
+    invalid_cost: int = 0
+    valid: int = 0
+
+
+def extend_join_graph(
+    graph: JoinGraph,
+    schema_graph: SchemaGraph,
+    query: Query,
+) -> list[JoinGraph]:
+    """ExtendJG: all one-edge extensions of ``graph`` (Algorithm 2)."""
+    extensions: list[JoinGraph] = []
+    for node in graph.nodes:
+        if node.is_pt:
+            attachment_points = [
+                (alias, relation)
+                for alias, relation in zip(query.aliases, query.table_names)
+            ]
+        else:
+            attachment_points = [(None, node.label)]
+        for pt_alias, relation in attachment_points:
+            for edge in schema_graph.edges_of(relation):
+                other = edge.other_side(relation)
+                for condition in edge.conditions_from(relation):
+                    extensions.extend(
+                        _add_edge(graph, node.nid, other, condition, pt_alias)
+                    )
+    return extensions
+
+
+def _add_edge(
+    graph: JoinGraph,
+    from_node: int,
+    end_label: str,
+    condition,
+    pt_alias: str | None,
+) -> list[JoinGraph]:
+    """AddEdge: a fresh node plus parallel edges to matching nodes."""
+    results = [graph.with_new_node(from_node, end_label, condition, pt_alias)]
+    for node in graph.nodes:
+        if node.nid == from_node or node.is_pt:
+            continue
+        if node.label != end_label:
+            continue
+        extended = graph.with_new_edge(
+            from_node, node.nid, condition, pt_alias
+        )
+        if extended is not None:
+            results.append(extended)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Validity checks
+# ----------------------------------------------------------------------
+def has_pk_connectivity(graph: JoinGraph, db: Database) -> bool:
+    """The paper's anti-redundancy connectivity check (§4).
+
+    For every context node, each primary-key attribute that *participates
+    in a foreign key* must appear in some incident join condition.  This
+    reproduces the paper's motivating example (player_game_stats joined
+    only on the game key is rejected until the player table is joined on
+    player_id) while admitting nodes like ``procedures`` whose ``seq_num``
+    key part has no joinable counterpart anywhere in the schema — join
+    graphs with such nodes appear throughout the paper's appendix.
+    """
+    for node in graph.context_nodes:
+        schema = db.table(node.label).schema
+        if not schema.primary_key:
+            continue
+        fk_attrs: set[str] = set()
+        for fk in db.foreign_keys_of(node.label):
+            fk_attrs.update(fk.columns)
+        required = [a for a in schema.primary_key if a in fk_attrs]
+        if not required:
+            continue
+        constrained: set[str] = set()
+        for edge in graph.edges_of(node.nid):
+            constrained.update(edge.endpoint_attrs(node.nid))
+        for key_attr in required:
+            if key_attr not in constrained:
+                return False
+    return True
+
+
+def estimate_apt_cost(
+    graph: JoinGraph,
+    pt: ProvenanceTable,
+    db: Database,
+    pt_stats: TableStatistics | None = None,
+) -> float:
+    """Estimated total tuples flowing through the APT join pipeline."""
+    if pt_stats is None:
+        pt_stats = TableStatistics.collect(pt.relation)
+    aliases = graph.materialization_aliases()
+
+    rows = float(pt.relation.num_rows)
+    cost = rows
+    visited = {graph.pt_node.nid}
+    # attr distinct estimates per node id (PT uses its own stats).
+    remaining = list(graph.edges)
+
+    def distinct_on(node_id: int, attr: str, current_rows: float) -> int:
+        if node_id == graph.pt_node.nid:
+            hits = [
+                c
+                for c in pt.relation.column_names
+                if c != PT_ROW_ID and c.split(".")[-1] == attr
+            ]
+            if hits:
+                return min(
+                    pt_stats.distinct(hits[0]), max(1, int(current_rows))
+                )
+            return max(1, int(current_rows))
+        label = graph.node(node_id).label
+        return db.statistics(label).distinct(attr)
+
+    while True:
+        frontier: dict[int, list[JGEdge]] = {}
+        for edge in remaining:
+            for new, old in ((edge.v, edge.u), (edge.u, edge.v)):
+                if old in visited and new not in visited:
+                    frontier.setdefault(new, []).append(edge)
+                    break
+        if not frontier:
+            break
+        node_id = min(frontier)
+        edges = frontier[node_id]
+        label = graph.node(node_id).label
+        table_rows = float(db.table(label).num_rows)
+        key_distincts: list[tuple[int, int]] = []
+        for edge in edges:
+            pairs = edge.condition.pairs
+            if edge.v == node_id:
+                anchor = edge.u
+                for a_attr, b_attr in pairs:
+                    key_distincts.append(
+                        (
+                            distinct_on(anchor, a_attr, rows),
+                            db.statistics(label).distinct(b_attr),
+                        )
+                    )
+            else:
+                anchor = edge.v
+                for a_attr, b_attr in pairs:
+                    key_distincts.append(
+                        (
+                            distinct_on(anchor, b_attr, rows),
+                            db.statistics(label).distinct(a_attr),
+                        )
+                    )
+        rows = estimate_join_cardinality(rows, table_rows, key_distincts)
+        cost += rows + table_rows
+        visited.add(node_id)
+        remaining = [e for e in remaining if e not in edges]
+    # Cycle-closing edges only filter; charge one pass over the rows.
+    cost += rows * len(remaining)
+    return cost
+
+
+def is_valid(
+    graph: JoinGraph,
+    pt: ProvenanceTable,
+    db: Database,
+    config: CajadeConfig,
+    pt_stats: TableStatistics | None = None,
+) -> tuple[bool, str]:
+    """The paper's isValid: PK connectivity then cost (reason on failure)."""
+    if config.check_pk_connectivity and not has_pk_connectivity(graph, db):
+        return False, "pk"
+    cost = estimate_apt_cost(graph, pt, db, pt_stats=pt_stats)
+    if cost > config.qcost_threshold:
+        return False, "cost"
+    return True, "ok"
+
+
+# ----------------------------------------------------------------------
+# Enumeration driver
+# ----------------------------------------------------------------------
+def enumerate_join_graphs(
+    schema_graph: SchemaGraph,
+    query: Query,
+    pt: ProvenanceTable,
+    db: Database,
+    config: CajadeConfig,
+    stats: EnumerationStats | None = None,
+) -> Iterator[JoinGraph]:
+    """Yield the valid join graphs of size 1..λ#edges (plus Ω0).
+
+    Ω0 (the bare PT node) is yielded first: mining it produces the
+    provenance-only explanations the user study compares against.
+    """
+    stats = stats if stats is not None else EnumerationStats()
+    query_aliases = {t.alias: t.table for t in query.tables}
+    pt_stats = TableStatistics.collect(pt.relation)
+
+    initial = JoinGraph.initial(query_aliases)
+    stats.generated += 1
+    stats.valid += 1
+    yield initial
+
+    seen_signatures = {initial.signature()}
+    previous = [initial]
+    for _size in range(1, config.max_join_edges + 1):
+        current: list[JoinGraph] = []
+        for graph in previous:
+            for extended in extend_join_graph(graph, schema_graph, query):
+                stats.generated += 1
+                signature = extended.signature()
+                if signature in seen_signatures:
+                    stats.duplicates += 1
+                    continue
+                seen_signatures.add(signature)
+                current.append(extended)
+                ok, reason = is_valid(
+                    extended, pt, db, config, pt_stats=pt_stats
+                )
+                if ok:
+                    stats.valid += 1
+                    yield extended
+                elif reason == "pk":
+                    stats.invalid_pk += 1
+                else:
+                    stats.invalid_cost += 1
+        previous = current
+        if not previous:
+            break

@@ -1,0 +1,326 @@
+"""The end-to-end CaJaDE pipeline and its public API.
+
+:class:`CajadeExplainer` wires everything together:
+
+1. parse / accept the user's aggregate query and compute its provenance
+   table (the role GProM plays in the paper's implementation);
+2. resolve the user question to the provenance rows of its output tuples;
+3. enumerate join graphs over the schema graph (Algorithm 2), validating
+   with PK-connectivity and cost checks;
+4. materialize the APT of each valid join graph and mine patterns
+   (Algorithm 1);
+5. rank the union of all mined patterns by F-score with diversity
+   reranking, recompute exact statistics for the finalists, and return
+   ranked :class:`Explanation` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.parser import parse_sql
+from ..db.provenance import ProvenanceTable
+from ..db.query import Query
+from .apt import AugmentedProvenanceTable, materialize_apt
+from .config import CajadeConfig
+from .diversity import select_diverse_top_k
+from .enumeration import EnumerationStats, enumerate_join_graphs
+from .join_graph import JoinGraph
+from .mining import MinedPattern, mine_apt
+from .pattern import Pattern
+from .quality import PatternSupport, QualityEvaluator, QualityStats
+from .question import ComparisonQuestion, OutlierQuestion, ResolvedQuestion
+from .schema_graph import SchemaGraph
+from .timing import JG_ENUMERATION, MATERIALIZE_APTS, StepTimer
+
+
+@dataclass
+class Explanation:
+    """One ranked explanation E = (Ω, Φ, (c1, a1), (c2, a2)) — Definition 6."""
+
+    join_graph: JoinGraph
+    pattern: Pattern
+    primary: int
+    primary_label: str
+    stats: QualityStats
+    support: PatternSupport
+
+    @property
+    def f_score(self) -> float:
+        return self.stats.f_score
+
+    @property
+    def precision(self) -> float:
+        return self.stats.precision
+
+    @property
+    def recall(self) -> float:
+        return self.stats.recall
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of the explanation.
+
+        Supports are printed primary-tuple first, matching the paper's
+        (c1, a1), (c2, a2) convention.
+        """
+        s = self.support
+        if self.primary == 1:
+            coverage = (
+                f"{s.covered1}/{s.total1} vs {s.covered2}/{s.total2}"
+            )
+        else:
+            coverage = (
+                f"{s.covered2}/{s.total2} vs {s.covered1}/{s.total1}"
+            )
+        return (
+            f"{self.pattern.describe()} [{self.primary_label}] "
+            f"(covers {coverage}; "
+            f"F={self.f_score:.2f}, P={self.precision:.2f}, "
+            f"R={self.recall:.2f}) via {self.join_graph.structure()}"
+        )
+
+    def describe_full(self) -> str:
+        """Multi-line rendering including the join-graph conditions."""
+        return "\n".join([self.describe(), self.join_graph.describe()])
+
+    def to_sentence(self) -> str:
+        """A paper-style natural-language sentence for this explanation."""
+        from .narrative import explanation_sentence
+
+        return explanation_sentence(self)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable record of this explanation."""
+        return {
+            "pattern": [
+                {
+                    "attribute": p.attribute,
+                    "op": p.op,
+                    "value": p.value
+                    if not hasattr(p.value, "item")
+                    else p.value.item(),
+                }
+                for p in self.pattern.predicates
+            ],
+            "primary": self.primary,
+            "primary_label": self.primary_label,
+            "f_score": self.f_score,
+            "precision": self.precision,
+            "recall": self.recall,
+            "support": {
+                "covered1": self.support.covered1,
+                "total1": self.support.total1,
+                "covered2": self.support.covered2,
+                "total2": self.support.total2,
+            },
+            "join_graph": self.join_graph.structure(),
+            "join_conditions": [
+                str(edge.condition) for edge in self.join_graph.edges
+            ],
+            "sentence": self.to_sentence(),
+        }
+
+
+@dataclass
+class ExplanationResult:
+    """Everything one ``explain`` call produced."""
+
+    explanations: list[Explanation]
+    question: ResolvedQuestion
+    timer: StepTimer
+    enumeration: EnumerationStats
+    join_graphs_mined: int
+
+    def top(self, k: int | None = None) -> list[Explanation]:
+        if k is None:
+            return list(self.explanations)
+        return self.explanations[:k]
+
+    def describe(self, k: int | None = None) -> str:
+        lines = [f"question: {self.question.question.describe()}"]
+        for rank, explanation in enumerate(self.top(k), start=1):
+            lines.append(f"{rank:2d}. {explanation.describe()}")
+        return "\n".join(lines)
+
+    def to_json(self, k: int | None = None, indent: int = 2) -> str:
+        """Serialize the top-k explanations as JSON (for tooling/UIs)."""
+        import json
+
+        payload = {
+            "question": self.question.question.describe(),
+            "explanations": [e.to_dict() for e in self.top(k)],
+            "join_graphs_mined": self.join_graphs_mined,
+            "enumeration": {
+                "generated": self.enumeration.generated,
+                "valid": self.enumeration.valid,
+                "skipped_pk": self.enumeration.invalid_pk,
+                "skipped_cost": self.enumeration.invalid_cost,
+                "duplicates": self.enumeration.duplicates,
+            },
+        }
+        return json.dumps(payload, indent=indent, default=str)
+
+
+class CajadeExplainer:
+    """Context-Aware Join-Augmented Deep Explanations.
+
+    Args:
+        db: the database the query runs against.
+        schema_graph: permissible joins; defaults to the FK-derived graph.
+        config: λ parameters; defaults to the paper's Table 1 values.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        schema_graph: SchemaGraph | None = None,
+        config: CajadeConfig | None = None,
+    ):
+        self.db = db
+        self.schema_graph = schema_graph or SchemaGraph.from_database(db)
+        self.config = config or CajadeConfig()
+
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: str | Query,
+        question: ComparisonQuestion | OutlierQuestion,
+        k: int | None = None,
+        timer: StepTimer | None = None,
+    ) -> ExplanationResult:
+        """Produce the globally ranked top-k explanations for a question."""
+        config = self.config
+        if k is not None:
+            config = config.with_overrides(top_k=k)
+        timer = timer or StepTimer()
+        rng = np.random.default_rng(config.seed)
+
+        if isinstance(query, str):
+            query = parse_sql(query)
+        with timer.step(MATERIALIZE_APTS):
+            pt = ProvenanceTable.compute(query, self.db)
+        resolved = question.resolve(pt)
+        restrict = np.concatenate([resolved.row_ids1, resolved.row_ids2])
+
+        enumeration_stats = EnumerationStats()
+        collected: list[tuple[Pattern, float, tuple]] = []
+        mined_graphs = 0
+
+        with timer.step(JG_ENUMERATION):
+            join_graphs = list(
+                enumerate_join_graphs(
+                    self.schema_graph,
+                    query,
+                    pt,
+                    self.db,
+                    config,
+                    stats=enumeration_stats,
+                )
+            )
+
+        for join_graph in join_graphs:
+            with timer.step(MATERIALIZE_APTS):
+                apt = materialize_apt(
+                    join_graph, pt, self.db, restrict_row_ids=restrict
+                )
+            if apt.num_rows == 0:
+                continue
+            mining = mine_apt(apt, resolved, config, rng, timer=timer)
+            mined_graphs += 1
+            finalists = self._exact_stats(
+                apt, resolved, mining.patterns, config, rng
+            )
+            for mined, stats, support in finalists:
+                collected.append(
+                    (
+                        mined.pattern,
+                        stats.f_score,
+                        (join_graph, mined, stats, support),
+                    )
+                )
+
+        if config.use_diversity:
+            chosen = select_diverse_top_k(collected, config.top_k)
+        else:
+            chosen = sorted(
+                collected, key=lambda c: (-c[1], c[0].describe())
+            )[: config.top_k]
+
+        explanations = []
+        for _pattern, _score, payload in chosen:
+            join_graph, mined, stats, support = payload
+            explanations.append(
+                Explanation(
+                    join_graph=join_graph,
+                    pattern=mined.pattern,
+                    primary=mined.primary,
+                    primary_label=resolved.label_for_key(mined.primary == 1),
+                    stats=stats,
+                    support=support,
+                )
+            )
+        return ExplanationResult(
+            explanations=explanations,
+            question=resolved,
+            timer=timer,
+            enumeration=enumeration_stats,
+            join_graphs_mined=mined_graphs,
+        )
+
+    # ------------------------------------------------------------------
+    def _exact_stats(
+        self,
+        apt: AugmentedProvenanceTable,
+        resolved: ResolvedQuestion,
+        mined: list[MinedPattern],
+        config: CajadeConfig,
+        rng: np.random.Generator,
+    ) -> list[tuple[MinedPattern, QualityStats, PatternSupport]]:
+        """Re-evaluate a join graph's finalists exactly (no sampling).
+
+        Mining may run on a λF1-samp sample; the reported supports
+        (c1, a1), (c2, a2) and scores of returned explanations are exact.
+        """
+        if not mined:
+            return []
+        if config.f1_sample_rate >= 1.0:
+            evaluator = None
+        else:
+            evaluator = QualityEvaluator(
+                apt,
+                resolved.row_ids1,
+                resolved.row_ids2,
+                sample_rate=1.0,
+                rng=rng,
+            )
+        results = []
+        for entry in mined:
+            if evaluator is None:
+                stats = entry.stats
+                support = PatternSupport(
+                    covered1=entry.stats.tp
+                    if entry.primary == 1
+                    else entry.stats.fp,
+                    total1=len(resolved.row_ids1),
+                    covered2=entry.stats.fp
+                    if entry.primary == 1
+                    else entry.stats.tp,
+                    total2=len(resolved.row_ids2),
+                )
+            else:
+                cov1, cov2 = evaluator.coverage_counts(entry.pattern)
+                stats = evaluator.stats_from_counts(
+                    cov1, cov2, primary=entry.primary
+                )
+                support = PatternSupport(
+                    covered1=cov1,
+                    total1=len(resolved.row_ids1),
+                    covered2=cov2,
+                    total2=len(resolved.row_ids2),
+                )
+            results.append((entry, stats, support))
+        return results

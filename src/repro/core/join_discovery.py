@@ -1,0 +1,154 @@
+"""Join-condition discovery (paper §8 future work).
+
+The paper builds its schema graph from foreign keys plus user-provided
+conditions and names automatic *join discovery* (Aurum [18], JOSIE [53])
+as the way to "automatically find datasets to be used as context".  This
+module implements a lightweight inclusion-dependency profiler in that
+spirit: candidate equi-join conditions are column pairs with
+
+- compatible types (numeric↔numeric or text↔text),
+- an inclusion coefficient |values(A) ∩ values(B)| / |values(A)| above a
+  threshold (how much of A's active domain joins into B),
+- enough distinct values on the contained side to be a meaningful key
+  (filters out tiny enums like booleans and status flags).
+
+Discovered conditions can be added to a :class:`SchemaGraph` with
+:func:`augment_schema_graph`, widening the space of join graphs CaJaDE
+explores — exactly the §8 integration.
+
+Caveat: dense integer surrogate keys (0..n ids) satisfy inclusion against
+each other spuriously; production join-discovery systems (Aurum, JOSIE)
+add name/semantic signals to filter those.  Review candidates before
+augmenting the schema graph, or restrict to text columns via
+``text_only=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.database import Database
+from .schema_graph import SchemaGraph
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """A discovered candidate join condition between two columns."""
+
+    table_a: str
+    column_a: str
+    table_b: str
+    column_b: str
+    inclusion: float
+    """Fraction of table_a's distinct values present in table_b."""
+
+    def describe(self) -> str:
+        return (
+            f"{self.table_a}.{self.column_a} ⊆ "
+            f"{self.table_b}.{self.column_b} "
+            f"(inclusion {self.inclusion:.2f})"
+        )
+
+
+def _distinct_values(db: Database, table: str, column: str) -> set:
+    values = set()
+    for value in db.table(table).column(column):
+        if value is None:
+            continue
+        if isinstance(value, (float, np.floating)) and np.isnan(value):
+            continue
+        values.add(value)
+    return values
+
+
+def discover_join_candidates(
+    db: Database,
+    min_inclusion: float = 0.95,
+    min_distinct: int = 3,
+    max_distinct_values: int = 100_000,
+    text_only: bool = False,
+) -> list[JoinCandidate]:
+    """Profile the database for inclusion-dependency join candidates.
+
+    Returns candidates ordered by descending inclusion coefficient.
+    Pairs already covered by a declared foreign key are skipped (they are
+    in the schema graph anyway); self-pairs of the same column are
+    skipped too.
+    """
+    declared = set()
+    for fk in db.foreign_keys:
+        for col, ref_col in zip(fk.columns, fk.ref_columns):
+            declared.add((fk.table, col, fk.ref_table, ref_col))
+            declared.add((fk.ref_table, ref_col, fk.table, col))
+
+    profiles: list[tuple[str, str, bool, set]] = []
+    for table in db.table_names:
+        relation = db.table(table)
+        for name in relation.column_names:
+            is_text = relation.column_type(name).is_categorical
+            if text_only and not is_text:
+                continue
+            values = _distinct_values(db, table, name)
+            if not (min_distinct <= len(values) <= max_distinct_values):
+                continue
+            profiles.append((table, name, is_text, values))
+
+    candidates: list[JoinCandidate] = []
+    for i, (ta, ca, text_a, va) in enumerate(profiles):
+        for j, (tb, cb, text_b, vb) in enumerate(profiles):
+            if i == j or text_a != text_b:
+                continue
+            if ta == tb and ca == cb:
+                continue
+            if (ta, ca, tb, cb) in declared:
+                continue
+            inclusion = len(va & vb) / len(va)
+            if inclusion >= min_inclusion:
+                candidates.append(
+                    JoinCandidate(
+                        table_a=ta,
+                        column_a=ca,
+                        table_b=tb,
+                        column_b=cb,
+                        inclusion=inclusion,
+                    )
+                )
+    candidates.sort(
+        key=lambda c: (-c.inclusion, c.table_a, c.column_a, c.table_b, c.column_b)
+    )
+    return candidates
+
+
+def augment_schema_graph(
+    graph: SchemaGraph,
+    candidates: list[JoinCandidate],
+    limit: int | None = None,
+) -> int:
+    """Add discovered conditions to a schema graph.
+
+    Deduplicates symmetric candidates (A⊆B and B⊆A produce one edge
+    condition).  Returns the number of conditions added.
+    """
+    added = 0
+    seen: set[frozenset] = set()
+    for candidate in candidates:
+        if limit is not None and added >= limit:
+            break
+        key = frozenset(
+            {
+                (candidate.table_a, candidate.column_a),
+                (candidate.table_b, candidate.column_b),
+            }
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(
+            candidate.table_a,
+            candidate.table_b,
+            [[(candidate.column_a, candidate.column_b)]],
+        )
+        added += 1
+    return added

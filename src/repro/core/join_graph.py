@@ -1,0 +1,252 @@
+"""Join graphs (paper Definition 3).
+
+A join graph Ω is a node- and edge-labeled undirected multigraph with one
+distinguished PT node (the provenance table) and context nodes labeled with
+relations.  Edges carry a single join condition permitted by the schema
+graph.  The same relation may appear on several nodes; materialization
+assigns fresh aliases (``player_salary``, ``player_salary2``, ...).
+
+Edges incident to the PT node additionally record *which query alias* the
+PT-side attributes belong to, because PT columns are qualified as
+``alias.attr`` (paper: parallel edges for multiple aliases of the same
+relation in Q).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from .schema_graph import JoinConditionSpec
+
+PT_LABEL = "PT"
+
+
+@dataclass(frozen=True)
+class JGNode:
+    """A join-graph node: the PT node or a context relation."""
+
+    nid: int
+    label: str
+
+    @property
+    def is_pt(self) -> bool:
+        return self.label == PT_LABEL
+
+
+@dataclass(frozen=True)
+class JGEdge:
+    """A join-graph edge with its condition oriented u → v.
+
+    ``condition.pairs`` holds ``(u_attr, v_attr)``.  When the u endpoint is
+    the PT node, ``pt_alias`` names the query alias whose columns realize
+    the u side.
+    """
+
+    u: int
+    v: int
+    condition: JoinConditionSpec
+    pt_alias: str | None = None
+
+    def endpoint_attrs(self, node_id: int) -> list[str]:
+        """The attributes this edge constrains on one endpoint."""
+        attrs = []
+        if node_id == self.u:
+            attrs.extend(a for a, _ in self.condition.pairs)
+        if node_id == self.v:
+            attrs.extend(b for _, b in self.condition.pairs)
+        return attrs
+
+
+class JoinGraph:
+    """An immutable-by-convention join graph; extensions return copies."""
+
+    def __init__(self, query_aliases: dict[str, str]):
+        """``query_aliases`` maps query alias → relation name (relsQ)."""
+        self.query_aliases = dict(query_aliases)
+        self.nodes: list[JGNode] = [JGNode(0, PT_LABEL)]
+        self.edges: list[JGEdge] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, query_aliases: dict[str, str]) -> "JoinGraph":
+        """Ω0: the join graph consisting of the single PT node."""
+        return cls(query_aliases)
+
+    def copy(self) -> "JoinGraph":
+        clone = JoinGraph(self.query_aliases)
+        clone.nodes = list(self.nodes)
+        clone.edges = list(self.edges)
+        return clone
+
+    @property
+    def pt_node(self) -> JGNode:
+        return self.nodes[0]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def context_nodes(self) -> list[JGNode]:
+        return [n for n in self.nodes if not n.is_pt]
+
+    def node(self, nid: int) -> JGNode:
+        for node in self.nodes:
+            if node.nid == nid:
+                return node
+        raise KeyError(f"no node {nid}")
+
+    def edges_of(self, nid: int) -> list[JGEdge]:
+        return [e for e in self.edges if nid in (e.u, e.v)]
+
+    def edges_between(self, a: int, b: int) -> list[JGEdge]:
+        return [e for e in self.edges if {e.u, e.v} == {a, b}]
+
+    # ------------------------------------------------------------------
+    # Extension (paper Algorithm 2, AddEdge)
+    # ------------------------------------------------------------------
+    def with_new_node(
+        self,
+        from_node: int,
+        relation: str,
+        condition: JoinConditionSpec,
+        pt_alias: str | None,
+    ) -> "JoinGraph":
+        """Extension (i): add a fresh node for ``relation`` linked to
+        ``from_node``."""
+        clone = self.copy()
+        new_id = max(n.nid for n in clone.nodes) + 1
+        clone.nodes.append(JGNode(new_id, relation))
+        clone.edges.append(
+            JGEdge(u=from_node, v=new_id, condition=condition, pt_alias=pt_alias)
+        )
+        return clone
+
+    def with_new_edge(
+        self,
+        from_node: int,
+        to_node: int,
+        condition: JoinConditionSpec,
+        pt_alias: str | None,
+    ) -> "JoinGraph | None":
+        """Extension (ii): connect two existing nodes with a parallel edge.
+
+        Returns None when an identical edge already exists (AddEdge's
+        duplicate check).
+        """
+        for edge in self.edges_between(from_node, to_node):
+            same_forward = (
+                edge.u == from_node
+                and edge.condition == condition
+                and edge.pt_alias == pt_alias
+            )
+            same_backward = (
+                edge.v == from_node and edge.condition == condition.flipped()
+            )
+            if same_forward or same_backward:
+                return None
+        clone = self.copy()
+        clone.edges.append(
+            JGEdge(u=from_node, v=to_node, condition=condition, pt_alias=pt_alias)
+        )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Aliasing for materialization
+    # ------------------------------------------------------------------
+    def materialization_aliases(self) -> dict[int, str]:
+        """Node id → unique alias (``rel``, ``rel2``, ...) for context nodes.
+
+        Aliases never collide with the query's own FROM aliases (whose
+        columns already populate the PT side of the APT).
+        """
+        taken = set(self.query_aliases)
+        counts: dict[str, int] = {}
+        aliases: dict[int, str] = {}
+        for node in self.nodes:
+            if node.is_pt:
+                continue
+            counts[node.label] = counts.get(node.label, 0) + 1
+            suffix = counts[node.label]
+            candidate = node.label if suffix == 1 else f"{node.label}{suffix}"
+            while candidate in taken:
+                suffix += 1
+                counts[node.label] = suffix
+                candidate = f"{node.label}{suffix}"
+            taken.add(candidate)
+            aliases[node.nid] = candidate
+        return aliases
+
+    # ------------------------------------------------------------------
+    # Canonical signature (duplicate elimination during enumeration)
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """A canonical, label-preserving-isomorphism-invariant signature.
+
+        Nodes with the same label are interchangeable; the signature is the
+        lexicographically smallest edge multiset over all label-preserving
+        relabelings.  Join graphs are tiny (≤ λ#edges + 1 nodes) so the
+        permutation search is cheap.
+        """
+        by_label: dict[str, list[int]] = {}
+        for node in self.nodes:
+            by_label.setdefault(node.label, []).append(node.nid)
+        label_groups = sorted(by_label.items())
+        permutation_sets = []
+        for _, ids in label_groups:
+            permutation_sets.append(list(itertools.permutations(ids)))
+        best: tuple | None = None
+        for combo in itertools.product(*permutation_sets):
+            mapping: dict[int, int] = {}
+            for (_, ids), perm in zip(label_groups, combo):
+                for original, renamed in zip(ids, perm):
+                    mapping[original] = renamed
+            label_of = {n.nid: n.label for n in self.nodes}
+            descriptors = []
+            for edge in self.edges:
+                u_key = (label_of[edge.u], mapping[edge.u])
+                v_key = (label_of[edge.v], mapping[edge.v])
+                cond = str(edge.condition)
+                flipped = str(edge.condition.flipped())
+                if (v_key, u_key) < (u_key, v_key):
+                    descriptors.append((v_key, u_key, flipped, edge.pt_alias))
+                else:
+                    descriptors.append((u_key, v_key, cond, edge.pt_alias))
+            candidate = tuple(sorted(descriptors))
+            if best is None or candidate < best:
+                best = candidate
+        return best if best is not None else ()
+
+    # ------------------------------------------------------------------
+    # Description
+    # ------------------------------------------------------------------
+    def structure(self) -> str:
+        """A compact ``PT - rel - rel2`` style description."""
+        if not self.edges:
+            return PT_LABEL
+        aliases = self.materialization_aliases()
+        aliases[0] = PT_LABEL
+
+        parts = []
+        for edge in self.edges:
+            parts.append(f"{aliases[edge.u]} - {aliases[edge.v]}")
+        return " ; ".join(parts)
+
+    def describe(self) -> str:
+        """Multi-line description with per-edge join conditions."""
+        aliases = self.materialization_aliases()
+        aliases[0] = PT_LABEL
+        lines = [f"join graph: {self.structure()}"]
+        for index, edge in enumerate(self.edges, start=1):
+            left = aliases[edge.u]
+            if edge.u == 0 and edge.pt_alias:
+                left = f"PT[{edge.pt_alias}]"
+            lines.append(
+                f"  e{index}: "
+                + edge.condition.describe(left, aliases[edge.v])
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"JoinGraph({self.structure()!r}, {len(self.edges)} edges)"

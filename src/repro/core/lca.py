@@ -1,0 +1,114 @@
+"""LCA pattern-candidate generation over categorical attributes (§3.2).
+
+Following Gebaly et al. [19], candidates come from the cross product of an
+APT sample with itself: for each row pair (t, t'), keep the categorical
+attributes on which they agree as equality predicates and wildcard the
+rest — the "lowest common ancestor" of the two rows in the pattern
+lattice.  Constants that co-occur frequently therefore surface as
+candidates.  Numeric attributes stay ``*`` at this stage.
+
+The sample is governed by λpat-samp with an absolute cap (1000 rows in the
+paper's experiments); the number of examined pairs is additionally capped
+to keep the quadratic step bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import CajadeConfig
+from .pattern import OP_EQ, Pattern, PatternPredicate
+
+
+def lca_candidates(
+    columns: dict[str, np.ndarray],
+    categorical_attrs: list[str],
+    config: CajadeConfig,
+    rng: np.random.Generator,
+) -> list[Pattern]:
+    """Generate candidate categorical patterns from a row-pair sample.
+
+    ``columns`` are row-aligned APT columns (typically already restricted
+    to the question's provenance rows).  Returns deduplicated non-empty
+    patterns; the empty pattern (all ``*``) is excluded because it carries
+    no information.
+    """
+    attrs = [
+        a
+        for a in categorical_attrs
+        if a in columns and columns[a].dtype == object
+    ]
+    if not attrs:
+        return []
+    n_rows = len(next(iter(columns.values())))
+    if n_rows == 0:
+        return []
+
+    sample_size = max(1, int(round(n_rows * config.lca_sample_rate)))
+    sample_size = min(sample_size, config.lca_sample_cap, n_rows)
+    if sample_size < n_rows:
+        indices = rng.choice(n_rows, size=sample_size, replace=False)
+    else:
+        indices = np.arange(n_rows)
+
+    arrays = [columns[a][indices] for a in attrs]
+    m = len(indices)
+
+    patterns: set[Pattern] = set()
+
+    # Singleton patterns from single rows (the LCA of a row with itself);
+    # these capture individually frequent constants.
+    for i in range(m):
+        predicates = [
+            PatternPredicate(attr, OP_EQ, arr[i])
+            for attr, arr in zip(attrs, arrays)
+            if arr[i] is not None
+        ]
+        if predicates:
+            patterns.add(Pattern(predicates))
+
+    # Pairwise LCAs, capped.
+    total_pairs = m * (m - 1) // 2
+    if total_pairs <= config.lca_pair_cap:
+        pair_iter = (
+            (i, j) for i in range(m) for j in range(i + 1, m)
+        )
+    else:
+        firsts = rng.integers(0, m, size=config.lca_pair_cap)
+        seconds = rng.integers(0, m, size=config.lca_pair_cap)
+        pair_iter = (
+            (int(a), int(b)) for a, b in zip(firsts, seconds) if a != b
+        )
+
+    for i, j in pair_iter:
+        predicates = []
+        for attr, arr in zip(attrs, arrays):
+            vi, vj = arr[i], arr[j]
+            if vi is not None and vi == vj:
+                predicates.append(PatternPredicate(attr, OP_EQ, vi))
+        if predicates:
+            patterns.add(Pattern(predicates))
+
+    return sorted(patterns, key=lambda p: (p.size, p.describe()))
+
+
+def pick_top_candidates(
+    patterns: list[Pattern],
+    recall_of,
+    k_cat: int,
+    recall_threshold: float,
+) -> list[Pattern]:
+    """Filter by recall threshold, then keep the k_cat highest-recall
+    candidates (Algorithm 1's pickTopK over P_cat).
+
+    ``recall_of`` maps a pattern to its (possibly sampled) recall w.r.t.
+    the question's primary tuple(s); callers pass the max over t1/t2 so a
+    pattern strong for either side survives.
+    """
+    scored = []
+    for pattern in patterns:
+        recall = recall_of(pattern)
+        if recall >= recall_threshold:
+            scored.append((recall, pattern))
+    scored.sort(key=lambda pair: (-pair[0], pair[1].describe()))
+    return [pattern for _, pattern in scored[:k_cat]]

@@ -1,0 +1,72 @@
+"""Natural-language rendering of explanations.
+
+The paper's introduction presents explanations as sentences:
+
+    "GSW won more games in season 2015-16 because Player S. Curry scored
+     ≥ 23 points in 58 out of 73 games in 2015-16 compared to 21 out of
+     47 games in 2012-13."
+
+:func:`explanation_sentence` produces that style from an
+:class:`~repro.core.explainer.Explanation` — attribute names are
+de-qualified, operators become words, and the supports are phrased
+primary-tuple-first.
+"""
+
+from __future__ import annotations
+
+from .explainer import Explanation
+from .pattern import OP_EQ, OP_GE, PatternPredicate
+
+
+def predicate_phrase(predicate: PatternPredicate) -> str:
+    """One predicate as an English phrase."""
+    attribute = predicate.attribute.split(".")[-1].replace("_", " ")
+    value = predicate.value
+    if isinstance(value, float):
+        value = f"{value:.6g}"
+    if predicate.op == OP_EQ:
+        return f"{attribute} is {value}"
+    if predicate.op == OP_GE:
+        return f"{attribute} is at least {value}"
+    return f"{attribute} is at most {value}"
+
+
+def pattern_phrase(explanation: Explanation) -> str:
+    """The pattern as a conjunction of English phrases."""
+    phrases = [predicate_phrase(p) for p in explanation.pattern.predicates]
+    if not phrases:
+        return "any context row exists"
+    if len(phrases) == 1:
+        return phrases[0]
+    return ", ".join(phrases[:-1]) + " and " + phrases[-1]
+
+
+def explanation_sentence(explanation: Explanation) -> str:
+    """A paper-style sentence for one explanation.
+
+    The sentence orders the supports primary-tuple-first, mirrors the
+    Figure 2 text boxes, and names the join path that supplied the
+    context when the pattern used any.
+    """
+    support = explanation.support
+    if explanation.primary == 1:
+        primary_cov, primary_total = support.covered1, support.total1
+        secondary_cov, secondary_total = support.covered2, support.total2
+    else:
+        primary_cov, primary_total = support.covered2, support.total2
+        secondary_cov, secondary_total = support.covered1, support.total1
+
+    sentence = (
+        f"[{explanation.primary_label}] stands out because "
+        f"{pattern_phrase(explanation)} in {primary_cov} out of "
+        f"{primary_total} of its provenance rows, compared to "
+        f"{secondary_cov} out of {secondary_total} for the other side"
+    )
+    if explanation.join_graph.num_edges > 0:
+        context_tables = sorted(
+            {node.label for node in explanation.join_graph.context_nodes}
+        )
+        sentence += (
+            " (context from " + ", ".join(context_tables) + ")"
+        )
+    return sentence + "."

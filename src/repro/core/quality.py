@@ -1,0 +1,214 @@
+"""Pattern quality metrics (paper Definition 7) with optional sampling.
+
+Coverage is counted per *provenance* row: a PT row t' of output tuple t1 is
+covered by (Ω, Φ) iff at least one APT row descending from t' matches Φ.
+Then
+
+    TP  = covered provenance rows of t1
+    FP  = covered provenance rows of t2
+    FN  = |PT(t1)| - TP
+
+and precision/recall/F-score follow.  The denominators count *all*
+provenance rows of the output tuple — including rows the join dropped
+(they are never covered, exactly as Definition 7 prescribes).
+
+λF1-samp sampling (paper §3.3/§5.4) is realized by sampling provenance
+rows per side and evaluating coverage exactly on the sampled universe;
+this yields unbiased recall/precision estimates while scanning only the
+matching fraction of the APT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .apt import AugmentedProvenanceTable
+from .pattern import Pattern
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """TP/FP/FN counts and the derived quality measures."""
+
+    tp: int
+    fp: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        if denominator == 0:
+            return 0.0
+        return self.tp / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        if denominator == 0:
+            return 0.0
+        return self.tp / denominator
+
+    @property
+    def f_score(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityStats(tp={self.tp}, fp={self.fp}, fn={self.fn}, "
+            f"P={self.precision:.3f}, R={self.recall:.3f}, "
+            f"F={self.f_score:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class PatternSupport:
+    """Relative support (c1, a1), (c2, a2) of an explanation (Def 6)."""
+
+    covered1: int
+    total1: int
+    covered2: int
+    total2: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.covered1} of {self.total1} vs "
+            f"{self.covered2} of {self.total2}"
+        )
+
+
+class QualityEvaluator:
+    """Evaluates patterns against one APT for a resolved user question.
+
+    Parameters:
+        apt: the materialized augmented provenance table.
+        row_ids1: provenance row ids of output tuple t1.
+        row_ids2: provenance row ids of output tuple t2 (or "the rest").
+        sample_rate: λF1-samp; 1.0 evaluates exactly.
+        rng: generator driving the provenance-row sample.
+    """
+
+    def __init__(
+        self,
+        apt: AugmentedProvenanceTable,
+        row_ids1: np.ndarray,
+        row_ids2: np.ndarray,
+        sample_rate: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        rng = rng or np.random.default_rng(0)
+        self.apt = apt
+        self._full_n1 = len(row_ids1)
+        self._full_n2 = len(row_ids2)
+
+        ids1 = np.asarray(row_ids1, dtype=np.int64)
+        ids2 = np.asarray(row_ids2, dtype=np.int64)
+        if sample_rate < 1.0:
+            ids1 = self._sample_ids(ids1, sample_rate, rng)
+            ids2 = self._sample_ids(ids2, sample_rate, rng)
+        self._n1 = len(ids1)
+        self._n2 = len(ids2)
+
+        side: dict[int, int] = {}
+        for pid in ids1.tolist():
+            side[pid] = 1
+        for pid in ids2.tolist():
+            side[pid] = 2
+        self._side = side
+
+        pt_ids = apt.pt_row_ids
+        keep = np.isin(pt_ids, ids1) | np.isin(pt_ids, ids2)
+        kept = apt.relation.filter_mask(keep)
+        self._pt_ids = kept.column("__pt_row_id")
+        self._columns = {
+            a.name: kept.column(a.name) for a in apt.attributes
+        }
+        self.sampled_rows = kept.num_rows
+
+    @staticmethod
+    def _sample_ids(
+        ids: np.ndarray, rate: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if len(ids) == 0:
+            return ids
+        size = max(1, int(round(len(ids) * rate)))
+        if size >= len(ids):
+            return ids
+        return rng.choice(ids, size=size, replace=False)
+
+    # ------------------------------------------------------------------
+    def coverage_counts(self, pattern: Pattern) -> tuple[int, int]:
+        """Distinct covered provenance rows of (t1, t2) in the sample."""
+        mask = pattern.match_mask(self._columns)
+        if not mask.any():
+            return 0, 0
+        covered = np.unique(self._pt_ids[mask])
+        cov1 = cov2 = 0
+        side = self._side
+        for pid in covered.tolist():
+            s = side.get(int(pid))
+            if s == 1:
+                cov1 += 1
+            elif s == 2:
+                cov2 += 1
+        return cov1, cov2
+
+    def evaluate(self, pattern: Pattern, primary: int = 1) -> QualityStats:
+        """Definition 7 statistics with the chosen primary tuple."""
+        cov1, cov2 = self.coverage_counts(pattern)
+        return self.stats_from_counts(cov1, cov2, primary)
+
+    def stats_from_counts(
+        self, cov1: int, cov2: int, primary: int = 1
+    ) -> QualityStats:
+        if primary == 1:
+            return QualityStats(tp=cov1, fp=cov2, fn=self._n1 - cov1)
+        if primary == 2:
+            return QualityStats(tp=cov2, fp=cov1, fn=self._n2 - cov2)
+        raise ValueError("primary must be 1 or 2")
+
+    def support(self, pattern: Pattern) -> PatternSupport:
+        """Supports scaled to the full provenance sizes.
+
+        With sampling the covered counts are extrapolated through the
+        estimated recall; without sampling they are exact.
+        """
+        cov1, cov2 = self.coverage_counts(pattern)
+        scale1 = self._full_n1 / self._n1 if self._n1 else 0.0
+        scale2 = self._full_n2 / self._n2 if self._n2 else 0.0
+        return PatternSupport(
+            covered1=min(self._full_n1, int(round(cov1 * scale1))),
+            total1=self._full_n1,
+            covered2=min(self._full_n2, int(round(cov2 * scale2))),
+            total2=self._full_n2,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def universe_sizes(self) -> tuple[int, int]:
+        """(sampled |PT(t1)|, sampled |PT(t2)|)."""
+        return self._n1, self._n2
+
+    @property
+    def full_sizes(self) -> tuple[int, int]:
+        return self._full_n1, self._full_n2
+
+    def side_labels(self) -> np.ndarray:
+        """Per-APT-row side (1 or 2) for the feature-selection labels."""
+        side = self._side
+        return np.fromiter(
+            (side.get(int(pid), 0) for pid in self._pt_ids),
+            dtype=np.int64,
+            count=len(self._pt_ids),
+        )
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The (sampled) minable columns, row-aligned with side_labels."""
+        return dict(self._columns)

@@ -1,0 +1,97 @@
+"""Numeric refinement of categorical patterns (paper §3.4).
+
+Refinements add one numeric predicate at a time.  Numeric domains are
+split into λ#frag fragments; only fragment boundaries serve as thresholds,
+with both ``<=`` and ``>=`` comparisons (the paper's example explanations
+use both directions, e.g. ``pts >= 23``).  Refinement can only lower
+recall (Proposition 3.1), so candidates below λrecall are pruned together
+with all of their refinements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import CajadeConfig
+from .pattern import OP_GE, OP_LE, Pattern
+
+
+def numeric_fragments(
+    values: np.ndarray, num_fragments: int
+) -> list[float]:
+    """Fragment boundaries of a numeric column's active domain.
+
+    For λ#frag = k the boundaries are the k quantiles at
+    ``linspace(0, 1, k)`` — e.g. min/median/max for k = 3, matching the
+    paper's example.  NaNs (NULLs) are ignored; constant or empty columns
+    yield no boundaries.
+    """
+    numeric = values.astype(np.float64, copy=False)
+    finite = numeric[~np.isnan(numeric)]
+    if len(finite) == 0:
+        return []
+    if num_fragments == 1:
+        candidates = [float(np.median(finite))]
+    else:
+        qs = np.linspace(0.0, 1.0, num_fragments)
+        candidates = [float(v) for v in np.quantile(finite, qs)]
+    unique: list[float] = []
+    for value in candidates:
+        if not unique or value != unique[-1]:
+            unique.append(value)
+    if len(unique) == 1:
+        return []
+    return unique
+
+
+class RefinementGenerator:
+    """Enumerates one-step numeric refinements of a pattern.
+
+    Fragment boundaries per attribute are computed once per APT and reused
+    across all patterns.
+    """
+
+    def __init__(
+        self,
+        columns: dict[str, np.ndarray],
+        numeric_attrs: list[str],
+        config: CajadeConfig,
+    ):
+        self.config = config
+        self.numeric_attrs = [a for a in numeric_attrs if a in columns]
+        self._fragments: dict[str, list[float]] = {}
+        for attr in self.numeric_attrs:
+            self._fragments[attr] = numeric_fragments(
+                columns[attr], config.num_fragments
+            )
+
+    def fragments_of(self, attr: str) -> list[float]:
+        return list(self._fragments.get(attr, []))
+
+    def refinements(self, pattern: Pattern) -> list[Pattern]:
+        """All one-predicate numeric extensions permitted by λattrNum."""
+        numeric_set = set(self.numeric_attrs)
+        if (
+            pattern.num_numeric_predicates(numeric_set)
+            >= self.config.max_numeric_predicates
+        ):
+            return []
+        extensions: list[Pattern] = []
+        for attr in self.numeric_attrs:
+            if pattern.uses(attr):
+                continue
+            boundaries = self._fragments[attr]
+            if not boundaries:
+                continue
+            # The lowest boundary with <= matches (almost) nothing beyond
+            # the minimum and the highest with >= only the maximum; use
+            # every boundary with both operators except the two vacuous
+            # extremes (<= max and >= min match everything).
+            for op in (OP_LE, OP_GE):
+                for boundary in boundaries:
+                    if op == OP_LE and boundary == boundaries[-1]:
+                        continue
+                    if op == OP_GE and boundary == boundaries[0]:
+                        continue
+                    extensions.append(pattern.refined(attr, op, boundary))
+        return extensions

@@ -1,0 +1,83 @@
+"""Per-step wall-clock instrumentation.
+
+The paper's performance figures break total runtime into named steps
+(Feature Selection, Gen. Pat. Cand., Materialize APTs, Sampling for F1,
+F-score Calc., Refine Patterns, JG Enum.).  :class:`StepTimer` accumulates
+seconds under exactly those labels so the benchmark harness can print the
+same breakdown rows (Figures 7, 9c, 9d).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+# Canonical step labels, matching the paper's breakdown tables.
+FEATURE_SELECTION = "Feature Selection"
+GEN_PATTERN_CANDIDATES = "Gen. Pat. Cand."
+F_SCORE_CALC = "F-score Calc."
+MATERIALIZE_APTS = "Materialize APTs"
+REFINE_PATTERNS = "Refine Patterns"
+SAMPLING_FOR_F1 = "Sampling for F1"
+JG_ENUMERATION = "JG Enum."
+
+ALL_STEPS = (
+    FEATURE_SELECTION,
+    GEN_PATTERN_CANDIDATES,
+    F_SCORE_CALC,
+    MATERIALIZE_APTS,
+    REFINE_PATTERNS,
+    SAMPLING_FOR_F1,
+    JG_ENUMERATION,
+)
+
+
+class StepTimer:
+    """Accumulates wall-clock seconds per named pipeline step."""
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Step → seconds, in the paper's canonical step order."""
+        ordered = {
+            step: self._seconds[step]
+            for step in ALL_STEPS
+            if step in self._seconds
+        }
+        for name, value in self._seconds.items():
+            if name not in ordered:
+                ordered[name] = value
+        return ordered
+
+    def merge(self, other: "StepTimer") -> None:
+        for name, value in other._seconds.items():
+            self.add(name, value)
+
+    def format_table(self) -> str:
+        """A printable two-column breakdown ending with a total row."""
+        rows = [f"{name:<22s} {secs:10.3f}s"
+                for name, secs in self.breakdown().items()]
+        rows.append(f"{'total':<22s} {self.total:10.3f}s")
+        return "\n".join(rows)

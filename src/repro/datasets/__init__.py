@@ -1,0 +1,30 @@
+"""Synthetic datasets mirroring the paper's NBA and MIMIC schemas."""
+
+from .mimic import generate_mimic, load_mimic, mimic_schema_graph
+from .nba import generate_nba, load_nba, nba_schema_graph
+from .scaling import scale_down_database, scale_up_database
+from .workloads import (
+    WorkloadQuery,
+    all_queries,
+    mimic_queries,
+    nba_queries,
+    query_by_name,
+    user_study_query,
+)
+
+__all__ = [
+    "all_queries",
+    "generate_mimic",
+    "generate_nba",
+    "load_mimic",
+    "load_nba",
+    "mimic_queries",
+    "mimic_schema_graph",
+    "nba_queries",
+    "nba_schema_graph",
+    "query_by_name",
+    "scale_down_database",
+    "scale_up_database",
+    "user_study_query",
+    "WorkloadQuery",
+]

@@ -1,0 +1,430 @@
+"""Synthetic MIMIC-III-like database with the paper's Figure 6 schema.
+
+Real MIMIC-III is credential-gated, so this generator produces a seeded
+synthetic hospital database with the same schema graph and the
+correlations the paper's case study (Table 6) reports:
+
+- insurance mix and death rates per Figure 16b/d: Medicare 0.14,
+  Self Pay 0.16, Government 0.05, Private 0.06, Medicaid 0.07, with
+  admission counts proportional to 28215 / 611 / 1783 / 22582 / 5785;
+- Medicare patients are older (mostly > 65), more often admitted through
+  the emergency department, and slightly more often male;
+- ICU length-of-stay groups mirror Figure 16c and correlate with the
+  hospital stay length (Qmimic3's explanations);
+- diagnosis chapters carry different death rates (chapter 2 'neoplasms'
+  0.19 vs chapter 13 'musculoskeletal' 0.09, Figure 16a);
+- ethnicity distribution per Figure 16e; Hispanic patients skew Catholic
+  and younger, Asian patients skew toward shorter stays (Qmimic5).
+
+``scale`` multiplies the number of admissions (and all dependent tables).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.schema import TableSchema
+from ..db.types import ColumnType
+from ..core.schema_graph import SchemaGraph
+
+INSURANCES = ["Medicare", "Self Pay", "Government", "Private", "Medicaid"]
+INSURANCE_WEIGHTS = np.array([28215, 611, 1783, 22582, 5785], dtype=float)
+INSURANCE_DEATH_RATE = {
+    "Medicare": 0.14,
+    "Self Pay": 0.16,
+    "Government": 0.05,
+    "Private": 0.06,
+    "Medicaid": 0.07,
+}
+
+CHAPTERS = [str(c) for c in range(1, 18)] + ["E", "V"]
+CHAPTER_DEATH_RATE = {
+    "1": 0.19, "2": 0.19, "3": 0.12, "4": 0.14, "5": 0.08, "6": 0.13,
+    "7": 0.12, "8": 0.18, "9": 0.14, "10": 0.15, "11": 0.01, "12": 0.14,
+    "13": 0.09, "14": 0.05, "15": 0.02, "16": 0.16, "17": 0.13,
+    "E": 0.10, "V": 0.09,
+}
+
+ETHNICITIES = [
+    "White", "Black", "Hispanic", "Asian", "Other", "Unknown",
+    "Declined To Answer",
+]
+ETHNICITY_WEIGHTS = np.array(
+    [169478, 19579, 7821, 6247, 6056, 22710, 2641], dtype=float
+)
+
+RELIGIONS = ["Catholic", "Protestant", "Jewish", "Buddhist", "None"]
+LANGUAGES = ["ENGL", "SPAN", "MAND", "RUSS", "PORT"]
+ADMISSION_TYPES = ["EMERGENCY", "ELECTIVE", "URGENT", "NEWBORN"]
+ADMISSION_LOCATIONS = [
+    "EMERGENCY ROOM ADMIT", "PHYS REFERRAL", "CLINIC REFERRAL",
+    "TRANSFER FROM HOSP",
+]
+DISCHARGE_LOCATIONS = ["HOME", "SNF", "REHAB", "DEAD/EXPIRED", "HOSPICE"]
+MARITAL_STATUSES = ["MARRIED", "SINGLE", "WIDOWED", "DIVORCED"]
+CAREUNITS = ["MICU", "SICU", "CCU", "CSRU", "TSICU"]
+LOS_GROUPS = ["0-1", "1-2", "2-4", "4-8", "x>8"]
+
+
+def _schema(name: str, columns: dict, pk: tuple) -> TableSchema:
+    return TableSchema.build(name, columns, primary_key=pk)
+
+
+def _los_group(los: float) -> str:
+    if los <= 1.0:
+        return "0-1"
+    if los <= 2.0:
+        return "1-2"
+    if los <= 4.0:
+        return "2-4"
+    if los <= 8.0:
+        return "4-8"
+    return "x>8"
+
+
+def generate_mimic(scale: float = 1.0, seed: int = 23) -> Database:
+    """Generate the synthetic MIMIC database at the given scale factor.
+
+    scale = 1.0 yields ≈ 6 000 admissions over ≈ 4 200 patients, with
+    diagnoses / procedures / ICU stays fanning out per admission.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    db = Database(f"mimic_sf{scale:g}")
+
+    n_admissions = max(50, int(round(6000 * scale)))
+    n_patients = max(30, int(round(n_admissions * 0.7)))
+
+    # -- patients --------------------------------------------------------
+    patient_rows = []
+    patient_gender: list[str] = []
+    patient_dead: list[int] = []
+    for subject_id in range(n_patients):
+        gender = "M" if rng.random() < 0.56 else "F"
+        dob_year = int(rng.integers(1915, 1995))
+        dob = f"{dob_year:04d}-{int(rng.integers(1, 13)):02d}-15"
+        expire_flag = 0
+        dod = None
+        patient_rows.append((subject_id, gender, dob, dod, expire_flag))
+        patient_gender.append(gender)
+        patient_dead.append(0)
+
+    # -- admissions & dependents -----------------------------------------
+    insurance_p = INSURANCE_WEIGHTS / INSURANCE_WEIGHTS.sum()
+    ethnicity_p = ETHNICITY_WEIGHTS / ETHNICITY_WEIGHTS.sum()
+
+    admission_rows = []
+    admit_info_rows = []
+    diagnoses_rows = []
+    procedure_rows = []
+    icustay_rows = []
+    icustay_id = 0
+
+    for hadm_id in range(n_admissions):
+        subject_id = int(rng.integers(0, n_patients))
+        gender = patient_gender[subject_id]
+
+        insurance = str(rng.choice(INSURANCES, p=insurance_p))
+        # Medicare skews old; Medicaid/Private skew younger.
+        if insurance == "Medicare":
+            age = float(np.clip(rng.normal(74, 8), 61, 95))
+        elif insurance in ("Private", "Medicaid"):
+            age = float(np.clip(rng.normal(48, 14), 16, 88))
+        else:
+            age = float(np.clip(rng.normal(55, 16), 16, 92))
+
+        ethnicity = str(rng.choice(ETHNICITIES, p=ethnicity_p))
+        if ethnicity == "Hispanic":
+            religion = str(
+                rng.choice(RELIGIONS, p=[0.62, 0.14, 0.02, 0.02, 0.2])
+            )
+            language = str(rng.choice(LANGUAGES, p=[0.45, 0.5, 0.0, 0.0, 0.05]))
+            age = min(age, float(np.clip(rng.normal(52, 12), 16, 88)))
+        elif ethnicity == "Asian":
+            religion = str(
+                rng.choice(RELIGIONS, p=[0.12, 0.1, 0.02, 0.4, 0.36])
+            )
+            language = str(rng.choice(LANGUAGES, p=[0.55, 0.0, 0.4, 0.0, 0.05]))
+        else:
+            religion = str(
+                rng.choice(RELIGIONS, p=[0.35, 0.3, 0.08, 0.02, 0.25])
+            )
+            language = str(rng.choice(LANGUAGES, p=[0.9, 0.04, 0.02, 0.02, 0.02]))
+
+        # Emergency admissions dominate for Medicare & Self Pay.
+        if insurance in ("Medicare", "Self Pay"):
+            adm_type = str(
+                rng.choice(ADMISSION_TYPES, p=[0.82, 0.08, 0.08, 0.02])
+            )
+        else:
+            adm_type = str(
+                rng.choice(ADMISSION_TYPES, p=[0.55, 0.25, 0.12, 0.08])
+            )
+        adm_location = (
+            "EMERGENCY ROOM ADMIT"
+            if adm_type == "EMERGENCY" and rng.random() < 0.8
+            else str(rng.choice(ADMISSION_LOCATIONS[1:]))
+        )
+
+        # Per-insurance damping cancels the expected boost of the risk
+        # multipliers below so marginal death rates land on the paper's
+        # Figure 16b values.
+        damping = {
+            "Medicare": 1.62, "Self Pay": 1.50, "Government": 1.30,
+            "Private": 1.28, "Medicaid": 1.25,
+        }[insurance]
+        death_p = INSURANCE_DEATH_RATE[insurance] / damping
+        # Emergency + old age push mortality up, consistent with the
+        # Qmimic2/Qmimic4 explanations.
+        if adm_type == "EMERGENCY":
+            death_p *= 1.35
+        if age > 70:
+            death_p *= 1.3
+        if gender == "M":
+            death_p *= 1.1
+        hospital_expire_flag = int(rng.random() < min(0.9, death_p))
+
+        # Hospital stay length; deaths and ICU-heavy stays run longer.
+        stay = float(np.clip(rng.lognormal(1.7, 0.7), 0.3, 80.0))
+        if hospital_expire_flag:
+            stay = float(np.clip(stay * rng.uniform(0.9, 1.8), 0.5, 90.0))
+        discharge_location = (
+            "DEAD/EXPIRED"
+            if hospital_expire_flag
+            else str(rng.choice(DISCHARGE_LOCATIONS[:3]))
+        )
+        # Asian patients skew toward shorter stays (Qmimic5 signal).
+        if ethnicity == "Asian":
+            stay = min(stay, float(rng.uniform(1.0, 17.0)))
+        if ethnicity == "Hispanic":
+            stay = max(stay, float(rng.uniform(3.0, 14.0)))
+
+        marital = str(rng.choice(MARITAL_STATUSES, p=[0.45, 0.3, 0.15, 0.1]))
+        diagnosis_text = str(rng.choice(
+            ["SEPSIS", "PNEUMONIA", "CHF", "GI BLEED", "TRAUMA", "CANCER"]
+        ))
+        admit_year = int(rng.integers(2100, 2190))
+        admittime = f"{admit_year:04d}-{int(rng.integers(1, 13)):02d}-10"
+
+        admission_rows.append(
+            (
+                hadm_id,
+                subject_id,
+                admittime,
+                adm_type,
+                adm_location,
+                discharge_location,
+                insurance,
+                marital,
+                diagnosis_text,
+                hospital_expire_flag,
+                round(stay, 2),
+            )
+        )
+        if hospital_expire_flag:
+            patient_dead[subject_id] = 1
+
+        admit_info_rows.append(
+            (subject_id, hadm_id, round(age, 1), language, religion, ethnicity)
+        )
+
+        # -- diagnoses: chapter mix tilted by outcome --------------------
+        n_diag = int(rng.integers(1, 5))
+        for seq in range(1, n_diag + 1):
+            if hospital_expire_flag:
+                weights = np.array(
+                    [CHAPTER_DEATH_RATE[c] for c in CHAPTERS]
+                )
+            else:
+                weights = np.array(
+                    [1.0 - CHAPTER_DEATH_RATE[c] for c in CHAPTERS]
+                )
+            weights = weights / weights.sum()
+            chapter = str(rng.choice(CHAPTERS, p=weights))
+            icd9 = f"{chapter}{int(rng.integers(10, 99))}.{int(rng.integers(0, 9))}"
+            diagnoses_rows.append((subject_id, hadm_id, seq, icd9, chapter))
+
+        # -- procedures ---------------------------------------------------
+        n_proc = int(rng.integers(0, 4))
+        if stay > 9 and rng.random() < 0.75:
+            # Long stays almost always get chapter-16 procedures
+            # ("Miscellaneous Diagnostic and Therapeutic Procedures"),
+            # the Qmimic3 top-1 signal.
+            procedure_rows.append(
+                (
+                    subject_id,
+                    hadm_id,
+                    1,
+                    f"16{int(rng.integers(10, 99))}.{int(rng.integers(0, 9))}",
+                    "16",
+                )
+            )
+            start_seq = 2
+        else:
+            start_seq = 1
+        for seq in range(start_seq, start_seq + n_proc):
+            chapter = str(rng.choice(CHAPTERS))
+            icd9 = f"{chapter}{int(rng.integers(10, 99))}.{int(rng.integers(0, 9))}"
+            procedure_rows.append((subject_id, hadm_id, seq, icd9, chapter))
+
+        # -- ICU stays -----------------------------------------------------
+        n_icu = 1 if rng.random() < 0.85 else 2
+        for _ in range(n_icu):
+            # ICU length correlates strongly with hospital stay.
+            los = float(
+                np.clip(stay * rng.uniform(0.1, 0.5) + rng.normal(0, 0.6),
+                        0.1, 60.0)
+            )
+            dbsource = "carevue" if rng.random() < 0.55 else "metavision"
+            icustay_rows.append(
+                (
+                    subject_id,
+                    hadm_id,
+                    icustay_id,
+                    dbsource,
+                    str(rng.choice(CAREUNITS)),
+                    round(los, 3),
+                    _los_group(los),
+                )
+            )
+            icustay_id += 1
+
+    # Patient-level expire flag aggregates admission outcomes.
+    patient_rows = [
+        (
+            sid,
+            gender,
+            dob,
+            ("2190-01-01" if patient_dead[sid] else None),
+            patient_dead[sid],
+        )
+        for (sid, gender, dob, _dod, _flag) in patient_rows
+    ]
+
+    db.create_table(
+        _schema(
+            "patients",
+            {
+                "subject_id": ColumnType.INT,
+                "gender": ColumnType.TEXT,
+                "dob": ColumnType.TEXT,
+                "dod": ColumnType.TEXT,
+                "expire_flag": ColumnType.INT,
+            },
+            ("subject_id",),
+        ),
+        patient_rows,
+    )
+    db.create_table(
+        _schema(
+            "admissions",
+            {
+                "hadm_id": ColumnType.INT,
+                "subject_id": ColumnType.INT,
+                "admittime": ColumnType.TEXT,
+                "admission_type": ColumnType.TEXT,
+                "admission_location": ColumnType.TEXT,
+                "discharge_location": ColumnType.TEXT,
+                "insurance": ColumnType.TEXT,
+                "marital_status": ColumnType.TEXT,
+                "diagnosis": ColumnType.TEXT,
+                "hospital_expire_flag": ColumnType.INT,
+                "hospital_stay_length": ColumnType.FLOAT,
+            },
+            ("hadm_id",),
+        ),
+        admission_rows,
+    )
+    db.create_table(
+        _schema(
+            "patients_admit_info",
+            {
+                "subject_id": ColumnType.INT,
+                "hadm_id": ColumnType.INT,
+                "age": ColumnType.FLOAT,
+                "language": ColumnType.TEXT,
+                "religion": ColumnType.TEXT,
+                "ethnicity": ColumnType.TEXT,
+            },
+            ("subject_id", "hadm_id"),
+        ),
+        admit_info_rows,
+    )
+    db.create_table(
+        _schema(
+            "diagnoses",
+            {
+                "subject_id": ColumnType.INT,
+                "hadm_id": ColumnType.INT,
+                "seq_num": ColumnType.INT,
+                "icd9_code": ColumnType.TEXT,
+                "chapter": ColumnType.TEXT,
+            },
+            ("subject_id", "hadm_id", "seq_num"),
+        ),
+        diagnoses_rows,
+    )
+    db.create_table(
+        _schema(
+            "procedures",
+            {
+                "subject_id": ColumnType.INT,
+                "hadm_id": ColumnType.INT,
+                "seq_num": ColumnType.INT,
+                "icd9_code": ColumnType.TEXT,
+                "chapter": ColumnType.TEXT,
+            },
+            ("subject_id", "hadm_id", "seq_num"),
+        ),
+        procedure_rows,
+    )
+    db.create_table(
+        _schema(
+            "icustays",
+            {
+                "subject_id": ColumnType.INT,
+                "hadm_id": ColumnType.INT,
+                "icustay_id": ColumnType.INT,
+                "dbsource": ColumnType.TEXT,
+                "first_careunit": ColumnType.TEXT,
+                "los": ColumnType.FLOAT,
+                "los_group": ColumnType.TEXT,
+            },
+            ("subject_id", "hadm_id", "icustay_id"),
+        ),
+        icustay_rows,
+    )
+
+    _add_mimic_foreign_keys(db)
+    return db
+
+
+def _add_mimic_foreign_keys(db: Database) -> None:
+    db.add_foreign_key("admissions", ("subject_id",), "patients", ("subject_id",))
+    db.add_foreign_key(
+        "patients_admit_info", ("subject_id",), "patients", ("subject_id",)
+    )
+    db.add_foreign_key(
+        "patients_admit_info", ("hadm_id",), "admissions", ("hadm_id",)
+    )
+    db.add_foreign_key("diagnoses", ("subject_id",), "patients", ("subject_id",))
+    db.add_foreign_key("diagnoses", ("hadm_id",), "admissions", ("hadm_id",))
+    db.add_foreign_key("procedures", ("subject_id",), "patients", ("subject_id",))
+    db.add_foreign_key("procedures", ("hadm_id",), "admissions", ("hadm_id",))
+    db.add_foreign_key("icustays", ("subject_id",), "patients", ("subject_id",))
+    db.add_foreign_key("icustays", ("hadm_id",), "admissions", ("hadm_id",))
+
+
+def mimic_schema_graph(db: Database) -> SchemaGraph:
+    """The MIMIC schema graph (FK edges, Figure 6)."""
+    return SchemaGraph.from_database(db)
+
+
+def load_mimic(
+    scale: float = 1.0, seed: int = 23
+) -> tuple[Database, SchemaGraph]:
+    """Generate the MIMIC database and its schema graph."""
+    db = generate_mimic(scale=scale, seed=seed)
+    return db, mimic_schema_graph(db)

@@ -1,0 +1,758 @@
+"""Synthetic NBA database with the paper's Figure 5 schema.
+
+The paper scraped the real NBA stats site; that dataset is not
+redistributable, so this generator produces a seeded synthetic database
+with the same schema graph *and the statistical signals the paper's case
+study depends on* (DESIGN.md §2):
+
+- GSW's per-season win counts follow the paper's Figure 14d curve
+  (26, 36, 23, 47, 51, 67, 73, 67, 58, 57 for 2009-10 .. 2018-19);
+- Stephen Curry's scoring jumps in 2015-16; Draymond Green's scoring
+  follows Figure 14a (2.9 → 14.0 → 10.2 ...); LeBron James's average
+  points follow Figure 14c and his team changes CLE→MIA→CLE→LAL;
+  Jimmy Butler ramps per Figure 14e;
+- GSW's team assists follow Figure 14b (22.4 → 30.4);
+- salaries grow league-wide over seasons with the player-level changes
+  the explanations mention (Green's 2016-17 raise, Butler's rookie-scale
+  jump after 2013-14);
+- Green + Thompson share heavy lineup minutes from 2014-15 on (the
+  "pair of players" explanation Ω2 of Figure 2c);
+- Jarrett Jack plays for GSW only in 2012-13 (explanation Expl8).
+
+``scale`` multiplies the number of games per season (and with it every
+per-game table), preserving relative table sizes like the paper's scaled
+datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.schema import TableSchema
+from ..db.types import ColumnType
+from ..core.schema_graph import SchemaGraph
+
+SEASONS = [
+    "2009-10", "2010-11", "2011-12", "2012-13", "2013-14",
+    "2014-15", "2015-16", "2016-17", "2017-18", "2018-19",
+]
+
+TEAMS = ["GSW", "CLE", "MIA", "CHI", "LAL", "BOS", "SAS", "HOU"]
+
+# Target wins out of 82 for GSW per season (paper Figure 14d).
+GSW_WINS = {
+    "2009-10": 26, "2010-11": 36, "2011-12": 23, "2012-13": 47,
+    "2013-14": 51, "2014-15": 67, "2015-16": 73, "2016-17": 67,
+    "2017-18": 58, "2018-19": 57,
+}
+
+# GSW average assists per season (paper Figure 14b).
+GSW_ASSISTS = {
+    "2009-10": 22.4, "2010-11": 22.5, "2011-12": 22.3, "2012-13": 22.5,
+    "2013-14": 23.3, "2014-15": 27.4, "2015-16": 28.9, "2016-17": 30.4,
+    "2017-18": 29.3, "2018-19": 29.4,
+}
+
+
+@dataclass(frozen=True)
+class _PlayerSpec:
+    """A star player with per-season team and scoring curves."""
+
+    name: str
+    teams: dict[str, str]          # season -> team
+    points: dict[str, float]       # season -> average points
+    salary: dict[str, float]       # season -> salary
+
+
+def _star_players() -> list[_PlayerSpec]:
+    """The named players the paper's explanations reference."""
+
+    def spread(team_spans: list[tuple[str, str, str]]) -> dict[str, str]:
+        assignment = {}
+        for team, first, last in team_spans:
+            picking = False
+            for season in SEASONS:
+                if season == first:
+                    picking = True
+                if picking:
+                    assignment[season] = team
+                if season == last:
+                    picking = False
+        return assignment
+
+    curry_points = {
+        "2009-10": 17.5, "2010-11": 18.6, "2011-12": 14.7, "2012-13": 22.9,
+        "2013-14": 24.0, "2014-15": 23.8, "2015-16": 30.1, "2016-17": 25.3,
+        "2017-18": 26.4, "2018-19": 27.3,
+    }
+    green_points = {
+        "2012-13": 2.9, "2013-14": 6.2, "2014-15": 11.7, "2015-16": 14.0,
+        "2016-17": 10.2, "2017-18": 11.0, "2018-19": 7.4,
+    }
+    lebron_points = {
+        "2009-10": 29.7, "2010-11": 26.7, "2011-12": 27.2, "2012-13": 26.8,
+        "2013-14": 27.1, "2014-15": 25.3, "2015-16": 25.3, "2016-17": 26.4,
+        "2017-18": 27.5, "2018-19": 27.4,
+    }
+    butler_points = {
+        "2011-12": 2.6, "2012-13": 8.6, "2013-14": 13.1, "2014-15": 20.0,
+        "2015-16": 20.9, "2016-17": 23.9, "2017-18": 22.2, "2018-19": 18.7,
+    }
+
+    def growing_salary(
+        base: float, growth: float, first: str, jumps: dict[str, float]
+    ) -> dict[str, float]:
+        salary = {}
+        level = base
+        started = False
+        for season in SEASONS:
+            if season == first:
+                started = True
+            if not started:
+                continue
+            if season in jumps:
+                level = jumps[season]
+            salary[season] = level
+            level *= growth
+        return salary
+
+    return [
+        _PlayerSpec(
+            name="Stephen Curry",
+            teams=spread([("GSW", "2009-10", "2018-19")]),
+            points=curry_points,
+            salary=growing_salary(
+                2_700_000, 1.12, "2009-10", {"2017-18": 34_700_000}
+            ),
+        ),
+        _PlayerSpec(
+            name="Klay Thompson",
+            teams=spread([("GSW", "2011-12", "2018-19")]),
+            points={
+                s: p for s, p in zip(
+                    SEASONS[2:],
+                    [12.5, 16.6, 18.4, 21.7, 22.1, 22.3, 20.0, 21.5],
+                )
+            },
+            salary=growing_salary(2_200_000, 1.25, "2011-12", {}),
+        ),
+        _PlayerSpec(
+            name="Draymond Green",
+            teams=spread([("GSW", "2012-13", "2018-19")]),
+            points=green_points,
+            # The 2016-17 raise that explanation Qnba1 keys on:
+            # below 15 330 435 in 2015-16, above 14 260 870 afterwards.
+            salary=growing_salary(
+                850_000, 1.05, "2012-13", {"2016-17": 15_500_000}
+            ),
+        ),
+        _PlayerSpec(
+            name="Andre Iguodala",
+            teams=spread([("LAL", "2009-10", "2012-13"),
+                          ("GSW", "2013-14", "2018-19")]),
+            points={s: 9.0 for s in SEASONS},
+            salary=growing_salary(12_000_000, 1.02, "2009-10", {}),
+        ),
+        _PlayerSpec(
+            name="Harrison Barnes",
+            teams=spread([("GSW", "2012-13", "2015-16"),
+                          ("HOU", "2016-17", "2018-19")]),
+            points={s: 10.0 for s in SEASONS[3:]},
+            salary=growing_salary(2_900_000, 1.15, "2012-13", {}),
+        ),
+        _PlayerSpec(
+            name="Shaun Livingston",
+            teams=spread([("MIA", "2009-10", "2013-14"),
+                          ("GSW", "2014-15", "2018-19")]),
+            points={s: 5.5 for s in SEASONS},
+            salary=growing_salary(3_500_000, 1.05, "2009-10", {}),
+        ),
+        _PlayerSpec(
+            name="Marreese Speights",
+            teams=spread([("GSW", "2012-13", "2016-17"),
+                          ("LAL", "2017-18", "2018-19")]),
+            points={s: 7.0 for s in SEASONS[3:]},
+            salary=growing_salary(3_200_000, 1.04, "2012-13", {}),
+        ),
+        _PlayerSpec(
+            name="Jarrett Jack",
+            teams=spread([("BOS", "2009-10", "2011-12"),
+                          ("GSW", "2012-13", "2012-13"),
+                          ("CLE", "2013-14", "2018-19")]),
+            points={s: 9.5 for s in SEASONS},
+            salary=growing_salary(4_800_000, 1.03, "2009-10", {}),
+        ),
+        _PlayerSpec(
+            name="LeBron James",
+            teams=spread([("CLE", "2009-10", "2009-10"),
+                          ("MIA", "2010-11", "2013-14"),
+                          ("CLE", "2014-15", "2017-18"),
+                          ("LAL", "2018-19", "2018-19")]),
+            points=lebron_points,
+            salary=growing_salary(
+                14_800_000, 1.05, "2009-10", {"2016-17": 30_900_000}
+            ),
+        ),
+        _PlayerSpec(
+            name="Jimmy Butler",
+            teams=spread([("CHI", "2011-12", "2016-17"),
+                          ("BOS", "2017-18", "2018-19")]),
+            points=butler_points,
+            # Rookie-scale contract until 2013-14 (salary <= 1 112 880),
+            # then the big extension the Qnba5 explanation keys on.
+            salary={
+                "2011-12": 1_066_920, "2012-13": 1_112_880,
+                "2013-14": 1_112_880, "2014-15": 2_008_748,
+                "2015-16": 16_407_500, "2016-17": 17_552_209,
+                "2017-18": 18_700_000, "2018-19": 19_841_627,
+            },
+        ),
+        _PlayerSpec(
+            name="Pau Gasol",
+            teams=spread([("LAL", "2009-10", "2013-14"),
+                          ("CHI", "2014-15", "2015-16"),
+                          ("SAS", "2016-17", "2018-19")]),
+            points={s: 15.0 for s in SEASONS},
+            salary=growing_salary(17_800_000, 0.95, "2009-10", {}),
+        ),
+    ]
+
+
+def _schema(name: str, columns: dict, pk: tuple) -> TableSchema:
+    return TableSchema.build(name, columns, primary_key=pk)
+
+
+def generate_nba(scale: float = 1.0, seed: int = 11) -> Database:
+    """Generate the synthetic NBA database at the given scale factor.
+
+    ``scale`` multiplies games per season; 1.0 yields a full 82-game GSW
+    schedule per season (≈ 2 240 games, ≈ 27 000 player_game_stats rows).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    db = Database(f"nba_sf{scale:g}")
+
+    # -- season / team / player dimension tables ------------------------
+    db.create_table(
+        _schema(
+            "season",
+            {
+                "season_id": ColumnType.INT,
+                "season_name": ColumnType.TEXT,
+                "season_type": ColumnType.TEXT,
+            },
+            ("season_id",),
+        ),
+        [(i, name, "regular season") for i, name in enumerate(SEASONS)],
+    )
+    db.create_table(
+        _schema(
+            "team",
+            {"team_id": ColumnType.INT, "team": ColumnType.TEXT},
+            ("team_id",),
+        ),
+        [(i, t) for i, t in enumerate(TEAMS)],
+    )
+
+    stars = _star_players()
+    role_players_per_team = 7
+    players: list[tuple[int, str]] = []
+    for player_id, star in enumerate(stars):
+        players.append((player_id, star.name))
+    role_ids: dict[str, list[int]] = {}
+    next_id = len(stars)
+    for team in TEAMS:
+        ids = []
+        for j in range(role_players_per_team):
+            players.append((next_id, f"{team} Role{j + 1}"))
+            ids.append(next_id)
+            next_id += 1
+        role_ids[team] = ids
+    db.create_table(
+        _schema(
+            "player",
+            {"player_id": ColumnType.INT, "player_name": ColumnType.TEXT},
+            ("player_id",),
+        ),
+        players,
+    )
+
+    team_index = {t: i for i, t in enumerate(TEAMS)}
+    season_index = {s: i for i, s in enumerate(SEASONS)}
+
+    # -- rosters: star assignments plus per-team role players ----------
+    def roster(team: str, season: str) -> list[int]:
+        members = [
+            pid
+            for pid, star in enumerate(stars)
+            if star.teams.get(season) == team
+        ]
+        members.extend(role_ids[team])
+        return members
+
+    # -- team strengths drive win probabilities ------------------------
+    strengths: dict[tuple[str, str], float] = {}
+    for season in SEASONS:
+        gsw_target = GSW_WINS[season] / 82.0
+        for team in TEAMS:
+            if team == "GSW":
+                strengths[(team, season)] = gsw_target
+            else:
+                strengths[(team, season)] = float(
+                    np.clip(rng.normal(0.5, 0.08), 0.25, 0.75)
+                )
+
+    # -- games ----------------------------------------------------------
+    # A full 82-game schedule for 8 teams is 328 games per season; the
+    # scale factor sets the per-season target and the round-robin loop is
+    # truncated once it is reached (fine-grained scaling).
+    full_season_games = 82 * len(TEAMS) // 2
+    target_games = max(len(TEAMS) * 2, int(round(scale * full_season_games)))
+    games_per_round = len(TEAMS) * (len(TEAMS) - 1)
+    rounds = -(-target_games // games_per_round)  # ceil
+    game_rows: list[tuple] = []
+    tgs_rows: list[tuple] = []
+    pgs_rows: list[tuple] = []
+    lineup_rows: list[tuple] = []
+    lineup_player_rows: list[tuple] = []
+    lgs_rows: list[tuple] = []
+
+    lineup_id_counter = 0
+    lineups: dict[tuple[str, str], list[tuple[int, list[int]]]] = {}
+
+    def lineups_for(team: str, season: str) -> list[tuple[int, list[int]]]:
+        nonlocal lineup_id_counter
+        key = (team, season)
+        if key not in lineups:
+            members = roster(team, season)
+            built = []
+            for _ in range(3):
+                squad = list(
+                    rng.choice(members, size=min(5, len(members)), replace=False)
+                )
+                built.append((lineup_id_counter, [int(p) for p in squad]))
+                lineup_id_counter += 1
+            # GSW from 2014-15 on: a dedicated Green+Thompson lineup that
+            # plays heavy minutes (the paper's Ω2 pair-of-players signal).
+            if team == "GSW" and season_index[season] >= 5:
+                green = next(
+                    i for i, s in enumerate(stars)
+                    if s.name == "Draymond Green"
+                )
+                klay = next(
+                    i for i, s in enumerate(stars)
+                    if s.name == "Klay Thompson"
+                )
+                others = [
+                    p for p in members if p not in (green, klay)
+                ][:3]
+                built.append(
+                    (lineup_id_counter, [green, klay] + [int(p) for p in others])
+                )
+                lineup_id_counter += 1
+            lineups[key] = built
+        return lineups[key]
+
+    for season in SEASONS:
+        start_year = 2009 + season_index[season]
+        day_counter = 0
+        season_games = 0
+        for round_no in range(rounds):
+            for hi, home in enumerate(TEAMS):
+                for away in TEAMS:
+                    if home == away:
+                        continue
+                    if season_games >= target_games:
+                        continue
+                    season_games += 1
+                    day_counter += 1
+                    month = 10 + (day_counter // 28) % 9
+                    year = start_year if month >= 10 else start_year + 1
+                    if month > 12:
+                        month -= 12
+                    day = 1 + day_counter % 28
+                    game_date = f"{year:04d}-{month:02d}-{day:02d}"
+
+                    sh = strengths[(home, season)]
+                    sa = strengths[(away, season)]
+                    p_home = np.clip(0.5 + (sh - sa) + 0.06, 0.05, 0.95)
+                    home_wins = rng.random() < p_home
+                    winner = home if home_wins else away
+
+                    base_pts = {
+                        "GSW": 104 + 2.2 * season_index[season],
+                    }.get(home, 100.0)
+                    home_pts = int(rng.normal(base_pts + (4 if home_wins else -2), 7))
+                    away_base = 104 + 2.2 * season_index[season] if away == "GSW" else 100
+                    away_pts = int(
+                        rng.normal(away_base + (4 if not home_wins else -2), 7)
+                    )
+                    if home_wins and home_pts <= away_pts:
+                        home_pts = away_pts + int(rng.integers(1, 9))
+                    if not home_wins and away_pts <= home_pts:
+                        away_pts = home_pts + int(rng.integers(1, 9))
+                    home_poss = int(rng.normal(99, 4))
+                    away_poss = int(rng.normal(99, 4))
+                    game_rows.append(
+                        (
+                            game_date,
+                            team_index[home],
+                            team_index[away],
+                            home_pts,
+                            away_pts,
+                            home_poss,
+                            away_poss,
+                            team_index[winner],
+                            season_index[season],
+                        )
+                    )
+
+                    for team, pts, poss in (
+                        (home, home_pts, home_poss),
+                        (away, away_pts, away_poss),
+                    ):
+                        assists = rng.normal(
+                            GSW_ASSISTS[season] if team == "GSW" else 21.5, 2.2
+                        )
+                        assists = max(10, int(assists))
+                        assistpoints = int(assists * rng.normal(2.35, 0.1))
+                        fg3m = max(2, int(rng.normal(
+                            8 + (4 if team == "GSW" and
+                                 season_index[season] >= 5 else 0), 2.5)))
+                        fg3pct = float(np.clip(rng.normal(
+                            0.36 + (0.035 if team == "GSW" and
+                                    season_index[season] >= 5 else 0.0),
+                            0.05), 0.15, 0.62))
+                        fg2m = max(10, int(rng.normal(28, 4)))
+                        rebounds = max(20, int(rng.normal(43, 4)))
+                        offreb = max(2, int(rebounds * rng.uniform(0.18, 0.3)))
+                        tgs_rows.append(
+                            (
+                                team_index[team],
+                                game_date,
+                                team_index[home],
+                                pts,
+                                poss,
+                                fg2m,
+                                float(np.clip(rng.normal(0.48, 0.04), 0.3, 0.65)),
+                                fg3m,
+                                fg3pct,
+                                assists,
+                                rebounds,
+                                rebounds - offreb,
+                                offreb,
+                                assistpoints,
+                                float(np.clip(rng.normal(0.52, 0.04), 0.35, 0.68)),
+                                float(np.clip(rng.normal(0.55, 0.04), 0.38, 0.7)),
+                                float(np.clip(
+                                    rng.normal(0.55, 0.08), 0.25, 0.85)),
+                            )
+                        )
+
+                    # player_game_stats for both rosters
+                    for team in (home, away):
+                        for pid in roster(team, season):
+                            if pid < len(stars):
+                                star = stars[pid]
+                                mean_pts = star.points.get(season, 8.0)
+                                minutes = float(
+                                    np.clip(rng.normal(
+                                        34 if mean_pts >= 18 else
+                                        (30 if mean_pts >= 10 else 18),
+                                        4), 4, 48)
+                                )
+                            else:
+                                mean_pts = 6.5
+                                minutes = float(np.clip(rng.normal(16, 5), 2, 40))
+                            pts = max(0, int(rng.normal(mean_pts, 4.5)))
+                            usage = float(np.clip(
+                                rng.normal(12 + mean_pts * 0.6, 2.5), 4, 42))
+                            tspct = float(np.clip(
+                                rng.normal(0.5 + mean_pts * 0.003, 0.07),
+                                0.2, 0.85))
+                            efgpct = float(np.clip(
+                                rng.normal(0.48 + mean_pts * 0.002, 0.07),
+                                0.2, 0.8))
+                            assists_p = max(0, int(rng.normal(
+                                3 + (3 if mean_pts > 20 else 0), 2)))
+                            rebounds_p = max(0, int(rng.normal(
+                                5 if pid < len(stars) and
+                                stars[pid].name == "Draymond Green" else 3.5,
+                                2)))
+                            pgs_rows.append(
+                                (
+                                    pid,
+                                    game_date,
+                                    team_index[home],
+                                    pts,
+                                    minutes,
+                                    usage,
+                                    tspct,
+                                    efgpct,
+                                    assists_p,
+                                    rebounds_p,
+                                )
+                            )
+
+                    # lineup_game_stats for both teams' lineups
+                    for team in (home, away):
+                        for lid, squad in lineups_for(team, season):
+                            is_pair_lineup = (
+                                team == "GSW"
+                                and season_index[season] >= 5
+                                and squad[:2]
+                                and pid_names(stars, squad[:2])
+                                == ["Draymond Green", "Klay Thompson"]
+                            )
+                            mp = float(np.clip(
+                                rng.normal(21 if is_pair_lineup else 11, 4),
+                                1, 38))
+                            lgs_rows.append(
+                                (
+                                    lid,
+                                    game_date,
+                                    team_index[home],
+                                    mp,
+                                    int(rng.normal(45, 8)),
+                                    int(rng.normal(45, 8)),
+                                )
+                            )
+
+    for (team, season), built in lineups.items():
+        for lid, squad in built:
+            lineup_rows.append((lid, team_index[team]))
+            for pid in squad:
+                lineup_player_rows.append((lid, pid))
+
+    db.create_table(
+        _schema(
+            "game",
+            {
+                "game_date": ColumnType.TEXT,
+                "home_id": ColumnType.INT,
+                "away_id": ColumnType.INT,
+                "home_points": ColumnType.INT,
+                "away_points": ColumnType.INT,
+                "home_possessions": ColumnType.INT,
+                "away_possessions": ColumnType.INT,
+                "winner_id": ColumnType.INT,
+                "season_id": ColumnType.INT,
+            },
+            ("game_date", "home_id"),
+        ),
+        game_rows,
+    )
+    db.create_table(
+        _schema(
+            "team_game_stats",
+            {
+                "team_id": ColumnType.INT,
+                "game_date": ColumnType.TEXT,
+                "home_id": ColumnType.INT,
+                "points": ColumnType.INT,
+                "offposs": ColumnType.INT,
+                "fg_two_m": ColumnType.INT,
+                "fg_two_pct": ColumnType.FLOAT,
+                "fg_three_m": ColumnType.INT,
+                "fg_three_pct": ColumnType.FLOAT,
+                "assists": ColumnType.INT,
+                "rebounds": ColumnType.INT,
+                "defrebounds": ColumnType.INT,
+                "offrebounds": ColumnType.INT,
+                "assistpoints": ColumnType.INT,
+                "efgpct": ColumnType.FLOAT,
+                "tspct": ColumnType.FLOAT,
+                "assisted_two_spct": ColumnType.FLOAT,
+            },
+            ("team_id", "game_date", "home_id"),
+        ),
+        tgs_rows,
+    )
+    db.create_table(
+        _schema(
+            "player_game_stats",
+            {
+                "player_id": ColumnType.INT,
+                "game_date": ColumnType.TEXT,
+                "home_id": ColumnType.INT,
+                "points": ColumnType.INT,
+                "minutes": ColumnType.FLOAT,
+                "usage": ColumnType.FLOAT,
+                "tspct": ColumnType.FLOAT,
+                "efgpct": ColumnType.FLOAT,
+                "assists": ColumnType.INT,
+                "rebounds": ColumnType.INT,
+            },
+            ("player_id", "game_date", "home_id"),
+        ),
+        pgs_rows,
+    )
+
+    # -- salaries & tenures ----------------------------------------------
+    salary_rows = []
+    for pid, star in enumerate(stars):
+        for season, amount in star.salary.items():
+            salary_rows.append((pid, season_index[season], float(amount)))
+    for team in TEAMS:
+        for pid in role_ids[team]:
+            for season in SEASONS:
+                amount = float(
+                    rng.uniform(900_000, 3_000_000)
+                    * (1.04 ** season_index[season])
+                )
+                salary_rows.append((pid, season_index[season], amount))
+    db.create_table(
+        _schema(
+            "player_salary",
+            {
+                "player_id": ColumnType.INT,
+                "season_id": ColumnType.INT,
+                "salary": ColumnType.FLOAT,
+            },
+            ("player_id", "season_id"),
+        ),
+        salary_rows,
+    )
+
+    play_for_rows = []
+    for pid, star in enumerate(stars):
+        spans: list[tuple[str, str, str]] = []
+        for season in SEASONS:
+            team = star.teams.get(season)
+            if team is None:
+                continue
+            if spans and spans[-1][0] == team:
+                spans[-1] = (team, spans[-1][1], season)
+            else:
+                spans.append((team, season, season))
+        for team, first, last in spans:
+            start = f"{2009 + season_index[first]}-10-01"
+            end = f"{2010 + season_index[last]}-04-12"
+            play_for_rows.append((pid, team_index[team], start, end))
+    for team in TEAMS:
+        for pid in role_ids[team]:
+            play_for_rows.append(
+                (pid, team_index[team], "2009-10-01", "2019-04-09")
+            )
+    db.create_table(
+        _schema(
+            "play_for",
+            {
+                "player_id": ColumnType.INT,
+                "team_id": ColumnType.INT,
+                "date_start": ColumnType.TEXT,
+                "date_end": ColumnType.TEXT,
+            },
+            ("player_id", "team_id", "date_start"),
+        ),
+        play_for_rows,
+    )
+
+    db.create_table(
+        _schema(
+            "lineup",
+            {"lineup_id": ColumnType.INT, "team_id": ColumnType.INT},
+            ("lineup_id",),
+        ),
+        lineup_rows,
+    )
+    db.create_table(
+        _schema(
+            "lineup_player",
+            {"lineup_id": ColumnType.INT, "player_id": ColumnType.INT},
+            ("lineup_id", "player_id"),
+        ),
+        sorted(set(lineup_player_rows)),
+    )
+    db.create_table(
+        _schema(
+            "lineup_game_stats",
+            {
+                "lineup_id": ColumnType.INT,
+                "game_date": ColumnType.TEXT,
+                "home_id": ColumnType.INT,
+                "mp": ColumnType.FLOAT,
+                "tmposs": ColumnType.INT,
+                "oppo_tmposs": ColumnType.INT,
+            },
+            ("lineup_id", "game_date", "home_id"),
+        ),
+        lgs_rows,
+    )
+
+    _add_nba_foreign_keys(db)
+    return db
+
+
+def pid_names(stars: list[_PlayerSpec], pids: list[int]) -> list[str]:
+    """Names of star player ids (role players have ids >= len(stars))."""
+    names = []
+    for pid in pids:
+        if pid < len(stars):
+            names.append(stars[pid].name)
+        else:
+            names.append(f"role{pid}")
+    return sorted(names)
+
+
+def _add_nba_foreign_keys(db: Database) -> None:
+    db.add_foreign_key("game", ("home_id",), "team", ("team_id",))
+    db.add_foreign_key("game", ("away_id",), "team", ("team_id",))
+    db.add_foreign_key("game", ("winner_id",), "team", ("team_id",))
+    db.add_foreign_key("game", ("season_id",), "season", ("season_id",))
+    db.add_foreign_key(
+        "team_game_stats", ("game_date", "home_id"), "game",
+        ("game_date", "home_id"),
+    )
+    db.add_foreign_key("team_game_stats", ("team_id",), "team", ("team_id",))
+    db.add_foreign_key(
+        "player_game_stats", ("game_date", "home_id"), "game",
+        ("game_date", "home_id"),
+    )
+    db.add_foreign_key(
+        "player_game_stats", ("player_id",), "player", ("player_id",)
+    )
+    db.add_foreign_key(
+        "player_salary", ("player_id",), "player", ("player_id",)
+    )
+    db.add_foreign_key(
+        "player_salary", ("season_id",), "season", ("season_id",)
+    )
+    db.add_foreign_key("play_for", ("player_id",), "player", ("player_id",))
+    db.add_foreign_key("play_for", ("team_id",), "team", ("team_id",))
+    db.add_foreign_key("lineup", ("team_id",), "team", ("team_id",))
+    db.add_foreign_key("lineup_player", ("lineup_id",), "lineup", ("lineup_id",))
+    db.add_foreign_key(
+        "lineup_player", ("player_id",), "player", ("player_id",)
+    )
+    db.add_foreign_key(
+        "lineup_game_stats", ("lineup_id",), "lineup", ("lineup_id",)
+    )
+    db.add_foreign_key(
+        "lineup_game_stats", ("game_date", "home_id"), "game",
+        ("game_date", "home_id"),
+    )
+
+
+def nba_schema_graph(db: Database) -> SchemaGraph:
+    """The NBA schema graph: FK edges plus the lineup_player self-edge.
+
+    The self-edge realizes the paper's Figure 3 trick of joining
+    ``lineup_player`` with itself on ``lineup_id`` to relate players in
+    the same lineup.
+    """
+    graph = SchemaGraph.from_database(db)
+    graph.add_edge("lineup_player", "lineup_player", [[("lineup_id", "lineup_id")]])
+    return graph
+
+
+def load_nba(
+    scale: float = 1.0, seed: int = 11
+) -> tuple[Database, SchemaGraph]:
+    """Generate the NBA database and its schema graph."""
+    db = generate_nba(scale=scale, seed=seed)
+    return db, nba_schema_graph(db)

@@ -1,0 +1,198 @@
+"""Database scaling utilities (paper §5, "Datasets").
+
+The paper scales datasets down by random sampling and up by duplicating
+rows "appending identifiers to primary key columns and other selected
+columns to ensure that the constraints of the schema are not violated and
+the join result sizes are scaled too".
+
+:func:`scale_up_database` implements exactly that duplication scheme
+generically: key *domains* (a primary-key column plus every foreign-key
+column referencing it, transitively) are remapped consistently per copy —
+integer domains by offsetting, text domains by suffixing — so all PK
+constraints keep holding and every join fans out by the same factor.
+
+:func:`scale_down_database` samples a fraction of each table's rows while
+preserving referential integrity: root tables are sampled first and
+children keep only rows whose FK targets survived.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..db.database import Database
+from ..db.relation import Relation
+
+
+def _key_domains(db: Database) -> dict[tuple[str, str], int]:
+    """Union-find over (table, column): PK cols share a domain with every
+    FK col referencing them."""
+    nodes: list[tuple[str, str]] = []
+    index: dict[tuple[str, str], int] = {}
+
+    def node_id(table: str, column: str) -> int:
+        key = (table, column)
+        if key not in index:
+            index[key] = len(nodes)
+            nodes.append(key)
+        return index[key]
+
+    parent: list[int] = []
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for table in db.table_names:
+        for col in db.table(table).schema.primary_key:
+            node_id(table, col)
+    for fk in db.foreign_keys:
+        for col, ref_col in zip(fk.columns, fk.ref_columns):
+            node_id(fk.table, col)
+            node_id(fk.ref_table, ref_col)
+    parent = list(range(len(nodes)))
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for fk in db.foreign_keys:
+        for col, ref_col in zip(fk.columns, fk.ref_columns):
+            union(index[(fk.table, col)], index[(fk.ref_table, ref_col)])
+    return {key: find(index[key]) for key in index}
+
+
+def scale_up_database(db: Database, factor: int) -> Database:
+    """Duplicate every table ``factor`` times with consistent key remapping.
+
+    Per-copy remapping: integer key-domain columns are offset by
+    ``copy * (domain_max + 1)``; text key-domain columns get a ``#copy``
+    suffix.  Non-key columns are copied verbatim, so value distributions
+    (and therefore pattern mining results) are preserved while join
+    result sizes scale linearly.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return db
+
+    domains = _key_domains(db)
+    domain_max: dict[int, int] = {}
+    for (table, column), domain in domains.items():
+        arr = db.table(table).column(column)
+        if arr.dtype != object and len(arr):
+            current = int(np.nanmax(arr.astype(np.float64)))
+            domain_max[domain] = max(domain_max.get(domain, 0), current)
+
+    scaled = Database(name=f"{db.name}_x{factor}")
+    for table in db.table_names:
+        relation = db.table(table)
+        key_cols = {
+            col: domains[(table, col)]
+            for col in relation.column_names
+            if (table, col) in domains
+        }
+        rows: list[tuple[Any, ...]] = []
+        names = relation.column_names
+        base_rows = list(relation.iter_rows())
+        for copy in range(factor):
+            if copy == 0:
+                rows.extend(base_rows)
+                continue
+            for row in base_rows:
+                new_row = list(row)
+                for pos, name in enumerate(names):
+                    if name not in key_cols:
+                        continue
+                    value = new_row[pos]
+                    if value is None:
+                        continue
+                    if isinstance(value, str):
+                        new_row[pos] = f"{value}#{copy}"
+                    else:
+                        offset = copy * (domain_max.get(key_cols[name], 0) + 1)
+                        new_row[pos] = int(value) + offset
+                rows.append(tuple(new_row))
+        scaled.create_table(relation.schema, rows)
+    for fk in db.foreign_keys:
+        scaled.add_foreign_key(fk.table, fk.columns, fk.ref_table, fk.ref_columns)
+    return scaled
+
+
+def scale_down_database(
+    db: Database, fraction: float, seed: int = 0
+) -> Database:
+    """Sample each table down to ``fraction`` preserving FK integrity.
+
+    Tables are processed parents-first; each child keeps only rows whose
+    FK targets survived in every referenced table, then is further
+    sampled toward the target fraction if it is still too large.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return db
+    rng = np.random.default_rng(seed)
+
+    # Topological order: referenced tables before referencing tables.
+    order: list[str] = []
+    pending = set(db.table_names)
+    while pending:
+        progressed = False
+        for table in sorted(pending):
+            parents = {
+                fk.ref_table
+                for fk in db.foreign_keys_of(table)
+                if fk.ref_table != table
+            }
+            if parents <= set(order):
+                order.append(table)
+                pending.discard(table)
+                progressed = True
+        if not progressed:  # FK cycle: break arbitrarily
+            table = sorted(pending)[0]
+            order.append(table)
+            pending.discard(table)
+
+    scaled = Database(name=f"{db.name}_f{fraction:g}")
+    surviving_keys: dict[str, set[tuple[Any, ...]]] = {}
+    for table in order:
+        relation = db.table(table)
+        keep = np.ones(relation.num_rows, dtype=bool)
+        for fk in db.foreign_keys_of(table):
+            if fk.ref_table == table:
+                continue
+            allowed = surviving_keys.get(fk.ref_table)
+            if allowed is None:
+                continue
+            ref_schema = scaled.table(fk.ref_table).schema
+            if tuple(fk.ref_columns) != ref_schema.primary_key:
+                continue
+            arrays = [relation.column(c) for c in fk.columns]
+            for i in range(relation.num_rows):
+                if not keep[i]:
+                    continue
+                key = tuple(arr[i] for arr in arrays)
+                if key not in allowed:
+                    keep[i] = False
+        filtered = relation.filter_mask(keep)
+        target = max(1, int(round(relation.num_rows * fraction)))
+        if filtered.num_rows > target:
+            indices = rng.choice(filtered.num_rows, size=target, replace=False)
+            filtered = filtered.take(np.sort(indices))
+        scaled.add_relation(filtered)
+        pk = relation.schema.primary_key
+        if pk:
+            arrays = [filtered.column(c) for c in pk]
+            surviving_keys[table] = {
+                tuple(arr[i] for arr in arrays)
+                for i in range(filtered.num_rows)
+            }
+    for fk in db.foreign_keys:
+        scaled.add_foreign_key(fk.table, fk.columns, fk.ref_table, fk.ref_columns)
+    return scaled

@@ -1,0 +1,222 @@
+"""The paper's query workload (Tables 2/3/5) and user questions (Tables 4/6).
+
+Five NBA queries and five MIMIC queries, each with the comparison question
+the case studies ask.  SQL is written against the schemas of
+:mod:`repro.datasets.nba` / :mod:`repro.datasets.mimic`, which mirror the
+paper's Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.question import ComparisonQuestion
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One benchmark query with its user question."""
+
+    name: str
+    dataset: str
+    description: str
+    sql: str
+    question: ComparisonQuestion
+
+
+def nba_queries() -> list[WorkloadQuery]:
+    """Qnba1..Qnba5 with the Table 4 user questions."""
+    return [
+        WorkloadQuery(
+            name="Qnba1",
+            dataset="nba",
+            description="Average points per season for Draymond Green",
+            sql="""
+                SELECT AVG(points) AS avg_pts, s.season_name
+                FROM player p, player_game_stats pgs, game g, season s
+                WHERE p.player_id = pgs.player_id
+                  AND g.game_date = pgs.game_date
+                  AND g.home_id = pgs.home_id
+                  AND s.season_id = g.season_id
+                  AND p.player_name = 'Draymond Green'
+                GROUP BY s.season_name
+            """,
+            question=ComparisonQuestion(
+                {"season_name": "2015-16"}, {"season_name": "2016-17"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qnba2",
+            dataset="nba",
+            description="GSW average assists per season",
+            sql="""
+                SELECT AVG(tgs.assists) AS avg_ast, s.season_name
+                FROM team_game_stats tgs, game g, team t, season s
+                WHERE s.season_id = g.season_id
+                  AND tgs.game_date = g.game_date
+                  AND tgs.home_id = g.home_id
+                  AND tgs.team_id = t.team_id
+                  AND t.team = 'GSW'
+                GROUP BY s.season_name
+            """,
+            question=ComparisonQuestion(
+                {"season_name": "2013-14"}, {"season_name": "2014-15"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qnba3",
+            dataset="nba",
+            description="Average points per season for LeBron James",
+            sql="""
+                SELECT AVG(points) AS avg_pts, s.season_name
+                FROM player p, player_game_stats pgs, game g, season s
+                WHERE p.player_id = pgs.player_id
+                  AND g.game_date = pgs.game_date
+                  AND g.home_id = pgs.home_id
+                  AND s.season_id = g.season_id
+                  AND p.player_name = 'LeBron James'
+                GROUP BY s.season_name
+            """,
+            question=ComparisonQuestion(
+                {"season_name": "2009-10"}, {"season_name": "2010-11"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qnba4",
+            dataset="nba",
+            description="GSW wins per season",
+            sql="""
+                SELECT COUNT(*) AS win, s.season_name
+                FROM team t, game g, season s
+                WHERE t.team_id = g.winner_id
+                  AND g.season_id = s.season_id
+                  AND t.team = 'GSW'
+                GROUP BY s.season_name
+            """,
+            question=ComparisonQuestion(
+                {"season_name": "2012-13"}, {"season_name": "2016-17"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qnba5",
+            dataset="nba",
+            description="Average points per season for Jimmy Butler",
+            sql="""
+                SELECT AVG(points) AS avg_pts, s.season_name
+                FROM player p, player_game_stats pgs, game g, season s
+                WHERE p.player_id = pgs.player_id
+                  AND g.game_date = pgs.game_date
+                  AND g.home_id = pgs.home_id
+                  AND s.season_id = g.season_id
+                  AND p.player_name = 'Jimmy Butler'
+                GROUP BY s.season_name
+            """,
+            question=ComparisonQuestion(
+                {"season_name": "2013-14"}, {"season_name": "2014-15"}
+            ),
+        ),
+    ]
+
+
+def mimic_queries() -> list[WorkloadQuery]:
+    """Qmimic1..Qmimic5 with the Table 6 user questions."""
+    return [
+        WorkloadQuery(
+            name="Qmimic1",
+            dataset="mimic",
+            description="Death rate per diagnosis chapter",
+            sql="""
+                SELECT 1.0 * SUM(a.hospital_expire_flag) / COUNT(*)
+                       AS death_rate, d.chapter
+                FROM admissions a, diagnoses d
+                WHERE a.hadm_id = d.hadm_id
+                GROUP BY d.chapter
+            """,
+            question=ComparisonQuestion({"chapter": "2"}, {"chapter": "13"}),
+        ),
+        WorkloadQuery(
+            name="Qmimic2",
+            dataset="mimic",
+            description="Death rate per insurance type (Medicare vs Medicaid)",
+            sql="""
+                SELECT insurance,
+                       1.0 * SUM(hospital_expire_flag) / COUNT(*)
+                       AS death_rate
+                FROM admissions
+                GROUP BY insurance
+            """,
+            question=ComparisonQuestion(
+                {"insurance": "Medicare"}, {"insurance": "Medicaid"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qmimic3",
+            dataset="mimic",
+            description="ICU stays per length-of-stay group",
+            sql="""
+                SELECT COUNT(*) AS cnt, los_group
+                FROM icustays
+                GROUP BY los_group
+            """,
+            question=ComparisonQuestion(
+                {"los_group": "0-1"}, {"los_group": "x>8"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qmimic4",
+            dataset="mimic",
+            description="Death rate per insurance type (Medicare vs Private)",
+            sql="""
+                SELECT insurance,
+                       1.0 * SUM(hospital_expire_flag) / COUNT(*)
+                       AS death_rate
+                FROM admissions
+                GROUP BY insurance
+            """,
+            question=ComparisonQuestion(
+                {"insurance": "Medicare"}, {"insurance": "Private"}
+            ),
+        ),
+        WorkloadQuery(
+            name="Qmimic5",
+            dataset="mimic",
+            description="Procedures per patient ethnicity",
+            sql="""
+                SELECT COUNT(*) AS cnt, pai.ethnicity
+                FROM patients_admit_info pai, procedures p
+                WHERE p.hadm_id = pai.hadm_id
+                  AND p.subject_id = pai.subject_id
+                GROUP BY pai.ethnicity
+            """,
+            question=ComparisonQuestion(
+                {"ethnicity": "Hispanic"}, {"ethnicity": "Asian"}
+            ),
+        ),
+    ]
+
+
+def all_queries() -> list[WorkloadQuery]:
+    """The full 10-query workload of Figure 12."""
+    return nba_queries() + mimic_queries()
+
+
+def query_by_name(name: str) -> WorkloadQuery:
+    for query in all_queries():
+        if query.name == name:
+            return query
+    raise KeyError(f"unknown workload query {name!r}")
+
+
+def user_study_query() -> WorkloadQuery:
+    """Q1' of the user study (§6.3): GSW wins, 2015-16 vs 2012-13."""
+    base = query_by_name("Qnba4")
+    return WorkloadQuery(
+        name="Q1prime",
+        dataset="nba",
+        description="User study: why did GSW win more games in 2015-16 "
+        "than in 2012-13?",
+        sql=base.sql,
+        question=ComparisonQuestion(
+            {"season_name": "2015-16"}, {"season_name": "2012-13"}
+        ),
+    )

@@ -1,0 +1,88 @@
+"""In-memory relational engine substrate for the CaJaDE reproduction.
+
+Provides columnar relations, a catalog with key constraints, a single-block
+SQL parser, a hash-join executor, why-provenance capture, catalog statistics
+for cost estimation, and CSV persistence.
+"""
+
+from .database import Database
+from .errors import (
+    CatalogError,
+    DatabaseError,
+    ExecutionError,
+    IntegrityError,
+    ParseError,
+    SchemaError,
+    TypeMismatchError,
+)
+from .executor import execute, hash_join, working_table
+from .expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    EquiJoinCondition,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    conjunction,
+)
+from .parser import parse_sql
+from .plan import PlanStep, QueryPlan, explain_plan
+from .provenance import PT_ROW_ID, ProvenanceTable
+from .query import AggregateCall, Query, SelectItem, TableRef
+from .relation import Relation
+from .schema import Column, ForeignKey, TableSchema
+from .statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    estimate_join_cardinality,
+    estimate_pipeline_cost,
+)
+from .types import ColumnType, infer_column_type, is_null
+
+__all__ = [
+    "AggregateCall",
+    "And",
+    "Arithmetic",
+    "CatalogError",
+    "Column",
+    "ColumnRef",
+    "ColumnStatistics",
+    "ColumnType",
+    "Comparison",
+    "conjunction",
+    "Database",
+    "DatabaseError",
+    "EquiJoinCondition",
+    "execute",
+    "ExecutionError",
+    "ForeignKey",
+    "hash_join",
+    "infer_column_type",
+    "IntegrityError",
+    "is_null",
+    "Literal",
+    "Not",
+    "Or",
+    "parse_sql",
+    "PlanStep",
+    "QueryPlan",
+    "explain_plan",
+    "ParseError",
+    "Predicate",
+    "ProvenanceTable",
+    "PT_ROW_ID",
+    "Query",
+    "Relation",
+    "SchemaError",
+    "SelectItem",
+    "TableRef",
+    "TableSchema",
+    "TableStatistics",
+    "TypeMismatchError",
+    "working_table",
+    "estimate_join_cardinality",
+    "estimate_pipeline_cost",
+]

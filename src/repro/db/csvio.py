@@ -1,0 +1,116 @@
+"""CSV import/export for relations and whole databases.
+
+A database directory contains one ``<table>.csv`` per relation plus a
+``schema.json`` describing column types, primary keys and foreign keys, so
+a save→load round-trip reproduces the catalog exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from .database import Database
+from .errors import SchemaError
+from .relation import Relation
+from .schema import Column, TableSchema
+from .types import ColumnType, parse_literal
+
+
+def write_relation_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to a CSV file with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.column_names)
+        for row in relation.iter_rows():
+            writer.writerow(["" if v is None else v for v in row])
+
+
+def read_relation_csv(
+    path: str | Path,
+    name: str | None = None,
+    schema: TableSchema | None = None,
+) -> Relation:
+    """Read a CSV file into a relation.
+
+    Without an explicit ``schema`` the column types are inferred from the
+    parsed values (ints, floats, text; empty cells are NULL).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise SchemaError(f"CSV file {path} is empty") from exc
+        raw_rows = [[parse_literal(cell) for cell in row] for row in reader]
+    if schema is not None:
+        if schema.column_names != header:
+            raise SchemaError(
+                f"CSV header {header} does not match schema "
+                f"{schema.column_names}"
+            )
+        return Relation.from_rows(schema, raw_rows)
+    from .types import infer_column_type
+
+    columns = []
+    for index, cname in enumerate(header):
+        values = [row[index] for row in raw_rows]
+        columns.append(Column(cname, infer_column_type(values)))
+    inferred = TableSchema(name=name or path.stem, columns=columns)
+    return Relation.from_rows(inferred, raw_rows)
+
+
+def save_database(db: Database, directory: str | Path) -> None:
+    """Write every relation and the catalog metadata to ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta: dict[str, Any] = {"name": db.name, "tables": {}, "foreign_keys": []}
+    for table_name in db.table_names:
+        relation = db.table(table_name)
+        write_relation_csv(relation, directory / f"{table_name}.csv")
+        meta["tables"][table_name] = {
+            "columns": [
+                {"name": c.name, "type": c.ctype.value}
+                for c in relation.schema.columns
+            ],
+            "primary_key": list(relation.schema.primary_key),
+        }
+    for fk in db.foreign_keys:
+        meta["foreign_keys"].append(
+            {
+                "table": fk.table,
+                "columns": list(fk.columns),
+                "ref_table": fk.ref_table,
+                "ref_columns": list(fk.ref_columns),
+            }
+        )
+    (directory / "schema.json").write_text(json.dumps(meta, indent=2))
+
+
+def load_database(directory: str | Path) -> Database:
+    """Load a database saved by :func:`save_database`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "schema.json").read_text())
+    db = Database(name=meta.get("name", directory.name))
+    for table_name, info in meta["tables"].items():
+        schema = TableSchema(
+            name=table_name,
+            columns=[
+                Column(c["name"], ColumnType(c["type"]))
+                for c in info["columns"]
+            ],
+            primary_key=tuple(info.get("primary_key", [])),
+        )
+        relation = read_relation_csv(
+            directory / f"{table_name}.csv", schema=schema
+        )
+        db.add_relation(relation)
+    for fk in meta.get("foreign_keys", []):
+        db.add_foreign_key(
+            fk["table"], fk["columns"], fk["ref_table"], fk["ref_columns"]
+        )
+    return db

@@ -1,0 +1,416 @@
+"""Query evaluation: scan → filter → hash join → group-aggregate.
+
+The executor materializes the *working table* of a single-block query (the
+pre-aggregation join of its FROM tables, filtered by WHERE, with columns
+qualified as ``alias.attr``) and then aggregates it.  The working table is
+exactly the paper's provenance table PT(Q, D) for why-provenance, which is
+why :mod:`repro.db.provenance` reuses it.
+
+Join planning is a greedy left-deep pipeline: single-table predicates are
+pushed down, equi-join conjuncts drive hash joins, the smallest filtered
+table starts the pipeline, and any residual (non-equi or multi-table)
+predicates are applied on the joined result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .database import Database
+from .errors import ExecutionError
+from .expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Predicate,
+    conjunction,
+)
+from .query import AggregateCall, Query, SelectItem, contains_aggregate
+from .relation import Relation
+from .schema import Column, TableSchema
+from .types import ColumnType
+
+
+# ----------------------------------------------------------------------
+# Hash join
+# ----------------------------------------------------------------------
+def hash_join(
+    left: Relation,
+    right: Relation,
+    conditions: list[tuple[str, str]],
+) -> Relation:
+    """Equi-join two relations on ``[(left_col, right_col), ...]``.
+
+    Builds a hash table on the smaller input.  NULL keys never match
+    (SQL semantics).  The output schema is the concatenation of both
+    inputs' columns; callers must ensure the names are disjoint.
+    """
+    if not conditions:
+        raise ExecutionError("hash_join requires at least one condition")
+    overlap = set(left.column_names) & set(right.column_names)
+    if overlap:
+        raise ExecutionError(f"join would produce duplicate columns: {overlap}")
+
+    swap = right.num_rows < left.num_rows
+    build, probe = (right, left) if swap else (left, right)
+    build_cols = [c[1] if swap else c[0] for c in conditions]
+    probe_cols = [c[0] if swap else c[1] for c in conditions]
+
+    table: dict[tuple[Any, ...], list[int]] = {}
+    build_arrays = [build.column(c) for c in build_cols]
+    for i in range(build.num_rows):
+        key = tuple(arr[i] for arr in build_arrays)
+        if any(_is_null_key(v) for v in key):
+            continue
+        table.setdefault(key, []).append(i)
+
+    probe_arrays = [probe.column(c) for c in probe_cols]
+    build_idx: list[int] = []
+    probe_idx: list[int] = []
+    for j in range(probe.num_rows):
+        key = tuple(arr[j] for arr in probe_arrays)
+        if any(_is_null_key(v) for v in key):
+            continue
+        hits = table.get(key)
+        if hits:
+            build_idx.extend(hits)
+            probe_idx.extend([j] * len(hits))
+
+    build_sel = build.take(np.array(build_idx, dtype=np.int64))
+    probe_sel = probe.take(np.array(probe_idx, dtype=np.int64))
+    left_sel, right_sel = (probe_sel, build_sel) if swap else (build_sel, probe_sel)
+    return _zip_columns(left_sel, right_sel)
+
+
+def _is_null_key(value: Any) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, (float, np.floating)):
+        return math.isnan(value)
+    return False
+
+
+def _zip_columns(left: Relation, right: Relation) -> Relation:
+    """Concatenate the columns of two row-aligned relations."""
+    columns = {name: left.column(name) for name in left.column_names}
+    columns.update({name: right.column(name) for name in right.column_names})
+    schema = TableSchema(
+        name=f"{left.schema.name}_x_{right.schema.name}",
+        columns=list(left.schema.columns) + list(right.schema.columns),
+    )
+    return Relation(schema, columns)
+
+
+def cross_product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product (used only when no join condition connects)."""
+    n, m = left.num_rows, right.num_rows
+    left_idx = np.repeat(np.arange(n), m)
+    right_idx = np.tile(np.arange(m), n)
+    return _zip_columns(left.take(left_idx), right.take(right_idx))
+
+
+# ----------------------------------------------------------------------
+# Predicate classification for join planning
+# ----------------------------------------------------------------------
+@dataclass
+class _PlannedPredicates:
+    per_alias: dict[str, list[Predicate]]
+    joins: list[tuple[str, str, str, str]]  # alias_a, col_a, alias_b, col_b
+    residual: list[Predicate]
+
+
+def _flatten_conjuncts(predicate: Predicate | None) -> list[Predicate]:
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        parts: list[Predicate] = []
+        for part in predicate.parts:
+            parts.extend(_flatten_conjuncts(part))
+        return parts
+    return [predicate]
+
+
+def _alias_of_column(name: str, query: Query, db: Database) -> str | None:
+    """Determine which FROM alias a column reference belongs to."""
+    if "." in name:
+        qualifier = name.split(".")[0]
+        for ref in query.tables:
+            if ref.alias == qualifier:
+                return qualifier
+        # Qualifier may be the table name rather than the alias.
+        for ref in query.tables:
+            if ref.table == qualifier:
+                return ref.alias
+        return None
+    hits = []
+    for ref in query.tables:
+        schema = db.table(ref.table).schema
+        if schema.has_column(name):
+            hits.append(ref.alias)
+    if len(hits) == 1:
+        return hits[0]
+    if len(hits) > 1:
+        raise ExecutionError(
+            f"ambiguous column {name!r}: present in aliases {hits}"
+        )
+    return None
+
+
+def _classify_predicates(query: Query, db: Database) -> _PlannedPredicates:
+    per_alias: dict[str, list[Predicate]] = {t.alias: [] for t in query.tables}
+    joins: list[tuple[str, str, str, str]] = []
+    residual: list[Predicate] = []
+    for conjunct in _flatten_conjuncts(query.where):
+        aliases = set()
+        unresolved = False
+        for col in conjunct.referenced_columns():
+            alias = _alias_of_column(col, query, db)
+            if alias is None:
+                unresolved = True
+                break
+            aliases.add(alias)
+        if unresolved:
+            residual.append(conjunct)
+            continue
+        if len(aliases) == 1:
+            per_alias[next(iter(aliases))].append(conjunct)
+        elif (
+            len(aliases) == 2
+            and isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            left_alias = _alias_of_column(conjunct.left.name, query, db)
+            right_alias = _alias_of_column(conjunct.right.name, query, db)
+            assert left_alias is not None and right_alias is not None
+            joins.append(
+                (
+                    left_alias,
+                    conjunct.left.name.split(".")[-1],
+                    right_alias,
+                    conjunct.right.name.split(".")[-1],
+                )
+            )
+        else:
+            residual.append(conjunct)
+    return _PlannedPredicates(per_alias=per_alias, joins=joins, residual=residual)
+
+
+# ----------------------------------------------------------------------
+# Working table (pre-aggregation join)
+# ----------------------------------------------------------------------
+def working_table(query: Query, db: Database) -> Relation:
+    """Materialize the filtered join of the query's FROM tables.
+
+    Columns are qualified as ``alias.attr``.  This relation *is* the
+    why-provenance table PT(Q, D) of the query.
+    """
+    planned = _classify_predicates(query, db)
+
+    filtered: dict[str, Relation] = {}
+    for ref in query.tables:
+        rel = db.table(ref.table)
+        preds = planned.per_alias.get(ref.alias, [])
+        if preds:
+            rel = rel.filter_mask(conjunction(preds).mask(rel))
+        filtered[ref.alias] = rel.prefix_columns(f"{ref.alias}.")
+
+    remaining = set(filtered)
+    start = min(remaining, key=lambda a: filtered[a].num_rows)
+    current = filtered[start]
+    joined = {start}
+    remaining.discard(start)
+
+    pending_joins = list(planned.joins)
+    while remaining:
+        progress = False
+        for alias in sorted(remaining, key=lambda a: filtered[a].num_rows):
+            conditions = []
+            for la, lc, ra, rc in pending_joins:
+                if la in joined and ra == alias:
+                    conditions.append((f"{la}.{lc}", f"{alias}.{rc}"))
+                elif ra in joined and la == alias:
+                    conditions.append((f"{ra}.{rc}", f"{alias}.{lc}"))
+            if conditions:
+                current = hash_join(current, filtered[alias], conditions)
+                pending_joins = [
+                    j
+                    for j in pending_joins
+                    if not (
+                        (j[0] in joined and j[2] == alias)
+                        or (j[2] in joined and j[0] == alias)
+                    )
+                ]
+                joined.add(alias)
+                remaining.discard(alias)
+                progress = True
+                break
+        if not progress:
+            # No join condition connects: fall back to a cross product
+            # with the smallest remaining table.
+            alias = min(remaining, key=lambda a: filtered[a].num_rows)
+            current = cross_product(current, filtered[alias])
+            joined.add(alias)
+            remaining.discard(alias)
+
+    # Joins between two already-joined aliases (cycles) and residual
+    # predicates become post-join filters.
+    post: list[Predicate] = []
+    for la, lc, ra, rc in pending_joins:
+        post.append(
+            Comparison("=", ColumnRef(f"{la}.{lc}"), ColumnRef(f"{ra}.{rc}"))
+        )
+    post.extend(planned.residual)
+    if post:
+        current = current.filter_mask(conjunction(post).mask(current))
+    return current.rename("working")
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _group_indices(
+    relation: Relation, group_columns: list[str]
+) -> dict[tuple[Any, ...], np.ndarray]:
+    """Partition row indices by the values of ``group_columns``."""
+    if not group_columns:
+        return {(): np.arange(relation.num_rows)}
+    arrays = [relation.column(c) for c in group_columns]
+    groups: dict[tuple[Any, ...], list[int]] = {}
+    for i in range(relation.num_rows):
+        key = tuple(arr[i] for arr in arrays)
+        groups.setdefault(key, []).append(i)
+    return {k: np.array(v, dtype=np.int64) for k, v in groups.items()}
+
+
+def _aggregate_value(
+    call: AggregateCall, relation: Relation, indices: np.ndarray
+) -> Any:
+    if call.func == "count" and call.argument is None:
+        return int(len(indices))
+    assert call.argument is not None
+    values = call.argument.values(relation)[indices]
+    if values.dtype == object:
+        non_null = [v for v in values if v is not None]
+        if call.func == "count":
+            return len(non_null)
+        if not non_null:
+            return None
+        if call.func == "min":
+            return min(non_null)
+        if call.func == "max":
+            return max(non_null)
+        raise ExecutionError(
+            f"{call.func.upper()} is not defined on categorical values"
+        )
+    numeric = values.astype(np.float64)
+    valid = numeric[~np.isnan(numeric)]
+    if call.func == "count":
+        return int(len(valid))
+    if len(valid) == 0:
+        return None
+    if call.func == "sum":
+        return float(valid.sum())
+    if call.func == "avg":
+        return float(valid.mean())
+    if call.func == "min":
+        return float(valid.min())
+    return float(valid.max())
+
+
+def _evaluate_select_item(
+    expression: Expression,
+    relation: Relation,
+    indices: np.ndarray,
+) -> Any:
+    """Evaluate a SELECT expression for a single group."""
+    if isinstance(expression, AggregateCall):
+        return _aggregate_value(expression, relation, indices)
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        values = expression.values(relation)
+        return values[indices[0]]
+    if isinstance(expression, Arithmetic):
+        left = _evaluate_select_item(expression.left, relation, indices)
+        right = _evaluate_select_item(expression.right, relation, indices)
+        if left is None or right is None:
+            return None
+        ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b, "/": lambda a, b: a / b}
+        try:
+            return ops[expression.op](left, right)
+        except ZeroDivisionError:
+            return None
+    raise ExecutionError(f"cannot evaluate SELECT expression {expression}")
+
+
+def group_columns_in_working(query: Query, work: Relation) -> list[str]:
+    """Resolve the query's GROUP BY references to working-table columns."""
+    from .expressions import resolve_column
+
+    return [resolve_column(work, ref.name) for ref in query.group_by]
+
+
+def aggregate(query: Query, work: Relation) -> Relation:
+    """Apply grouping + aggregate evaluation to a working table."""
+    group_cols = group_columns_in_working(query, work)
+    groups = _group_indices(work, group_cols)
+    rows: list[list[Any]] = []
+    for key in groups:
+        indices = groups[key]
+        row = [
+            _evaluate_select_item(item.expression, work, indices)
+            for item in query.select
+        ]
+        rows.append(row)
+
+    columns: list[Column] = []
+    for pos, item in enumerate(query.select):
+        sample = [row[pos] for row in rows]
+        columns.append(Column(item.alias, _result_type(sample)))
+    schema = TableSchema(name="result", columns=columns)
+    result = Relation.from_rows(schema, rows)
+    if group_cols:
+        return result.sort_by([c.name for c in columns if _sortable(result, c)])
+    return result
+
+
+def _sortable(relation: Relation, column: Column) -> bool:
+    return not any(v is None for v in relation.column(column.name))
+
+
+def _result_type(values: list[Any]) -> ColumnType:
+    from .types import infer_column_type
+
+    return infer_column_type(values)
+
+
+def execute(query: Query, db: Database) -> Relation:
+    """Evaluate a single-block SPJA query and return its result relation."""
+    work = working_table(query, db)
+    if query.group_by or any(
+        contains_aggregate(i.expression) for i in query.select
+    ):
+        return aggregate(query, work)
+    # Pure SPJ query: project the SELECT expressions row-wise.
+    columns: dict[str, np.ndarray] = {}
+    schema_cols: list[Column] = []
+    for item in query.select:
+        values = item.expression.values(work)
+        columns[item.alias] = values
+        ctype = (
+            ColumnType.TEXT
+            if values.dtype == object
+            else (ColumnType.INT if values.dtype.kind == "i" else ColumnType.FLOAT)
+        )
+        schema_cols.append(Column(item.alias, ctype))
+    return Relation(TableSchema(name="result", columns=schema_cols), columns)

@@ -1,0 +1,176 @@
+"""EXPLAIN-style query plans with cardinality estimates.
+
+The paper's join-graph validity check asks the DBMS to estimate the cost
+of the APT materialization query upfront (§4).  This module exposes the
+same estimator for ordinary queries: :func:`explain_plan` mirrors the
+executor's greedy join pipeline and annotates each step with the
+statistics-based cardinality estimate next to nothing being executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .database import Database
+from .executor import _classify_predicates
+from .parser import parse_sql
+from .query import Query
+from .statistics import estimate_join_cardinality, selectivity_of_equality
+
+
+@dataclass
+class PlanStep:
+    """One step of a query plan with its estimated output cardinality."""
+
+    description: str
+    estimated_rows: float
+
+    def render(self, depth: int) -> str:
+        indent = "  " * depth
+        return f"{indent}-> {self.description}  (~{self.estimated_rows:.0f} rows)"
+
+
+@dataclass
+class QueryPlan:
+    """A linearized plan: scans, joins, filters, aggregation."""
+
+    steps: list[PlanStep] = field(default_factory=list)
+
+    @property
+    def estimated_cost(self) -> float:
+        """Total tuples flowing through the pipeline (the λqcost metric)."""
+        return sum(step.estimated_rows for step in self.steps)
+
+    def render(self) -> str:
+        lines = [step.render(depth) for depth, step in enumerate(self.steps)]
+        lines.append(f"estimated pipeline cost: {self.estimated_cost:.0f} tuples")
+        return "\n".join(lines)
+
+
+def explain_plan(query: Query | str, db: Database) -> QueryPlan:
+    """Build the estimated plan the executor would follow for ``query``."""
+    if isinstance(query, str):
+        query = parse_sql(query)
+    planned = _classify_predicates(query, db)
+    plan = QueryPlan()
+
+    # Per-table scans with pushdown selectivity estimates.
+    estimated: dict[str, float] = {}
+    for ref in query.tables:
+        stats = db.statistics(ref.table)
+        rows = float(stats.num_rows)
+        predicates = planned.per_alias.get(ref.alias, [])
+        for predicate in predicates:
+            columns = predicate.referenced_columns()
+            if columns:
+                bare = next(iter(columns)).split(".")[-1]
+                rows *= selectivity_of_equality(stats.distinct(bare))
+            else:
+                rows *= 0.5
+        rows = max(1.0, rows)
+        estimated[ref.alias] = rows
+        suffix = f" with {len(predicates)} pushed filter(s)" if predicates else ""
+        plan.steps.append(
+            PlanStep(
+                description=f"scan {ref.table} AS {ref.alias}{suffix}",
+                estimated_rows=rows,
+            )
+        )
+
+    # Greedy join pipeline, mirroring the executor's order heuristic.
+    remaining = set(estimated)
+    current_alias = min(remaining, key=lambda a: estimated[a])
+    current_rows = estimated[current_alias]
+    joined = {current_alias}
+    remaining.discard(current_alias)
+    pending = list(planned.joins)
+    while remaining:
+        progressed = False
+        for alias in sorted(remaining, key=lambda a: estimated[a]):
+            conditions = [
+                j for j in pending
+                if (j[0] in joined and j[2] == alias)
+                or (j[2] in joined and j[0] == alias)
+            ]
+            if not conditions:
+                continue
+            key_distincts = []
+            for la, lc, ra, rc in conditions:
+                left_alias, left_col = (la, lc) if la in joined else (ra, rc)
+                right_col = rc if la in joined else lc
+                left_table = next(
+                    t.table for t in query.tables if t.alias == left_alias
+                )
+                right_table = next(
+                    t.table for t in query.tables if t.alias == alias
+                )
+                key_distincts.append(
+                    (
+                        db.statistics(left_table).distinct(left_col),
+                        db.statistics(right_table).distinct(right_col),
+                    )
+                )
+            current_rows = estimate_join_cardinality(
+                current_rows, estimated[alias], key_distincts
+            )
+            plan.steps.append(
+                PlanStep(
+                    description=(
+                        f"hash join + {alias} on "
+                        + " AND ".join(
+                            f"{j[0]}.{j[1]} = {j[2]}.{j[3]}"
+                            for j in conditions
+                        )
+                    ),
+                    estimated_rows=max(1.0, current_rows),
+                )
+            )
+            pending = [j for j in pending if j not in conditions]
+            joined.add(alias)
+            remaining.discard(alias)
+            progressed = True
+            break
+        if not progressed:
+            alias = min(remaining, key=lambda a: estimated[a])
+            current_rows *= estimated[alias]
+            plan.steps.append(
+                PlanStep(
+                    description=f"cross product × {alias}",
+                    estimated_rows=current_rows,
+                )
+            )
+            joined.add(alias)
+            remaining.discard(alias)
+
+    if planned.residual or pending:
+        plan.steps.append(
+            PlanStep(
+                description=(
+                    f"filter {len(planned.residual) + len(pending)} residual "
+                    "predicate(s)"
+                ),
+                estimated_rows=max(1.0, current_rows * 0.5),
+            )
+        )
+
+    if query.group_by or query.aggregate_output_names:
+        group_names = ", ".join(r.name for r in query.group_by) or "(all)"
+        distinct_product = 1.0
+        for ref in query.group_by:
+            bare = ref.name.split(".")[-1]
+            best = max(
+                (
+                    db.statistics(t.table).distinct(bare)
+                    for t in query.tables
+                    if db.table(t.table).schema.has_column(bare)
+                ),
+                default=1,
+            )
+            distinct_product *= max(1, best)
+        plan.steps.append(
+            PlanStep(
+                description=f"group by {group_names} + aggregate",
+                estimated_rows=min(current_rows, distinct_product),
+            )
+        )
+    return plan

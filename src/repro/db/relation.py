@@ -1,0 +1,285 @@
+"""Columnar in-memory relations.
+
+A :class:`Relation` couples a :class:`~repro.db.schema.TableSchema` with one
+numpy array per column.  Numeric columns use ``int64``/``float64`` arrays so
+predicate evaluation and pattern matching (the hot path of CaJaDE's F-score
+computation) are vectorized; TEXT columns use object arrays.
+
+Relations are treated as immutable once built: every operation returns a new
+Relation that shares column arrays when possible (selection via fancy
+indexing copies, projection does not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .errors import IntegrityError, SchemaError
+from .schema import Column, TableSchema
+from .types import ColumnType, coerce_value, infer_column_type
+
+
+def _column_array(values: Sequence[Any], ctype: ColumnType) -> np.ndarray:
+    """Build the storage array for one column, handling NULL promotion."""
+    has_null = any(v is None for v in values)
+    if ctype is ColumnType.INT and has_null:
+        # Integer columns with NULLs are stored as float64 with NaN.
+        data = np.array(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+        return data
+    if ctype is ColumnType.INT:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    if ctype is ColumnType.FLOAT:
+        return np.array(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+    return np.array(list(values), dtype=object)
+
+
+class Relation:
+    """An immutable columnar table: a schema plus one array per column."""
+
+    __slots__ = ("schema", "_columns", "_nrows")
+
+    def __init__(self, schema: TableSchema, columns: dict[str, np.ndarray]):
+        if set(columns) != set(schema.column_names):
+            raise SchemaError(
+                f"columns {sorted(columns)} do not match schema "
+                f"{schema.column_names}"
+            )
+        lengths = {len(arr) for arr in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns with lengths {sorted(lengths)}")
+        self.schema = schema
+        self._columns = columns
+        self._nrows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: TableSchema,
+        rows: Iterable[Sequence[Any]],
+        validate: bool = True,
+    ) -> "Relation":
+        """Build a relation from row tuples, coercing values to the schema."""
+        materialized = [tuple(row) for row in rows]
+        width = len(schema.columns)
+        for row in materialized:
+            if len(row) != width:
+                raise SchemaError(
+                    f"row of width {len(row)} for schema of width {width}"
+                )
+        columns: dict[str, np.ndarray] = {}
+        for index, col in enumerate(schema.columns):
+            raw = [row[index] for row in materialized]
+            if validate:
+                raw = [coerce_value(v, col.ctype) for v in raw]
+            columns[col.name] = _column_array(raw, col.ctype)
+        relation = cls(schema, columns)
+        if validate and schema.primary_key:
+            relation._check_primary_key()
+        return relation
+
+    @classmethod
+    def from_dicts(
+        cls, name: str, records: list[dict[str, Any]],
+        primary_key: tuple[str, ...] = (),
+    ) -> "Relation":
+        """Build a relation from dict records, inferring column types."""
+        if not records:
+            raise SchemaError("cannot infer a schema from zero records")
+        names = list(records[0].keys())
+        columns = []
+        for cname in names:
+            values = [rec.get(cname) for rec in records]
+            columns.append(Column(cname, infer_column_type(values)))
+        schema = TableSchema(name=name, columns=columns, primary_key=primary_key)
+        return cls.from_rows(schema, ([rec.get(c) for c in names] for rec in records))
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "Relation":
+        """A zero-row relation with the given schema."""
+        columns = {
+            col.name: np.empty(0, dtype=col.ctype.numpy_dtype())
+            for col in schema.columns
+        }
+        return cls(schema, columns)
+
+    def _check_primary_key(self) -> None:
+        key_cols = self.schema.primary_key
+        seen: set[tuple[Any, ...]] = set()
+        arrays = [self._columns[c] for c in key_cols]
+        for i in range(self._nrows):
+            key = tuple(arr[i] for arr in arrays)
+            if key in seen:
+                raise IntegrityError(
+                    f"duplicate primary key {key} in table {self.schema.name!r}"
+                )
+            seen.add(key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.column_names
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, name: str) -> np.ndarray:
+        """The storage array for one column (do not mutate)."""
+        if name not in self._columns:
+            raise SchemaError(f"no column {name!r} in {self.schema.name!r}")
+        return self._columns[name]
+
+    def column_type(self, name: str) -> ColumnType:
+        return self.schema.column_type(name)
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        """One row as a tuple in schema column order."""
+        return tuple(self._columns[c][index] for c in self.schema.column_names)
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        names = self.schema.column_names
+        arrays = [self._columns[c] for c in names]
+        for i in range(self._nrows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.schema.name!r}, {self._nrows} rows, "
+            f"{len(self.schema.columns)} cols)"
+        )
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Rows selected by an index array (preserves duplicates/order)."""
+        columns = {name: arr[indices] for name, arr in self._columns.items()}
+        return Relation(self.schema, columns)
+
+    def filter_mask(self, mask: np.ndarray) -> "Relation":
+        """Rows where the boolean ``mask`` is True."""
+        if mask.dtype != np.bool_ or len(mask) != self._nrows:
+            raise SchemaError("filter mask must be boolean and row-aligned")
+        return self.take(np.nonzero(mask)[0])
+
+    def project(self, names: list[str]) -> "Relation":
+        """Keep only ``names``, in the given order (shares arrays)."""
+        schema = self.schema.project(names)
+        return Relation(schema, {n: self._columns[n] for n in names})
+
+    def rename(self, new_name: str) -> "Relation":
+        return Relation(self.schema.rename(new_name), dict(self._columns))
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Relation":
+        """Rename columns via ``mapping`` (missing names keep theirs)."""
+        new_cols = [
+            Column(mapping.get(col.name, col.name), col.ctype)
+            for col in self.schema.columns
+        ]
+        pk = tuple(mapping.get(c, c) for c in self.schema.primary_key)
+        schema = TableSchema(name=self.schema.name, columns=new_cols, primary_key=pk)
+        columns = {
+            mapping.get(name, name): arr for name, arr in self._columns.items()
+        }
+        return Relation(schema, columns)
+
+    def prefix_columns(self, prefix: str) -> "Relation":
+        """Prefix every column name, used for APT disambiguation."""
+        return self.rename_columns(
+            {name: f"{prefix}{name}" for name in self.schema.column_names}
+        )
+
+    def with_column(
+        self, name: str, ctype: ColumnType, values: np.ndarray
+    ) -> "Relation":
+        """A copy with one extra column appended."""
+        if len(values) != self._nrows:
+            raise SchemaError("new column length does not match relation")
+        schema = TableSchema(
+            name=self.schema.name,
+            columns=list(self.schema.columns) + [Column(name, ctype)],
+            primary_key=self.schema.primary_key,
+        )
+        columns = dict(self._columns)
+        columns[name] = values
+        return Relation(schema, columns)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union-all of two relations with identical column names/types."""
+        if self.schema.column_names != other.schema.column_names:
+            raise SchemaError("concat requires identical column lists")
+        columns = {}
+        for col in self.schema.columns:
+            left = self._columns[col.name]
+            right = other._columns[col.name]
+            if left.dtype != right.dtype:
+                left = left.astype(np.float64)
+                right = right.astype(np.float64)
+            columns[col.name] = np.concatenate([left, right])
+        schema = TableSchema(
+            name=self.schema.name,
+            columns=list(self.schema.columns),
+            primary_key=(),
+        )
+        return Relation(schema, columns)
+
+    def sample(self, fraction: float, rng: np.random.Generator,
+               max_rows: int | None = None) -> "Relation":
+        """A uniform row sample of ``fraction`` of the rows.
+
+        ``max_rows`` caps the absolute sample size (the paper caps LCA
+        samples at 1000 rows).  Sampling is without replacement.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"sample fraction must be in (0, 1], got {fraction}")
+        size = max(1, int(round(self._nrows * fraction))) if self._nrows else 0
+        if max_rows is not None:
+            size = min(size, max_rows)
+        if size >= self._nrows:
+            return self
+        indices = rng.choice(self._nrows, size=size, replace=False)
+        return self.take(np.sort(indices))
+
+    def distinct(self) -> "Relation":
+        """Duplicate-free copy preserving first occurrence order."""
+        seen: set[tuple[Any, ...]] = set()
+        keep: list[int] = []
+        for i, row in enumerate(self.iter_rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        return self.take(np.array(keep, dtype=np.int64))
+
+    def sort_by(self, names: list[str]) -> "Relation":
+        """Rows sorted ascending by the listed columns (stable)."""
+        order = np.arange(self._nrows)
+        for name in reversed(names):
+            arr = self._columns[name]
+            if arr.dtype == object:
+                keys = np.array([str(v) for v in arr[order]])
+            else:
+                keys = arr[order]
+            order = order[np.argsort(keys, kind="stable")]
+        return self.take(order)

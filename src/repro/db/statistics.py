@@ -1,0 +1,118 @@
+"""Catalog statistics and the join cost model.
+
+CaJaDE skips join graphs whose materialization query has an estimated cost
+above λqcost (paper §4: "We use the DBMS to estimate the cost of this query
+upfront").  Our engine plays the DBMS role: per-table row counts and
+per-column distinct counts feed the textbook equi-join cardinality estimate
+
+    |R ⋈ S| ≈ |R| · |S| / max(V(R, a), V(S, b))
+
+and the cost of a join pipeline is the sum of estimated intermediate sizes,
+which is what a disk-based optimizer's I/O cost is proportional to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics for a single column."""
+
+    name: str
+    num_distinct: int
+    null_fraction: float
+    min_value: float | None
+    max_value: float | None
+
+    @classmethod
+    def collect(cls, relation: Relation, name: str) -> "ColumnStatistics":
+        arr = relation.column(name)
+        n = len(arr)
+        if n == 0:
+            return cls(name, 0, 0.0, None, None)
+        if arr.dtype == object:
+            values = [v for v in arr if v is not None]
+            distinct = len(set(values))
+            nulls = n - len(values)
+            return cls(name, distinct, nulls / n, None, None)
+        numeric = arr.astype(np.float64)
+        valid = numeric[~np.isnan(numeric)]
+        distinct = int(len(np.unique(valid)))
+        nulls = n - len(valid)
+        min_v = float(valid.min()) if len(valid) else None
+        max_v = float(valid.max()) if len(valid) else None
+        return cls(name, distinct, nulls / n, min_v, max_v)
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Row count plus per-column statistics for one relation."""
+
+    table: str
+    num_rows: int
+    columns: dict[str, ColumnStatistics]
+
+    @classmethod
+    def collect(cls, relation: Relation) -> "TableStatistics":
+        columns = {
+            name: ColumnStatistics.collect(relation, name)
+            for name in relation.column_names
+        }
+        return cls(
+            table=relation.schema.name,
+            num_rows=relation.num_rows,
+            columns=columns,
+        )
+
+    def distinct(self, column: str) -> int:
+        stats = self.columns.get(column)
+        if stats is None:
+            return max(1, self.num_rows)
+        return max(1, stats.num_distinct)
+
+
+def estimate_join_cardinality(
+    left_rows: float,
+    right_rows: float,
+    key_distincts: list[tuple[int, int]],
+) -> float:
+    """Estimate |R ⋈ S| for a conjunctive equi-join.
+
+    ``key_distincts`` holds ``(V(R, a_i), V(S, b_i))`` per join conjunct;
+    conjuncts are assumed independent (System-R style).
+    """
+    cardinality = left_rows * right_rows
+    for left_d, right_d in key_distincts:
+        cardinality /= max(1, left_d, right_d)
+    return max(0.0, cardinality)
+
+
+def estimate_pipeline_cost(intermediate_sizes: list[float]) -> float:
+    """Cost of a join pipeline ≈ total tuples flowing through it."""
+    return float(sum(intermediate_sizes))
+
+
+def selectivity_of_equality(distinct: int) -> float:
+    """Selectivity of ``col = const`` under a uniform assumption."""
+    return 1.0 / max(1, distinct)
+
+
+def estimate_distinct_after_join(
+    distinct: int, input_rows: float, output_rows: float
+) -> int:
+    """Cap a column's distinct count by the (estimated) output size.
+
+    After a join shrinks or grows a relation the number of distinct values
+    of any column is at most min(original distinct, output rows).
+    """
+    if math.isnan(output_rows):
+        return distinct
+    return int(max(1, min(distinct, output_rows)))

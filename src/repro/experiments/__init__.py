@@ -1,0 +1,37 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .harness import (
+    LcaSamplingPoint,
+    et_comparison_experiment,
+    explain_with_breakdown,
+    f1_sampling_quality_experiment,
+    feature_selection_experiment,
+    join_graph_size_experiment,
+    lca_sampling_experiment,
+    scalability_experiment,
+    varying_queries_experiment,
+)
+from .user_study import (
+    RaterModel,
+    StudyExplanation,
+    UserStudyReport,
+    build_study_explanations,
+    run_user_study,
+)
+
+__all__ = [
+    "build_study_explanations",
+    "et_comparison_experiment",
+    "explain_with_breakdown",
+    "f1_sampling_quality_experiment",
+    "feature_selection_experiment",
+    "join_graph_size_experiment",
+    "lca_sampling_experiment",
+    "LcaSamplingPoint",
+    "RaterModel",
+    "run_user_study",
+    "scalability_experiment",
+    "StudyExplanation",
+    "UserStudyReport",
+    "varying_queries_experiment",
+]

@@ -1,0 +1,40 @@
+"""Machine-learning substrate: trees, forests, attribute clustering, metrics."""
+
+from .decision_tree import DecisionTreeClassifier, gini_impurity
+from .metrics import (
+    dcg,
+    kendall_tau_distance,
+    kendall_tau_distance_scores,
+    ndcg,
+    recall_at_k,
+    top_k_match,
+)
+from .random_forest import RandomForestClassifier
+from .varclus import (
+    association_matrix,
+    cramers_v,
+    AttributeCluster,
+    cluster_attributes,
+    correlation_matrix,
+    encode_columns,
+    pick_cluster_representatives,
+)
+
+__all__ = [
+    "AttributeCluster",
+    "association_matrix",
+    "cluster_attributes",
+    "cramers_v",
+    "correlation_matrix",
+    "dcg",
+    "DecisionTreeClassifier",
+    "encode_columns",
+    "gini_impurity",
+    "kendall_tau_distance",
+    "kendall_tau_distance_scores",
+    "ndcg",
+    "pick_cluster_representatives",
+    "RandomForestClassifier",
+    "recall_at_k",
+    "top_k_match",
+]

@@ -1,0 +1,190 @@
+"""A from-scratch CART decision-tree classifier.
+
+The paper uses random forests [10] only to rank attribute *relevance* for
+the λ#sel-attr feature-selection step (§3.1), so this implementation
+focuses on: binary classification, Gini impurity, quantile-candidate
+splits (vectorized with numpy), and impurity-decrease feature importances.
+
+scikit-learn is deliberately not used: the environment is offline and the
+substrate must be self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One node of a fitted tree (leaf when ``feature`` is None)."""
+
+    prediction: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def gini_impurity(positive_fraction: float) -> float:
+    """Gini impurity of a binary distribution."""
+    p = positive_fraction
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier with quantile candidate thresholds.
+
+    Parameters:
+        max_depth: depth cap of the tree.
+        min_samples_split: do not split nodes smaller than this.
+        max_features: number of features examined per split (None = all).
+        n_thresholds: candidate thresholds per feature per split.
+        rng: numpy Generator for feature subsampling (forest injection).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 10,
+        max_features: int | None = None,
+        n_thresholds: int = 24,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.n_thresholds = n_thresholds
+        self.rng = rng or np.random.default_rng(0)
+        self._root: _Node | None = None
+        self._n_features = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on a float feature matrix X and a 0/1 label vector y."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same number of rows")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_features = X.shape[1]
+        self._importance = np.zeros(self._n_features)
+        self._total = len(y)
+        self._root = self._grow(X, y, depth=0)
+        total = self._importance.sum()
+        if total > 0:
+            self.feature_importances_ = self._importance / total
+        else:
+            self.feature_importances_ = np.zeros(self._n_features)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        prediction = float(y.mean())
+        node = _Node(prediction=prediction)
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or prediction in (0.0, 1.0)
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        self._importance[feature] += gain * len(y) / self._total
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        n = len(y)
+        parent_impurity = gini_impurity(float(y.mean()))
+        if parent_impurity == 0.0:
+            return None
+        features = np.arange(self._n_features)
+        if self.max_features is not None and self.max_features < len(features):
+            features = self.rng.choice(
+                features, size=self.max_features, replace=False
+            )
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for feature in features:
+            col = X[:, feature]
+            finite = col[np.isfinite(col)]
+            if len(finite) < 2:
+                continue
+            quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+            candidates = np.unique(np.quantile(finite, quantiles))
+            if len(candidates) == 0:
+                continue
+            # Vectorized gain over all candidate thresholds at once.
+            below = col[:, None] <= candidates[None, :]
+            n_left = below.sum(axis=0).astype(np.float64)
+            n_right = n - n_left
+            valid = (n_left > 0) & (n_right > 0)
+            if not valid.any():
+                continue
+            pos_left = (below & (y[:, None] > 0.5)).sum(axis=0)
+            total_pos = float((y > 0.5).sum())
+            with np.errstate(invalid="ignore", divide="ignore"):
+                p_left = pos_left / n_left
+                p_right = (total_pos - pos_left) / n_right
+                child = (
+                    n_left * 2.0 * p_left * (1.0 - p_left)
+                    + n_right * 2.0 * p_right * (1.0 - p_right)
+                ) / n
+            gain = parent_impurity - child
+            gain[~valid] = -np.inf
+            best_here = int(np.argmax(gain))
+            if gain[best_here] > best_gain:
+                best_gain = float(gain[best_here])
+                best = (int(feature), float(candidates[best_here]), best_gain)
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Positive-class probability for each row of X."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X))
+        for i in range(len(X)):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                value = X[i, node.feature]
+                node = node.left if value <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """0/1 predictions at the 0.5 threshold."""
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    @property
+    def depth(self) -> int:
+        """The realized depth of the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

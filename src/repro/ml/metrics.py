@@ -1,0 +1,111 @@
+"""Ranking-quality metrics used in the paper's evaluation.
+
+- NDCG [24] measures how close a sampled/produced ranking is to the
+  ground-truth ranking (Figures 10f, Table 9).
+- Kendall-tau rank distance [28] counts pairwise ranking disagreements
+  (Table 9).
+- ``top_k_match`` counts ground-truth top-k items recovered by a sampled
+  run (the blue "match" curves of Figures 10b-10e).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain of a gain vector in rank order."""
+    return sum(
+        gain / math.log2(position + 2) for position, gain in enumerate(gains)
+    )
+
+
+def ndcg(
+    ranked_items: Sequence[Hashable],
+    relevance: dict[Hashable, float],
+    k: int | None = None,
+) -> float:
+    """Normalized DCG of ``ranked_items`` against graded ``relevance``.
+
+    Items missing from ``relevance`` contribute zero gain.  Returns 1.0
+    for an ideal ordering and 0.0 when nothing relevant was retrieved.
+    """
+    if k is not None:
+        ranked_items = list(ranked_items)[:k]
+    gains = [relevance.get(item, 0.0) for item in ranked_items]
+    ideal = sorted(relevance.values(), reverse=True)
+    if k is not None:
+        ideal = ideal[: k]
+    else:
+        ideal = ideal[: len(gains)]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg(gains) / ideal_dcg
+
+
+def kendall_tau_distance(
+    ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]
+) -> int:
+    """Number of discordant pairs between two rankings of the same items.
+
+    Raises ValueError when the two rankings are not permutations of each
+    other.
+    """
+    if set(ranking_a) != set(ranking_b) or len(ranking_a) != len(ranking_b):
+        raise ValueError("rankings must be permutations of the same items")
+    position_b = {item: i for i, item in enumerate(ranking_b)}
+    sequence = [position_b[item] for item in ranking_a]
+    discordant = 0
+    for i in range(len(sequence)):
+        for j in range(i + 1, len(sequence)):
+            if sequence[i] > sequence[j]:
+                discordant += 1
+    return discordant
+
+
+def kendall_tau_distance_scores(
+    scores_a: dict[Hashable, float], scores_b: dict[Hashable, float]
+) -> int:
+    """Pairwise ranking error between two score assignments.
+
+    Counts unordered item pairs on which the two scorers strictly
+    disagree about the order (ties never count as disagreement).  This is
+    how the user study compares the system ranking against participants'
+    ratings (Table 9).
+    """
+    items = sorted(set(scores_a) & set(scores_b), key=str)
+    discordant = 0
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            a_cmp = _sign(scores_a[items[i]] - scores_a[items[j]])
+            b_cmp = _sign(scores_b[items[i]] - scores_b[items[j]])
+            if a_cmp != 0 and b_cmp != 0 and a_cmp != b_cmp:
+                discordant += 1
+    return discordant
+
+
+def _sign(x: float) -> int:
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def top_k_match(
+    ground_truth: Sequence[Hashable], candidate: Sequence[Hashable], k: int
+) -> int:
+    """How many of the true top-k items the candidate top-k recovered."""
+    return len(set(list(ground_truth)[:k]) & set(list(candidate)[:k]))
+
+
+def recall_at_k(
+    ground_truth: Sequence[Hashable], candidate: Sequence[Hashable], k: int
+) -> float:
+    """top_k_match normalized by k (the paper's Fig 10g 'recall')."""
+    truth = list(ground_truth)[:k]
+    if not truth:
+        return 0.0
+    return top_k_match(ground_truth, candidate, k) / len(truth)

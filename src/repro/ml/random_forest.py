@@ -1,0 +1,101 @@
+"""Bagged random-forest classifier with impurity-based importances.
+
+Used by CaJaDE's feature-selection step (paper §3.1): "We train a random
+forest classifier that predicts whether a row belongs to the augmented
+provenance of one of the two outputs from the user's question.  We then
+rank attributes based on the relevance."
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """An ensemble of CART trees over bootstrap samples.
+
+    Parameters:
+        n_estimators: number of trees.
+        max_depth: per-tree depth cap.
+        max_features: features per split; "sqrt" (default) or an int.
+        max_samples: rows per bootstrap sample (cap; None = all rows).
+        random_state: seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 8,
+        max_features: str | int = "sqrt",
+        max_samples: int | None = 4000,
+        random_state: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.max_samples = max_samples
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _features_per_split(self, n_features: int) -> int:
+        if self.max_features == "sqrt":
+            return max(1, int(math.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"bad max_features: {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit the ensemble on float features X and 0/1 labels y."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.random_state)
+        n_rows, n_features = X.shape
+        sample_size = n_rows
+        if self.max_samples is not None:
+            sample_size = min(n_rows, self.max_samples)
+        per_split = self._features_per_split(n_features)
+
+        self.trees_ = []
+        importances = np.zeros(n_features)
+        for _ in range(self.n_estimators):
+            indices = rng.integers(0, n_rows, size=sample_size)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=per_split,
+                rng=rng,
+            )
+            tree.fit(X[indices], y[indices])
+            self.trees_.append(tree)
+            assert tree.feature_importances_ is not None
+            importances += tree.feature_importances_
+        total = importances.sum()
+        if total > 0:
+            self.feature_importances_ = importances / total
+        else:
+            self.feature_importances_ = np.zeros(n_features)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean positive-class probability across trees."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        probs = np.zeros(len(X))
+        for tree in self.trees_:
+            probs += tree.predict_proba(X)
+        return probs / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct 0/1 predictions."""
+        predictions = self.predict(X)
+        return float((predictions == np.asarray(y, dtype=np.int64)).mean())

@@ -1,0 +1,238 @@
+"""Correlation-based attribute clustering (VARCLUS-style).
+
+CaJaDE clusters mutually correlated attributes and keeps one representative
+per cluster to avoid redundant patterns (paper §3.1: birth date vs age).
+The paper uses SAS VARCLUS [44] but notes "any technique that can cluster
+correlated attributes would be applicable"; this module provides an
+agglomerative single-linkage clustering over |Pearson correlation| with a
+configurable threshold, plus representative selection by mean intra-cluster
+correlation.
+
+Categorical columns are label-encoded before correlation; this captures
+identity-level redundancy (e.g. an id column and its name column) which is
+the redundancy the paper targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def encode_columns(columns: dict[str, np.ndarray]) -> np.ndarray:
+    """Encode a name→array mapping as a float matrix (one column each).
+
+    TEXT columns are label-encoded by first occurrence; NULL/NaN become
+    a dedicated code so they still correlate.
+    """
+    encoded = []
+    for arr in columns.values():
+        if arr.dtype == object:
+            codes: dict[object, int] = {}
+            out = np.empty(len(arr))
+            for i, value in enumerate(arr):
+                if value not in codes:
+                    codes[value] = len(codes)
+                out[i] = codes[value]
+            encoded.append(out)
+        else:
+            out = arr.astype(np.float64)
+            nan_mask = np.isnan(out)
+            if nan_mask.any():
+                fill = np.nanmean(out) if (~nan_mask).any() else 0.0
+                out = np.where(nan_mask, fill, out)
+            encoded.append(out)
+    return np.column_stack(encoded) if encoded else np.empty((0, 0))
+
+
+def correlation_matrix(matrix: np.ndarray) -> np.ndarray:
+    """|Pearson correlation| between columns; constants correlate 0."""
+    n_cols = matrix.shape[1]
+    if n_cols == 0:
+        return np.empty((0, 0))
+    stds = matrix.std(axis=0)
+    safe = matrix.copy()
+    constant = stds == 0
+    corr = np.zeros((n_cols, n_cols))
+    varying = ~constant
+    if varying.sum() >= 1:
+        sub = safe[:, varying]
+        with np.errstate(invalid="ignore"):
+            c = np.corrcoef(sub, rowvar=False)
+        c = np.atleast_2d(c)
+        c = np.nan_to_num(np.abs(c))
+        idx = np.nonzero(varying)[0]
+        for a, ia in enumerate(idx):
+            for b, ib in enumerate(idx):
+                corr[ia, ib] = c[a, b]
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def cramers_v(a: np.ndarray, b: np.ndarray) -> float:
+    """Cramér's V association between two label-encoded columns.
+
+    Label-encoded Pearson correlation cannot detect redundancy between,
+    say, an id column and the name column it determines (the codes are a
+    permutation); Cramér's V — a chi-squared-based measure on the
+    contingency table — does.  Returns a value in [0, 1].
+    """
+    a_codes, a_levels = _codes(a)
+    b_codes, b_levels = _codes(b)
+    if a_levels < 2 or b_levels < 2:
+        return 0.0
+    n = len(a_codes)
+    table = np.zeros((a_levels, b_levels))
+    np.add.at(table, (a_codes, b_codes), 1.0)
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    expected = row @ col / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.nansum(
+            np.where(expected > 0, (table - expected) ** 2 / expected, 0.0)
+        )
+    denominator = n * (min(a_levels, b_levels) - 1)
+    if denominator <= 0:
+        return 0.0
+    return float(np.sqrt(min(1.0, chi2 / denominator)))
+
+
+def _codes(values: np.ndarray, max_bins: int = 12) -> tuple[np.ndarray, int]:
+    """Integer codes for a column; numeric columns are quantile-binned."""
+    if values.dtype == object:
+        mapping: dict[object, int] = {}
+        codes = np.empty(len(values), dtype=np.int64)
+        for i, v in enumerate(values):
+            if v not in mapping:
+                mapping[v] = len(mapping)
+            codes[i] = mapping[v]
+        return codes, len(mapping)
+    numeric = values.astype(np.float64)
+    nan_mask = np.isnan(numeric)
+    fill = np.nanmin(numeric) if (~nan_mask).any() else 0.0
+    numeric = np.where(nan_mask, fill, numeric)
+    unique = np.unique(numeric)
+    if len(unique) <= max_bins:
+        lookup = {v: i for i, v in enumerate(unique.tolist())}
+        codes = np.array([lookup[v] for v in numeric.tolist()], dtype=np.int64)
+        return codes, len(unique)
+    edges = np.quantile(numeric, np.linspace(0, 1, max_bins + 1)[1:-1])
+    codes = np.searchsorted(edges, numeric).astype(np.int64)
+    return codes, max_bins
+
+
+def association_matrix(columns: dict[str, np.ndarray]) -> np.ndarray:
+    """Pairwise association: |Pearson| for numeric pairs, Cramér's V when
+    a categorical column is involved."""
+    names = list(columns)
+    n = len(names)
+    numeric_names = [m for m in names if columns[m].dtype != object]
+    pearson = np.zeros((n, n))
+    if numeric_names:
+        sub = encode_columns({m: columns[m] for m in numeric_names})
+        corr = correlation_matrix(sub)
+        idx = {m: i for i, m in enumerate(numeric_names)}
+        for i, a in enumerate(names):
+            for j, b in enumerate(names):
+                if a in idx and b in idx:
+                    pearson[i, j] = corr[idx[a], idx[b]]
+    out = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = names[i], names[j]
+            if columns[a].dtype != object and columns[b].dtype != object:
+                value = pearson[i, j]
+            else:
+                value = cramers_v(columns[a], columns[b])
+            out[i, j] = out[j, i] = value
+    return out
+
+
+@dataclass
+class AttributeCluster:
+    """A cluster of mutually correlated attributes with a representative."""
+
+    members: list[str]
+    representative: str
+
+
+def cluster_attributes(
+    columns: dict[str, np.ndarray],
+    threshold: float = 0.9,
+    same_type_only: bool = False,
+) -> list[AttributeCluster]:
+    """Cluster attributes whose association exceeds ``threshold``.
+
+    Single-linkage agglomeration: attributes are connected components of
+    the graph with edges association >= threshold.  The representative of
+    each cluster is the member with the greatest mean association to the
+    rest (ties broken by name for determinism).
+
+    ``same_type_only`` restricts merging to pairs of the same kind
+    (numeric with numeric, categorical with categorical).  CaJaDE's
+    feature selection uses this: merging a numeric attribute into a
+    categorical representative would silently remove it from the numeric
+    refinement phase.
+    """
+    names = list(columns)
+    if not names:
+        return []
+    corr = association_matrix(columns)
+    n = len(names)
+    is_text = [columns[name].dtype == object for name in names]
+
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if same_type_only and is_text[i] != is_text[j]:
+                continue
+            if corr[i, j] >= threshold:
+                union(i, j)
+
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+
+    clusters: list[AttributeCluster] = []
+    for member_ids in groups.values():
+        members = [names[i] for i in member_ids]
+        if len(member_ids) == 1:
+            clusters.append(
+                AttributeCluster(members=members, representative=members[0])
+            )
+            continue
+        scores = []
+        for i in member_ids:
+            others = [j for j in member_ids if j != i]
+            scores.append(float(np.mean([corr[i, j] for j in others])))
+        ranked = sorted(
+            zip(member_ids, scores), key=lambda p: (-p[1], names[p[0]])
+        )
+        representative = names[ranked[0][0]]
+        clusters.append(
+            AttributeCluster(
+                members=sorted(members), representative=representative
+            )
+        )
+    clusters.sort(key=lambda c: c.representative)
+    return clusters
+
+
+def pick_cluster_representatives(
+    clusters: list[AttributeCluster],
+) -> list[str]:
+    """The representative attribute of each cluster, sorted."""
+    return sorted(c.representative for c in clusters)

@@ -1,0 +1,118 @@
+"""Shared fixtures: a hand-built mini NBA database plus small generated
+NBA/MIMIC instances (session-scoped — generation is the expensive part).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schema_graph import SchemaGraph
+from repro.db import ColumnType, Database, TableSchema
+
+
+@pytest.fixture(scope="session")
+def mini_db() -> Database:
+    """A deterministic 3-table database mirroring the paper's Example 1.
+
+    game(year, gameno PK, ...) — player(player_id PK) —
+    player_game(player_id, year, gameno PK) with embedded signal:
+    Curry scores ≥ 30 in 2015-16 wins and ≤ 22 in 2012-13.
+    """
+    db = Database("mini")
+    games = []
+    # 8 games per season; GSW wins 6 in 2015-16 and 3 in 2012-13.
+    schedule = {
+        "2012-13": ["GSW", "GSW", "GSW", "LAL", "LAL", "LAL", "LAL", "MIA"],
+        "2015-16": ["GSW", "GSW", "GSW", "GSW", "GSW", "GSW", "LAL", "MIA"],
+    }
+    for si, (season, winners) in enumerate(sorted(schedule.items())):
+        year = 2012 + si * 3
+        for g, winner in enumerate(winners):
+            home = "GSW" if g % 2 == 0 else "LAL"
+            away = "MIA" if home == "GSW" else "GSW"
+            games.append((year, g + 1, home, away, winner, season))
+    db.create_table(
+        TableSchema.build(
+            "game",
+            {
+                "year": ColumnType.INT,
+                "gameno": ColumnType.INT,
+                "home": ColumnType.TEXT,
+                "away": ColumnType.TEXT,
+                "winner": ColumnType.TEXT,
+                "season": ColumnType.TEXT,
+            },
+            primary_key=("year", "gameno"),
+        ),
+        games,
+    )
+    players = ["Curry", "Thompson", "Green"]
+    db.create_table(
+        TableSchema.build(
+            "player",
+            {"player_id": ColumnType.INT, "player_name": ColumnType.TEXT},
+            primary_key=("player_id",),
+        ),
+        list(enumerate(players)),
+    )
+    pgs = []
+    for (year, gameno, home, away, winner, season) in games:
+        if "GSW" not in (home, away):
+            continue
+        for pid, name in enumerate(players):
+            if name == "Curry":
+                pts = 32 if season == "2015-16" else 20
+            elif name == "Thompson":
+                pts = 18
+            else:
+                pts = 8 if season == "2015-16" else 4
+            pgs.append((pid, year, gameno, pts))
+    db.create_table(
+        TableSchema.build(
+            "player_game",
+            {
+                "player_id": ColumnType.INT,
+                "year": ColumnType.INT,
+                "gameno": ColumnType.INT,
+                "pts": ColumnType.INT,
+            },
+            primary_key=("player_id", "year", "gameno"),
+        ),
+        pgs,
+    )
+    db.add_foreign_key("player_game", ("year", "gameno"), "game", ("year", "gameno"))
+    db.add_foreign_key("player_game", ("player_id",), "player", ("player_id",))
+    return db
+
+
+@pytest.fixture(scope="session")
+def mini_schema_graph(mini_db) -> SchemaGraph:
+    return SchemaGraph.from_database(mini_db)
+
+
+GSW_WINS_SQL = (
+    "SELECT winner AS team, season, COUNT(*) AS win FROM game g "
+    "WHERE winner = 'GSW' GROUP BY winner, season"
+)
+
+
+@pytest.fixture(scope="session")
+def nba_small():
+    """A small generated NBA instance with its schema graph."""
+    from repro.datasets import load_nba
+
+    return load_nba(scale=0.12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def mimic_small():
+    """A small generated MIMIC instance with its schema graph."""
+    from repro.datasets import load_mimic
+
+    return load_mimic(scale=0.08, seed=5)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,90 @@
+"""Unit tests for the CAPE counterbalance baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CapeExplainer
+from repro.db import ColumnType, Relation, TableSchema
+
+
+def result_relation(values: list[float]) -> Relation:
+    schema = TableSchema.build(
+        "result", {"season": ColumnType.TEXT, "win": ColumnType.FLOAT}
+    )
+    rows = [(f"s{i:02d}", v) for i, v in enumerate(values)]
+    return Relation.from_rows(schema, rows)
+
+
+class TestCape:
+    def test_high_outlier_gets_low_counterbalances(self):
+        # Flat trend with one high spike and one low dip.
+        values = [10, 10, 30, 10, 10, 2, 10]
+        cape = CapeExplainer(result_relation(values), "season", "win")
+        out = cape.explain("s02", "high")
+        assert out.is_outlier
+        assert out.counterbalances
+        assert out.counterbalances[0].group_value == "s05"
+        assert all(c.residual < 0 for c in out.counterbalances)
+
+    def test_low_direction(self):
+        values = [10, 10, 30, 10, 10, 2, 10]
+        cape = CapeExplainer(result_relation(values), "season", "win")
+        out = cape.explain("s05", "low")
+        assert out.is_outlier
+        assert out.counterbalances[0].group_value == "s02"
+
+    def test_non_outlier_flagged(self):
+        values = [10, 11, 12, 13, 14, 15]
+        cape = CapeExplainer(result_relation(values), "season", "win")
+        out = cape.explain("s03", "high")
+        assert not out.is_outlier
+
+    def test_trend_slope_estimated(self):
+        values = [10, 12, 14, 16, 18, 20]
+        cape = CapeExplainer(result_relation(values), "season", "win")
+        assert cape.slope == pytest.approx(2.0)
+
+    def test_k_limits_output(self):
+        values = [10, 30, 5, 6, 7, 8, 9]
+        cape = CapeExplainer(result_relation(values), "season", "win")
+        out = cape.explain("s01", "high", k=2)
+        assert len(out.counterbalances) <= 2
+
+    def test_unknown_group_raises(self):
+        cape = CapeExplainer(result_relation([1, 2, 3]), "season", "win")
+        with pytest.raises(KeyError):
+            cape.explain("nope", "high")
+
+    def test_bad_direction_raises(self):
+        cape = CapeExplainer(result_relation([1, 2, 3]), "season", "win")
+        with pytest.raises(ValueError):
+            cape.explain("s00", "sideways")
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError):
+            CapeExplainer(result_relation([1, 2]), "season", "win")
+
+    def test_describe(self):
+        values = [10, 10, 30, 10, 10]
+        cape = CapeExplainer(result_relation(values), "season", "win")
+        out = cape.explain("s02", "high")
+        text = out.counterbalances[0].describe()
+        assert "residual" in text
+
+    def test_gsw_wins_question(self, nba_small):
+        """The paper's UQcape1 on the generated NBA data."""
+        db, _ = nba_small
+        result = db.sql(
+            "SELECT COUNT(*) AS win, s.season_name FROM team t, game g, "
+            "season s WHERE t.team_id = g.winner_id AND "
+            "g.season_id = s.season_id AND t.team = 'GSW' "
+            "GROUP BY s.season_name"
+        )
+        cape = CapeExplainer(result, "season_name", "win")
+        out = cape.explain("2015-16", "high", k=3)
+        # Counterbalances are the low-win seasons.
+        lows = {c.group_value for c in out.counterbalances}
+        assert lows <= {
+            "2009-10", "2010-11", "2011-12", "2012-13", "2013-14",
+            "2017-18", "2018-19",
+        }

@@ -1,0 +1,130 @@
+"""Unit tests for the Explanation Tables baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExplanationTables,
+    discretize_numeric_columns,
+)
+
+
+class TestDiscretization:
+    def test_numeric_becomes_interval_labels(self):
+        cols = {"x": np.linspace(0, 100, 50)}
+        out = discretize_numeric_columns(cols, num_bins=4)
+        assert out["x"].dtype == object
+        assert all(v.startswith("[") for v in out["x"])
+        assert len(set(out["x"])) <= 4
+
+    def test_text_passthrough(self):
+        arr = np.array(["a", "b"], dtype=object)
+        out = discretize_numeric_columns({"t": arr})
+        assert out["t"] is arr
+
+    def test_nan_becomes_none(self):
+        cols = {"x": np.array([1.0, np.nan, 3.0])}
+        out = discretize_numeric_columns(cols)
+        assert out["x"][1] is None
+
+    def test_all_nan_column(self):
+        cols = {"x": np.array([np.nan, np.nan])}
+        out = discretize_numeric_columns(cols)
+        assert all(v is None for v in out["x"])
+
+
+class TestExplanationTables:
+    def labeled_data(self, n=400):
+        rng = np.random.default_rng(0)
+        group = np.array(
+            [rng.choice(["a", "b"]) for _ in range(n)], dtype=object
+        )
+        other = np.array(
+            [rng.choice(["x", "y", "z"]) for _ in range(n)], dtype=object
+        )
+        outcome = (group == "a").astype(float)
+        return {"group": group, "other": other}, outcome
+
+    def test_finds_informative_pattern_first(self):
+        cols, outcome = self.labeled_data()
+        table = ExplanationTables(max_patterns=3, sample_size=40).fit(
+            cols, outcome
+        )
+        assert table
+        first = table[0]
+        assert "group=" in first.pattern.describe()
+        assert first.gain > 0
+
+    def test_outcome_rates_match_data(self):
+        cols, outcome = self.labeled_data()
+        table = ExplanationTables(max_patterns=4, sample_size=40).fit(
+            cols, outcome
+        )
+        for row in table:
+            mask = row.pattern.match_mask(cols)
+            assert row.outcome_rate == pytest.approx(
+                float(outcome[mask].mean())
+            )
+            assert row.support == int(mask.sum())
+
+    def test_max_patterns_respected(self):
+        cols, outcome = self.labeled_data()
+        table = ExplanationTables(max_patterns=2, sample_size=30).fit(
+            cols, outcome
+        )
+        assert len(table) <= 2
+
+    def test_numeric_input_rejected(self):
+        with pytest.raises(ValueError):
+            ExplanationTables().fit(
+                {"x": np.arange(10).astype(float)}, np.zeros(10)
+            )
+
+    def test_deterministic(self):
+        cols, outcome = self.labeled_data()
+        t1 = ExplanationTables(sample_size=30, seed=4).fit(cols, outcome)
+        t2 = ExplanationTables(sample_size=30, seed=4).fit(cols, outcome)
+        assert [r.pattern for r in t1] == [r.pattern for r in t2]
+
+    def test_runtime_grows_superlinearly_in_sample(self):
+        """The Figure 11 shape: ET's candidate generation is quadratic."""
+        import time
+
+        rng = np.random.default_rng(1)
+        n = 3000
+        cols = {
+            f"c{k}": np.array(
+                [rng.choice(["u", "v", "w", "x"]) for _ in range(n)],
+                dtype=object,
+            )
+            for k in range(6)
+        }
+        outcome = (cols["c0"] == "u").astype(float)
+
+        def timed(size: int) -> float:
+            start = time.perf_counter()
+            ExplanationTables(max_patterns=5, sample_size=size).fit(
+                cols, outcome
+            )
+            return time.perf_counter() - start
+
+        small, large = timed(16), timed(128)
+        # 8× the sample should cost clearly more than 8× (quadratic-ish);
+        # allow slack for constant overheads.
+        assert large > small * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplanationTables(max_patterns=0)
+        with pytest.raises(ValueError):
+            ExplanationTables(sample_size=1)
+
+    def test_empty_columns(self):
+        assert ExplanationTables().fit({}, np.zeros(0)) == []
+
+    def test_describe(self):
+        cols, outcome = self.labeled_data()
+        table = ExplanationTables(max_patterns=1, sample_size=20).fit(
+            cols, outcome
+        )
+        assert "support=" in table[0].describe()

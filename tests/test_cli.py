@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_tuple_spec, build_parser, main
+
+
+class TestTupleSpec:
+    def test_types_inferred(self):
+        out = _parse_tuple_spec(["season=2015-16", "k=3", "r=0.5"])
+        assert out == {"season": "2015-16", "k": 3, "r": 0.5}
+
+    def test_bad_spec_exits(self):
+        with pytest.raises(SystemExit):
+            _parse_tuple_spec(["noequals"])
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["generate", "nba", "--out", "/tmp/x"],
+            ["workload", "Qnba1"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestEndToEnd:
+    def test_generate_then_explain(self, tmp_path, capsys):
+        out_dir = tmp_path / "nba"
+        assert main(
+            ["generate", "nba", "--scale", "0.08", "--out", str(out_dir)]
+        ) == 0
+        assert (out_dir / "schema.json").exists()
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+        sql = (
+            "SELECT COUNT(*) AS win, s.season_name FROM team t, game g, "
+            "season s WHERE t.team_id = g.winner_id AND "
+            "g.season_id = s.season_id AND t.team = 'GSW' "
+            "GROUP BY s.season_name"
+        )
+        code = main(
+            [
+                "explain", str(out_dir),
+                "--sql", sql,
+                "--t1", "season_name=2015-16",
+                "--t2", "season_name=2012-13",
+                "--edges", "1",
+                "--f1-sample", "1.0",
+                "--top-k", "3",
+                "--sentences",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "question:" in captured.out
+        assert "because" in captured.out
+
+    def test_outlier_question_via_cli(self, tmp_path, capsys):
+        out_dir = tmp_path / "nba"
+        main(["generate", "nba", "--scale", "0.08", "--out", str(out_dir)])
+        capsys.readouterr()
+        sql = (
+            "SELECT COUNT(*) AS win, s.season_name FROM team t, game g, "
+            "season s WHERE t.team_id = g.winner_id AND "
+            "g.season_id = s.season_id AND t.team = 'GSW' "
+            "GROUP BY s.season_name"
+        )
+        code = main(
+            [
+                "explain", str(out_dir),
+                "--sql", sql,
+                "--t1", "season_name=2015-16",
+                "--edges", "0",
+                "--f1-sample", "1.0",
+            ]
+        )
+        assert code == 0
+        assert "question:" in capsys.readouterr().out
+
+    def test_workload_command(self, capsys):
+        code = main(
+            [
+                "workload", "Qmimic2",
+                "--scale", "0.05",
+                "--edges", "1",
+                "--top-k", "3",
+                "--f1-sample", "1.0",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Qmimic2" in captured.out

@@ -1,0 +1,60 @@
+"""Unit tests for CajadeConfig."""
+
+import pytest
+
+from repro.core import CajadeConfig
+
+
+class TestDefaults:
+    def test_paper_table1_defaults(self):
+        config = CajadeConfig()
+        assert config.max_join_edges == 3
+        assert config.num_selected_attrs == 3
+        assert config.max_numeric_predicates == 3
+        assert config.lca_sample_rate == 0.1
+        assert config.f1_sample_rate == 0.3
+        assert config.lca_sample_cap == 1000
+
+    def test_with_overrides_copies(self):
+        base = CajadeConfig()
+        changed = base.with_overrides(top_k=5)
+        assert changed.top_k == 5
+        assert base.top_k == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"top_k": 0},
+            {"max_join_edges": -1},
+            {"lca_sample_rate": 0.0},
+            {"lca_sample_rate": 1.5},
+            {"f1_sample_rate": 0.0},
+            {"recall_threshold": -0.1},
+            {"recall_threshold": 1.1},
+            {"num_fragments": 0},
+            {"num_selected_attrs": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CajadeConfig(**kwargs)
+
+
+class TestSelectedAttrCount:
+    def test_absolute_count(self):
+        config = CajadeConfig(num_selected_attrs=3)
+        assert config.selected_attr_count(10) == 3
+
+    def test_capped_by_total(self):
+        config = CajadeConfig(num_selected_attrs=5)
+        assert config.selected_attr_count(2) == 2
+
+    def test_fraction(self):
+        config = CajadeConfig(num_selected_attrs=0.5)
+        assert config.selected_attr_count(10) == 5
+
+    def test_fraction_at_least_one(self):
+        config = CajadeConfig(num_selected_attrs=0.01)
+        assert config.selected_attr_count(10) == 1

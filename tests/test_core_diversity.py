@@ -1,0 +1,116 @@
+"""Unit tests for diversity reranking (§3.5)."""
+
+import pytest
+
+from repro.core import (
+    Pattern,
+    dissimilarity,
+    match_score,
+    select_diverse_top_k,
+    wscore,
+)
+from repro.core.diversity import (
+    MATCH_DIFFERENT_CONSTANT,
+    MATCH_FREE,
+    MATCH_SAME_CONSTANT,
+)
+from repro.core.pattern import OP_EQ, OP_GE
+
+
+def pat(**kwargs) -> Pattern:
+    return Pattern.from_dict({k: (OP_EQ, v) for k, v in kwargs.items()})
+
+
+class TestMatchScore:
+    def test_attribute_free_in_other(self):
+        assert match_score(pat(a="x"), pat(b="y"), "a") == MATCH_FREE
+
+    def test_same_constant_heavy_penalty(self):
+        assert (
+            match_score(pat(a="x"), pat(a="x"), "a") == MATCH_SAME_CONSTANT
+        )
+
+    def test_different_constant_light_penalty(self):
+        assert (
+            match_score(pat(a="x"), pat(a="y"), "a")
+            == MATCH_DIFFERENT_CONSTANT
+        )
+
+
+class TestDissimilarity:
+    def test_range(self):
+        combos = [
+            (pat(a="x"), pat(a="x")),
+            (pat(a="x"), pat(a="y")),
+            (pat(a="x"), pat(b="z")),
+            (pat(a="x", b="y"), pat(a="x", c="q")),
+        ]
+        for phi, other in combos:
+            assert -2.0 <= dissimilarity(phi, other) <= 1.0
+
+    def test_identical_patterns_minimum(self):
+        assert dissimilarity(pat(a="x"), pat(a="x")) == -2.0
+
+    def test_disjoint_patterns_maximum(self):
+        assert dissimilarity(pat(a="x"), pat(b="y")) == 1.0
+
+    def test_empty_pattern(self):
+        assert dissimilarity(Pattern(), pat(a="x")) == 1.0
+
+    def test_averaged_over_phi_attributes(self):
+        phi = pat(a="x", b="y")
+        other = pat(a="x")  # a: same constant (-2), b: free (+1)
+        assert dissimilarity(phi, other) == pytest.approx(-0.5)
+
+
+class TestWscore:
+    def test_no_selection_is_fscore(self):
+        assert wscore(pat(a="x"), 0.8, []) == 0.8
+
+    def test_penalized_by_most_similar(self):
+        selected = [pat(a="x"), pat(b="z")]
+        # vs pat(a="x"): -2; vs pat(b="z"): +1 → min is -2.
+        assert wscore(pat(a="x"), 0.8, selected) == pytest.approx(-1.2)
+
+
+class TestSelectDiverseTopK:
+    def test_highest_fscore_first(self):
+        candidates = [
+            (pat(a="x"), 0.5, "low"),
+            (pat(b="y"), 0.9, "high"),
+        ]
+        chosen = select_diverse_top_k(candidates, 2)
+        assert chosen[0][2] == "high"
+
+    def test_prefers_diverse_runner_up(self):
+        near_duplicate = pat(a="x")
+        duplicate2 = Pattern.from_dict(
+            {"a": (OP_EQ, "x"), "b": (OP_GE, 1)}
+        )
+        different = pat(c="z")
+        candidates = [
+            (near_duplicate, 0.9, 1),
+            (duplicate2, 0.85, 2),
+            (different, 0.6, 3),
+        ]
+        chosen = select_diverse_top_k(candidates, 2)
+        assert [c[2] for c in chosen] == [1, 3]
+
+    def test_k_larger_than_pool(self):
+        candidates = [(pat(a="x"), 0.5, None)]
+        assert len(select_diverse_top_k(candidates, 10)) == 1
+
+    def test_empty_pool(self):
+        assert select_diverse_top_k([], 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            select_diverse_top_k([], 0)
+
+    def test_deterministic_tiebreak(self):
+        candidates = [
+            (pat(a="x"), 0.5, "ax"),
+            (pat(a="w"), 0.5, "aw"),
+        ]
+        chosen = select_diverse_top_k(candidates, 1)
+        assert chosen[0][2] == "aw"  # alphabetical describe() tiebreak

@@ -1,0 +1,138 @@
+"""Unit tests for join graphs."""
+
+import pytest
+
+from repro.core import JoinConditionSpec, JoinGraph, PT_LABEL
+
+
+COND = JoinConditionSpec((("year", "year"), ("gameno", "gameno")))
+COND2 = JoinConditionSpec((("player_id", "player_id"),))
+
+
+def initial() -> JoinGraph:
+    return JoinGraph.initial({"g": "game"})
+
+
+class TestBasicStructure:
+    def test_initial_has_only_pt(self):
+        graph = initial()
+        assert graph.pt_node.label == PT_LABEL
+        assert graph.num_edges == 0
+        assert graph.context_nodes == []
+        assert graph.structure() == "PT"
+
+    def test_with_new_node(self):
+        graph = initial().with_new_node(0, "player_game", COND, "g")
+        assert graph.num_edges == 1
+        assert [n.label for n in graph.context_nodes] == ["player_game"]
+        assert graph.edges[0].pt_alias == "g"
+
+    def test_extension_does_not_mutate_original(self):
+        graph = initial()
+        graph.with_new_node(0, "player_game", COND, "g")
+        assert graph.num_edges == 0
+
+    def test_with_new_edge_duplicate_returns_none(self):
+        graph = initial().with_new_node(0, "player_game", COND, "g")
+        dup = graph.with_new_edge(0, 1, COND, "g")
+        assert dup is None
+
+    def test_with_new_edge_parallel_allowed(self):
+        graph = initial().with_new_node(0, "player_game", COND, "g")
+        other = JoinConditionSpec((("year", "year"),))
+        parallel = graph.with_new_edge(0, 1, other, "g")
+        assert parallel is not None
+        assert parallel.num_edges == 2
+
+    def test_edges_between(self):
+        graph = initial().with_new_node(0, "player_game", COND, "g")
+        assert len(graph.edges_between(0, 1)) == 1
+        assert graph.edges_between(0, 9) == []
+
+    def test_node_lookup(self):
+        graph = initial().with_new_node(0, "x", COND2, "g")
+        assert graph.node(1).label == "x"
+        with pytest.raises(KeyError):
+            graph.node(42)
+
+
+class TestAliases:
+    def test_unique_aliases_for_repeated_relation(self):
+        graph = (
+            initial()
+            .with_new_node(0, "lineup_player", COND2, "g")
+            .with_new_node(1, "lineup_player", COND2, None)
+        )
+        aliases = graph.materialization_aliases()
+        assert sorted(aliases.values()) == [
+            "lineup_player", "lineup_player2",
+        ]
+
+    def test_alias_avoids_query_alias_collision(self):
+        graph = JoinGraph.initial({"admissions": "admissions"})
+        graph = graph.with_new_node(0, "admissions", COND2, "admissions")
+        aliases = graph.materialization_aliases()
+        assert list(aliases.values()) == ["admissions2"]
+
+
+class TestSignature:
+    def test_isomorphic_graphs_same_signature(self):
+        # Build PT—A—B in two node orders; signature must coincide.
+        a_first = (
+            initial()
+            .with_new_node(0, "a", COND2, "g")
+            .with_new_node(1, "b", COND2, None)
+        )
+        direct = (
+            initial()
+            .with_new_node(0, "a", COND2, "g")
+            .with_new_node(1, "b", COND2, None)
+        )
+        assert a_first.signature() == direct.signature()
+
+    def test_same_label_nodes_interchangeable(self):
+        # PT—X, PT—X with two parallel structures added in swapped order.
+        g1 = (
+            initial()
+            .with_new_node(0, "x", COND, "g")
+            .with_new_node(0, "x", COND2, "g")
+        )
+        g2 = (
+            initial()
+            .with_new_node(0, "x", COND2, "g")
+            .with_new_node(0, "x", COND, "g")
+        )
+        assert g1.signature() == g2.signature()
+
+    def test_different_conditions_differ(self):
+        g1 = initial().with_new_node(0, "x", COND, "g")
+        g2 = initial().with_new_node(0, "x", COND2, "g")
+        assert g1.signature() != g2.signature()
+
+    def test_structure_vs_chain_differs(self):
+        chain = (
+            initial()
+            .with_new_node(0, "x", COND, "g")
+            .with_new_node(1, "y", COND2, None)
+        )
+        star = (
+            initial()
+            .with_new_node(0, "x", COND, "g")
+            .with_new_node(0, "y", COND2, "g")
+        )
+        assert chain.signature() != star.signature()
+
+
+class TestDescription:
+    def test_structure_string(self):
+        graph = (
+            initial()
+            .with_new_node(0, "player_game", COND, "g")
+            .with_new_node(1, "player", COND2, None)
+        )
+        assert graph.structure() == "PT - player_game ; player_game - player"
+
+    def test_describe_includes_conditions(self):
+        graph = initial().with_new_node(0, "player_game", COND, "g")
+        text = graph.describe()
+        assert "PT[g].year = player_game.year" in text

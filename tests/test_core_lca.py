@@ -1,0 +1,105 @@
+"""Unit tests for LCA candidate generation (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CajadeConfig, Pattern, lca_candidates, pick_top_candidates
+from repro.core.pattern import OP_EQ
+
+
+@pytest.fixture()
+def columns() -> dict:
+    player = ["Curry"] * 6 + ["Green"] * 4
+    home = ["GSW", "LAL"] * 5
+    return {
+        "player": np.array(player, dtype=object),
+        "home": np.array(home, dtype=object),
+        "pts": np.arange(10).astype(float),
+    }
+
+
+def config(**kwargs) -> CajadeConfig:
+    defaults = dict(lca_sample_rate=1.0, lca_sample_cap=1000)
+    defaults.update(kwargs)
+    return CajadeConfig(**defaults)
+
+
+class TestLcaCandidates:
+    def test_frequent_constants_surface(self, columns, rng):
+        patterns = lca_candidates(
+            columns, ["player", "home"], config(), rng
+        )
+        descriptions = {p.describe() for p in patterns}
+        assert "player=Curry" in descriptions
+        assert "home=GSW" in descriptions
+
+    def test_pairwise_lca_agreement_only(self, columns, rng):
+        patterns = lca_candidates(columns, ["player", "home"], config(), rng)
+        combined = Pattern.from_dict(
+            {"player": (OP_EQ, "Curry"), "home": (OP_EQ, "GSW")}
+        )
+        assert combined in patterns
+
+    def test_numeric_attrs_ignored(self, columns, rng):
+        patterns = lca_candidates(
+            columns, ["player", "home", "pts"], config(), rng
+        )
+        for pattern in patterns:
+            assert "pts" not in pattern.attributes
+
+    def test_empty_without_categorical(self, columns, rng):
+        assert lca_candidates(columns, [], config(), rng) == []
+        assert lca_candidates(columns, ["missing"], config(), rng) == []
+
+    def test_no_empty_pattern(self, columns, rng):
+        patterns = lca_candidates(columns, ["player"], config(), rng)
+        assert all(p.size >= 1 for p in patterns)
+
+    def test_null_values_skipped(self, rng):
+        cols = {"a": np.array([None, None, "x"], dtype=object)}
+        patterns = lca_candidates(cols, ["a"], config(), rng)
+        assert {p.describe() for p in patterns} == {"a=x"}
+
+    def test_sample_cap_respected(self, rng):
+        n = 5000
+        cols = {"a": np.array(["v"] * n, dtype=object)}
+        cfg = config(lca_sample_rate=1.0, lca_sample_cap=50, lca_pair_cap=100)
+        patterns = lca_candidates(cols, ["a"], cfg, rng)
+        assert {p.describe() for p in patterns} == {"a=v"}
+
+    def test_deterministic_given_rng(self, columns):
+        r1 = lca_candidates(
+            columns, ["player", "home"], config(), np.random.default_rng(3)
+        )
+        r2 = lca_candidates(
+            columns, ["player", "home"], config(), np.random.default_rng(3)
+        )
+        assert r1 == r2
+
+
+class TestPickTopCandidates:
+    def test_filters_by_recall_and_ranks(self):
+        p_high = Pattern.from_dict({"a": (OP_EQ, "hi")})
+        p_mid = Pattern.from_dict({"a": (OP_EQ, "mid")})
+        p_low = Pattern.from_dict({"a": (OP_EQ, "lo")})
+        recalls = {p_high: 0.9, p_mid: 0.5, p_low: 0.05}
+        picked = pick_top_candidates(
+            [p_low, p_mid, p_high], lambda p: recalls[p], k_cat=2,
+            recall_threshold=0.1,
+        )
+        assert picked == [p_high, p_mid]
+
+    def test_k_cat_truncates(self):
+        patterns = [
+            Pattern.from_dict({"a": (OP_EQ, f"v{i}")}) for i in range(10)
+        ]
+        picked = pick_top_candidates(
+            patterns, lambda p: 1.0, k_cat=3, recall_threshold=0.0
+        )
+        assert len(picked) == 3
+
+    def test_all_below_threshold(self):
+        patterns = [Pattern.from_dict({"a": (OP_EQ, "v")})]
+        assert (
+            pick_top_candidates(patterns, lambda p: 0.01, 5, 0.5) == []
+        )

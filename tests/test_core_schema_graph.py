@@ -1,0 +1,99 @@
+"""Unit tests for schema graphs."""
+
+import pytest
+
+from repro.core import JoinConditionSpec, SchemaGraph
+from repro.core.schema_graph import SchemaEdge
+from repro.db import SchemaError
+
+
+class TestJoinConditionSpec:
+    def test_flip(self):
+        cond = JoinConditionSpec((("a", "x"), ("b", "y")))
+        assert cond.flipped().pairs == (("x", "a"), ("y", "b"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            JoinConditionSpec(())
+
+    def test_describe(self):
+        cond = JoinConditionSpec((("a", "x"),))
+        assert cond.describe("L", "R") == "L.a = R.x"
+
+
+class TestSchemaEdge:
+    def edge(self) -> SchemaEdge:
+        return SchemaEdge(
+            "game", "team", (JoinConditionSpec((("winner_id", "team_id"),)),)
+        )
+
+    def test_other_side(self):
+        assert self.edge().other_side("game") == "team"
+        assert self.edge().other_side("team") == "game"
+        with pytest.raises(SchemaError):
+            self.edge().other_side("nope")
+
+    def test_conditions_from_orientation(self):
+        edge = self.edge()
+        from_game = edge.conditions_from("game")[0]
+        assert from_game.pairs == (("winner_id", "team_id"),)
+        from_team = edge.conditions_from("team")[0]
+        assert from_team.pairs == (("team_id", "winner_id"),)
+
+    def test_self_edge_both_orientations(self):
+        edge = SchemaEdge(
+            "lp", "lp", (JoinConditionSpec((("a", "b"),)),)
+        )
+        oriented = edge.conditions_from("lp")
+        assert len(oriented) == 2  # asymmetric condition → both directions
+
+    def test_symmetric_self_edge_single(self):
+        edge = SchemaEdge(
+            "lp", "lp", (JoinConditionSpec((("id", "id"),)),)
+        )
+        assert len(edge.conditions_from("lp")) == 1
+
+    def test_no_conditions_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaEdge("a", "b", ())
+
+
+class TestSchemaGraph:
+    def test_from_database_uses_fks(self, mini_db):
+        graph = SchemaGraph.from_database(mini_db)
+        assert set(graph.tables) == {"game", "player", "player_game"}
+        assert len(graph.edges) == 2
+
+    def test_edges_of(self, mini_db):
+        graph = SchemaGraph.from_database(mini_db)
+        assert len(graph.edges_of("player_game")) == 2
+        assert len(graph.edges_of("game")) == 1
+
+    def test_add_edge_merges_conditions(self):
+        graph = SchemaGraph()
+        graph.add_edge("a", "b", [[("x", "y")]])
+        edge = graph.add_edge("a", "b", [[("p", "q")]])
+        assert len(graph.edges) == 1
+        assert len(edge.conditions) == 2
+
+    def test_merge_flips_when_reversed(self):
+        graph = SchemaGraph()
+        graph.add_edge("a", "b", [[("x", "y")]])
+        edge = graph.add_edge("b", "a", [[("y2", "x2")]])
+        # Second condition stored oriented a→b.
+        assert edge.conditions[1].pairs == (("x2", "y2"),)
+
+    def test_self_edge(self):
+        graph = SchemaGraph()
+        graph.add_edge("lp", "lp", [[("lid", "lid")]])
+        assert graph.edges[0].is_self_edge
+
+    def test_num_conditions(self, mini_db):
+        graph = SchemaGraph.from_database(mini_db)
+        assert graph.num_conditions() == 2
+
+    def test_include_self_edges_for_mapping_tables(self, mini_db):
+        graph = SchemaGraph.from_database(mini_db, include_self_edges=True)
+        self_edges = [e for e in graph.edges if e.is_self_edge]
+        # player_game has a composite PK → gets a self edge.
+        assert any(e.table_a == "player_game" for e in self_edges)

@@ -1,0 +1,64 @@
+"""Unit tests for StepTimer."""
+
+import time
+
+from repro.core.timing import ALL_STEPS, F_SCORE_CALC, StepTimer
+
+
+class TestStepTimer:
+    def test_accumulates(self):
+        timer = StepTimer()
+        with timer.step(F_SCORE_CALC):
+            time.sleep(0.01)
+        with timer.step(F_SCORE_CALC):
+            time.sleep(0.01)
+        assert timer.seconds(F_SCORE_CALC) >= 0.02
+
+    def test_unknown_step_zero(self):
+        assert StepTimer().seconds("nope") == 0.0
+
+    def test_add_manual(self):
+        timer = StepTimer()
+        timer.add("custom", 1.5)
+        timer.add("custom", 0.5)
+        assert timer.seconds("custom") == 2.0
+
+    def test_total(self):
+        timer = StepTimer()
+        timer.add("a", 1.0)
+        timer.add("b", 2.0)
+        assert timer.total == 3.0
+
+    def test_breakdown_canonical_order(self):
+        timer = StepTimer()
+        timer.add(ALL_STEPS[3], 1.0)
+        timer.add(ALL_STEPS[0], 1.0)
+        timer.add("extra", 1.0)
+        keys = list(timer.breakdown())
+        assert keys == [ALL_STEPS[0], ALL_STEPS[3], "extra"]
+
+    def test_merge(self):
+        a, b = StepTimer(), StepTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.seconds("x") == 3.0
+        assert a.seconds("y") == 3.0
+
+    def test_format_table_has_total(self):
+        timer = StepTimer()
+        timer.add("a", 1.0)
+        text = timer.format_table()
+        assert "total" in text
+        assert "a" in text
+
+    def test_exception_still_recorded(self):
+        timer = StepTimer()
+        try:
+            with timer.step("risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.seconds("risky") >= 0.0
+        assert "risky" in timer.breakdown()

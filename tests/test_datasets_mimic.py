@@ -1,0 +1,151 @@
+"""Tests for the synthetic MIMIC dataset generator."""
+
+import pytest
+
+from repro.datasets import generate_mimic, load_mimic
+
+
+class TestSchema:
+    def test_figure6_tables_present(self, mimic_small):
+        db, _ = mimic_small
+        expected = {
+            "admissions", "patients", "patients_admit_info",
+            "diagnoses", "procedures", "icustays",
+        }
+        assert set(db.table_names) == expected
+
+    def test_foreign_keys(self, mimic_small):
+        db, _ = mimic_small
+        pairs = {(fk.table, fk.ref_table) for fk in db.foreign_keys}
+        assert ("admissions", "patients") in pairs
+        assert ("icustays", "admissions") in pairs
+        assert ("diagnoses", "admissions") in pairs
+
+    def test_fk_integrity(self, mimic_small):
+        db, _ = mimic_small
+        for fk in db.foreign_keys:
+            child = db.table(fk.table)
+            parent = db.table(fk.ref_table)
+            parent_keys = {
+                tuple(parent.column(c)[i] for c in fk.ref_columns)
+                for i in range(parent.num_rows)
+            }
+            for i in range(child.num_rows):
+                key = tuple(child.column(c)[i] for c in fk.columns)
+                assert key in parent_keys
+
+
+class TestSignals:
+    def death_rates(self, db) -> dict:
+        result = db.sql(
+            "SELECT insurance, 1.0 * SUM(hospital_expire_flag) / COUNT(*) "
+            "AS death_rate FROM admissions GROUP BY insurance"
+        )
+        return {d["insurance"]: d["death_rate"] for d in result.to_dicts()}
+
+    def test_medicare_death_rate_above_private(self, mimic_small):
+        db, _ = mimic_small
+        rates = self.death_rates(db)
+        assert rates["Medicare"] > rates["Private"] * 1.5
+
+    def test_death_rates_roughly_match_paper(self):
+        db = generate_mimic(scale=1.0, seed=3)
+        rates = self.death_rates(db)
+        assert rates["Medicare"] == pytest.approx(0.14, abs=0.04)
+        assert rates["Private"] == pytest.approx(0.06, abs=0.03)
+
+    def test_medicare_patients_older(self, mimic_small):
+        db, _ = mimic_small
+        result = db.sql(
+            "SELECT a.insurance, AVG(pai.age) AS avg_age "
+            "FROM admissions a, patients_admit_info pai "
+            "WHERE a.hadm_id = pai.hadm_id GROUP BY a.insurance"
+        )
+        ages = {d["insurance"]: d["avg_age"] for d in result.to_dicts()}
+        assert ages["Medicare"] > ages["Private"] + 10
+
+    def test_emergency_skew_for_medicare(self, mimic_small):
+        db, _ = mimic_small
+        rows = db.sql(
+            "SELECT insurance, admission_type, COUNT(*) AS n "
+            "FROM admissions GROUP BY insurance, admission_type"
+        ).to_dicts()
+        def frac(ins):
+            total = sum(r["n"] for r in rows if r["insurance"] == ins)
+            emer = sum(
+                r["n"]
+                for r in rows
+                if r["insurance"] == ins
+                and r["admission_type"] == "EMERGENCY"
+            )
+            return emer / total
+        assert frac("Medicare") > frac("Private")
+
+    def test_icu_los_groups_consistent(self, mimic_small):
+        db, _ = mimic_small
+        rows = db.sql(
+            "SELECT los, los_group FROM icustays"
+        ).to_dicts()
+        for r in rows:
+            if r["los_group"] == "0-1":
+                assert r["los"] <= 1.0
+            if r["los_group"] == "x>8":
+                assert r["los"] > 8.0
+
+    def test_long_stays_get_chapter16_procedures(self, mimic_small):
+        db, _ = mimic_small
+        rows = db.sql(
+            "SELECT a.hospital_stay_length AS stay, p.chapter "
+            "FROM admissions a, procedures p WHERE a.hadm_id = p.hadm_id"
+        ).to_dicts()
+        long_stay = [r for r in rows if r["stay"] > 9]
+        if long_stay:
+            frac16 = sum(1 for r in long_stay if r["chapter"] == "16") / len(
+                long_stay
+            )
+            assert frac16 > 0.2
+
+    def test_hispanic_catholic_skew(self):
+        # Needs a few hundred Hispanic admissions for the skew to show
+        # above sampling noise; the tiny shared fixture has ~12.
+        db = generate_mimic(scale=0.4, seed=5)
+        rows = db.sql(
+            "SELECT ethnicity, religion, COUNT(*) AS n "
+            "FROM patients_admit_info GROUP BY ethnicity, religion"
+        ).to_dicts()
+
+        def catholic_frac(eth):
+            total = sum(r["n"] for r in rows if r["ethnicity"] == eth)
+            cath = sum(
+                r["n"]
+                for r in rows
+                if r["ethnicity"] == eth and r["religion"] == "Catholic"
+            )
+            return cath / total if total else 0.0
+
+        assert catholic_frac("Hispanic") > catholic_frac("White")
+
+
+class TestScaling:
+    def test_scale_changes_admissions(self):
+        small = generate_mimic(scale=0.05, seed=2)
+        larger = generate_mimic(scale=0.1, seed=2)
+        assert (
+            larger.table("admissions").num_rows
+            > small.table("admissions").num_rows
+        )
+
+    def test_deterministic(self):
+        a = generate_mimic(scale=0.05, seed=8)
+        b = generate_mimic(scale=0.05, seed=8)
+        assert list(a.table("admissions").iter_rows()) == list(
+            b.table("admissions").iter_rows()
+        )
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate_mimic(scale=-1)
+
+    def test_load_returns_graph(self):
+        db, graph = load_mimic(scale=0.05, seed=5)
+        assert set(graph.tables) == set(db.table_names)

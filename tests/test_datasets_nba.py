@@ -1,0 +1,125 @@
+"""Tests for the synthetic NBA dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_nba, load_nba
+from repro.datasets.nba import GSW_WINS, SEASONS, TEAMS
+
+
+class TestSchema:
+    def test_all_figure5_tables_present(self, nba_small):
+        db, _ = nba_small
+        expected = {
+            "game", "team", "player", "player_salary", "play_for",
+            "lineup", "lineup_player", "team_game_stats",
+            "lineup_game_stats", "player_game_stats", "season",
+        }
+        assert set(db.table_names) == expected
+
+    def test_foreign_keys_declared(self, nba_small):
+        db, _ = nba_small
+        fk_pairs = {(fk.table, fk.ref_table) for fk in db.foreign_keys}
+        assert ("game", "team") in fk_pairs
+        assert ("player_game_stats", "player") in fk_pairs
+        assert ("lineup_player", "lineup") in fk_pairs
+
+    def test_schema_graph_has_self_edge(self, nba_small):
+        _, graph = nba_small
+        self_edges = [e for e in graph.edges if e.is_self_edge]
+        assert any(e.table_a == "lineup_player" for e in self_edges)
+
+    def test_fk_integrity(self, nba_small):
+        db, _ = nba_small
+        for fk in db.foreign_keys:
+            child = db.table(fk.table)
+            parent = db.table(fk.ref_table)
+            parent_keys = {
+                tuple(parent.column(c)[i] for c in fk.ref_columns)
+                for i in range(parent.num_rows)
+            }
+            for i in range(child.num_rows):
+                key = tuple(child.column(c)[i] for c in fk.columns)
+                assert key in parent_keys
+
+
+class TestSignals:
+    def test_gsw_win_curve_shape(self, nba_small):
+        db, _ = nba_small
+        result = db.sql(
+            "SELECT COUNT(*) AS win, s.season_name FROM team t, game g, "
+            "season s WHERE t.team_id = g.winner_id AND "
+            "g.season_id = s.season_id AND t.team = 'GSW' "
+            "GROUP BY s.season_name"
+        )
+        wins = {d["season_name"]: d["win"] for d in result.to_dicts()}
+        # Shape: the 2015-16 peak beats the weak early seasons.
+        assert wins["2015-16"] > wins["2011-12"]
+        assert wins["2014-15"] > wins["2009-10"]
+
+    def test_curry_scoring_jump(self, nba_small):
+        db, _ = nba_small
+        result = db.sql(
+            "SELECT AVG(points) AS avg_pts, s.season_name "
+            "FROM player p, player_game_stats pgs, game g, season s "
+            "WHERE p.player_id = pgs.player_id AND "
+            "g.game_date = pgs.game_date AND g.home_id = pgs.home_id AND "
+            "s.season_id = g.season_id AND "
+            "p.player_name = 'Stephen Curry' GROUP BY s.season_name"
+        )
+        avg = {d["season_name"]: d["avg_pts"] for d in result.to_dicts()}
+        assert avg["2015-16"] > avg["2012-13"] + 4
+
+    def test_jarrett_jack_only_2012_13_on_gsw(self, nba_small):
+        db, _ = nba_small
+        rows = db.sql(
+            "SELECT date_start, date_end, t.team "
+            "FROM play_for pf, player p, team t "
+            "WHERE pf.player_id = p.player_id AND pf.team_id = t.team_id "
+            "AND p.player_name = 'Jarrett Jack'"
+        ).to_dicts()
+        gsw = [r for r in rows if r["team"] == "GSW"]
+        assert len(gsw) == 1
+        assert gsw[0]["date_start"].startswith("2012")
+
+    def test_green_salary_jump_2016_17(self, nba_small):
+        db, _ = nba_small
+        rows = db.sql(
+            "SELECT salary, s.season_name FROM player_salary ps, player p, "
+            "season s WHERE ps.player_id = p.player_id AND "
+            "ps.season_id = s.season_id AND "
+            "p.player_name = 'Draymond Green'"
+        ).to_dicts()
+        by_season = {r["season_name"]: r["salary"] for r in rows}
+        assert by_season["2016-17"] > 14_260_870
+        assert by_season["2015-16"] < 15_330_435
+
+
+class TestScaling:
+    def test_scale_multiplies_games(self):
+        small = generate_nba(scale=0.12, seed=5)
+        large = generate_nba(scale=0.25, seed=5)
+        assert large.table("game").num_rows > small.table("game").num_rows
+        ratio = (
+            large.table("player_game_stats").num_rows
+            / small.table("player_game_stats").num_rows
+        )
+        games_ratio = (
+            large.table("game").num_rows / small.table("game").num_rows
+        )
+        assert ratio == pytest.approx(games_ratio, rel=0.05)
+
+    def test_deterministic(self):
+        a = generate_nba(scale=0.12, seed=9)
+        b = generate_nba(scale=0.12, seed=9)
+        assert list(a.table("game").iter_rows()) == list(
+            b.table("game").iter_rows()
+        )
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_nba(scale=0.0)
+
+    def test_load_returns_graph(self):
+        db, graph = load_nba(scale=0.12, seed=5)
+        assert set(graph.tables) == set(db.table_names)

@@ -1,0 +1,107 @@
+"""Tests for database scale-up / scale-down utilities."""
+
+import pytest
+
+from repro.datasets import scale_down_database, scale_up_database
+
+
+class TestScaleUp:
+    def test_rows_multiply(self, mini_db):
+        scaled = scale_up_database(mini_db, 3)
+        for name in mini_db.table_names:
+            assert (
+                scaled.table(name).num_rows
+                == mini_db.table(name).num_rows * 3
+            )
+
+    def test_primary_keys_still_hold(self, mini_db):
+        scaled = scale_up_database(mini_db, 2)
+        for name in scaled.table_names:
+            relation = scaled.table(name)
+            pk = relation.schema.primary_key
+            if not pk:
+                continue
+            keys = set()
+            arrays = [relation.column(c) for c in pk]
+            for i in range(relation.num_rows):
+                key = tuple(arr[i] for arr in arrays)
+                assert key not in keys
+                keys.add(key)
+
+    def test_join_sizes_scale_linearly(self, mini_db):
+        scaled = scale_up_database(mini_db, 2)
+        base = mini_db.sql(
+            "SELECT COUNT(*) AS n FROM game g, player_game pg "
+            "WHERE g.year = pg.year AND g.gameno = pg.gameno"
+        ).to_dicts()[0]["n"]
+        doubled = scaled.sql(
+            "SELECT COUNT(*) AS n FROM game g, player_game pg "
+            "WHERE g.year = pg.year AND g.gameno = pg.gameno"
+        ).to_dicts()[0]["n"]
+        assert doubled == base * 2
+
+    def test_query_results_scale(self, mini_db):
+        scaled = scale_up_database(mini_db, 2)
+        wins = scaled.sql(
+            "SELECT season, COUNT(*) AS n FROM game "
+            "WHERE winner = 'GSW' GROUP BY season"
+        ).to_dicts()
+        # Text key columns get suffixed copies, but the non-key 'season'
+        # and 'winner' values are preserved — counts double.
+        by_season = {d["season"]: d["n"] for d in wins}
+        assert by_season["2015-16"] == 12
+
+    def test_factor_one_is_identity(self, mini_db):
+        assert scale_up_database(mini_db, 1) is mini_db
+
+    def test_bad_factor(self, mini_db):
+        with pytest.raises(ValueError):
+            scale_up_database(mini_db, 0)
+
+    def test_foreign_keys_carried_over(self, mini_db):
+        scaled = scale_up_database(mini_db, 2)
+        assert len(scaled.foreign_keys) == len(mini_db.foreign_keys)
+
+
+class TestScaleDown:
+    def test_rows_shrink(self, nba_small):
+        db, _ = nba_small
+        scaled = scale_down_database(db, 0.5, seed=1)
+        assert (
+            scaled.table("game").num_rows <= db.table("game").num_rows
+        )
+        assert scaled.table("game").num_rows > 0
+
+    def test_referential_integrity_preserved(self, nba_small):
+        db, _ = nba_small
+        scaled = scale_down_database(db, 0.4, seed=1)
+        for fk in scaled.foreign_keys:
+            child = scaled.table(fk.table)
+            parent = scaled.table(fk.ref_table)
+            if tuple(fk.ref_columns) != parent.schema.primary_key:
+                continue
+            parent_keys = {
+                tuple(parent.column(c)[i] for c in fk.ref_columns)
+                for i in range(parent.num_rows)
+            }
+            arrays = [child.column(c) for c in fk.columns]
+            for i in range(child.num_rows):
+                key = tuple(arr[i] for arr in arrays)
+                assert key in parent_keys
+
+    def test_fraction_one_is_identity(self, mini_db):
+        assert scale_down_database(mini_db, 1.0) is mini_db
+
+    def test_bad_fraction(self, mini_db):
+        with pytest.raises(ValueError):
+            scale_down_database(mini_db, 0.0)
+        with pytest.raises(ValueError):
+            scale_down_database(mini_db, 1.5)
+
+    def test_deterministic(self, mini_db):
+        a = scale_down_database(mini_db, 0.5, seed=3)
+        b = scale_down_database(mini_db, 0.5, seed=3)
+        for name in a.table_names:
+            assert list(a.table(name).iter_rows()) == list(
+                b.table(name).iter_rows()
+            )

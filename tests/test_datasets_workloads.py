@@ -1,0 +1,62 @@
+"""Tests for the 10-query workload definitions."""
+
+import pytest
+
+from repro.datasets import (
+    all_queries,
+    mimic_queries,
+    nba_queries,
+    query_by_name,
+    user_study_query,
+)
+from repro.db import parse_sql
+
+
+class TestWorkloadDefinitions:
+    def test_ten_queries(self):
+        assert len(all_queries()) == 10
+        assert len(nba_queries()) == 5
+        assert len(mimic_queries()) == 5
+
+    def test_names_unique(self):
+        names = [q.name for q in all_queries()]
+        assert len(set(names)) == 10
+
+    def test_all_sql_parses(self):
+        for workload in all_queries():
+            query = parse_sql(workload.sql)
+            assert query.group_by
+
+    def test_query_by_name(self):
+        assert query_by_name("Qnba3").dataset == "nba"
+        with pytest.raises(KeyError):
+            query_by_name("Qxx")
+
+    def test_user_study_query(self):
+        wq = user_study_query()
+        assert wq.question.primary == {"season_name": "2015-16"}
+        assert wq.question.secondary == {"season_name": "2012-13"}
+
+
+class TestWorkloadsRunnable:
+    def test_nba_queries_execute(self, nba_small):
+        db, _ = nba_small
+        for workload in nba_queries():
+            result = db.sql(workload.sql)
+            assert result.num_rows > 0
+
+    def test_mimic_queries_execute(self, mimic_small):
+        db, _ = mimic_small
+        for workload in mimic_queries():
+            result = db.sql(workload.sql)
+            assert result.num_rows > 0
+
+    def test_question_tuples_exist(self, nba_small, mimic_small):
+        from repro.db import ProvenanceTable
+
+        for workload in all_queries():
+            db, _ = nba_small if workload.dataset == "nba" else mimic_small
+            pt = ProvenanceTable.compute(parse_sql(workload.sql), db)
+            resolved = workload.question.resolve(pt)
+            assert len(resolved.row_ids1) > 0
+            assert len(resolved.row_ids2) > 0

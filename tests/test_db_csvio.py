@@ -1,0 +1,103 @@
+"""Unit tests for CSV persistence."""
+
+import pytest
+
+from repro.db import ColumnType, Database, Relation, SchemaError, TableSchema
+from repro.db.csvio import (
+    load_database,
+    read_relation_csv,
+    save_database,
+    write_relation_csv,
+)
+
+
+def rows_equal(a: Relation, b: Relation) -> bool:
+    """Row-wise equality treating NaN as equal to NaN (NULL round-trip)."""
+    import math
+
+    rows_a, rows_b = list(a.iter_rows()), list(b.iter_rows())
+    if len(rows_a) != len(rows_b):
+        return False
+    for ra, rb in zip(rows_a, rows_b):
+        for va, vb in zip(ra, rb):
+            both_nan = (
+                isinstance(va, float)
+                and isinstance(vb, float)
+                and math.isnan(va)
+                and math.isnan(vb)
+            )
+            if not both_nan and va != vb:
+                return False
+    return True
+
+
+def make_relation() -> Relation:
+    schema = TableSchema.build(
+        "t",
+        {"id": ColumnType.INT, "name": ColumnType.TEXT, "v": ColumnType.FLOAT},
+        primary_key=("id",),
+    )
+    return Relation.from_rows(
+        schema, [(1, "a", 1.5), (2, "with,comma", None), (3, None, 0.0)]
+    )
+
+
+class TestRelationRoundTrip:
+    def test_roundtrip_with_schema(self, tmp_path):
+        rel = make_relation()
+        path = tmp_path / "t.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path, schema=rel.schema)
+        assert rows_equal(back, rel)
+
+    def test_roundtrip_inferred(self, tmp_path):
+        rel = make_relation()
+        path = tmp_path / "t.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path)
+        assert back.column_type("id") == ColumnType.INT
+        assert back.column_type("name") == ColumnType.TEXT
+        assert back.num_rows == 3
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        rel = make_relation()
+        path = tmp_path / "t.csv"
+        write_relation_csv(rel, path)
+        other = TableSchema.build("t", {"x": ColumnType.INT})
+        with pytest.raises(SchemaError):
+            read_relation_csv(path, schema=other)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "games.csv"
+        write_relation_csv(make_relation(), path)
+        assert read_relation_csv(path).schema.name == "games"
+
+
+class TestDatabaseRoundTrip:
+    def test_save_load(self, tmp_path, mini_db):
+        directory = tmp_path / "db"
+        save_database(mini_db, directory)
+        loaded = load_database(directory)
+        assert loaded.table_names == mini_db.table_names
+        for name in mini_db.table_names:
+            original = mini_db.table(name)
+            back = loaded.table(name)
+            assert back.schema.primary_key == original.schema.primary_key
+            assert rows_equal(back, original)
+        assert len(loaded.foreign_keys) == len(mini_db.foreign_keys)
+
+    def test_loaded_db_answers_queries(self, tmp_path, mini_db):
+        directory = tmp_path / "db"
+        save_database(mini_db, directory)
+        loaded = load_database(directory)
+        a = mini_db.sql("SELECT season, COUNT(*) AS n FROM game GROUP BY season")
+        b = loaded.sql("SELECT season, COUNT(*) AS n FROM game GROUP BY season")
+        assert sorted(map(tuple, a.iter_rows())) == sorted(
+            map(tuple, b.iter_rows())
+        )

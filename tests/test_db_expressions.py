@@ -1,0 +1,163 @@
+"""Unit tests for repro.db.expressions."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    ColumnType,
+    Comparison,
+    ExecutionError,
+    Literal,
+    Not,
+    Or,
+    Relation,
+    TableSchema,
+    conjunction,
+)
+from repro.db.expressions import resolve_column
+
+
+@pytest.fixture()
+def rel() -> Relation:
+    schema = TableSchema.build(
+        "t",
+        {
+            "g.pts": ColumnType.INT,
+            "g.team": ColumnType.TEXT,
+            "p.score": ColumnType.FLOAT,
+        },
+    )
+    return Relation.from_rows(
+        schema,
+        [(10, "GSW", 1.0), (20, "LAL", None), (30, "GSW", 3.0)],
+    )
+
+
+class TestResolveColumn:
+    def test_exact(self, rel):
+        assert resolve_column(rel, "g.pts") == "g.pts"
+
+    def test_bare_suffix(self, rel):
+        assert resolve_column(rel, "pts") == "g.pts"
+
+    def test_qualified_other_alias_suffix(self, rel):
+        assert resolve_column(rel, "x.team") == "g.team"
+
+    def test_unknown_raises(self, rel):
+        with pytest.raises(ExecutionError):
+            resolve_column(rel, "nope")
+
+    def test_ambiguous_raises(self):
+        schema = TableSchema.build(
+            "t", {"a.x": ColumnType.INT, "b.x": ColumnType.INT}
+        )
+        r = Relation.from_rows(schema, [(1, 2)])
+        with pytest.raises(ExecutionError):
+            resolve_column(r, "x")
+
+
+class TestComparison:
+    def test_numeric_ops(self, rel):
+        pts = ColumnRef("pts")
+        assert Comparison("=", pts, Literal(20)).mask(rel).tolist() == [
+            False, True, False,
+        ]
+        assert Comparison(">=", pts, Literal(20)).mask(rel).tolist() == [
+            False, True, True,
+        ]
+        assert Comparison("<", pts, Literal(20)).mask(rel).tolist() == [
+            True, False, False,
+        ]
+        assert Comparison("!=", pts, Literal(20)).mask(rel).tolist() == [
+            True, False, True,
+        ]
+
+    def test_text_equality(self, rel):
+        mask = Comparison("=", ColumnRef("team"), Literal("GSW")).mask(rel)
+        assert mask.tolist() == [True, False, True]
+
+    def test_null_never_matches(self, rel):
+        score = ColumnRef("score")
+        eq = Comparison("=", score, Literal(1.0)).mask(rel)
+        assert eq.tolist() == [True, False, False]
+        ne = Comparison("!=", score, Literal(1.0)).mask(rel)
+        # SQL: NULL != 1.0 is unknown → False
+        assert ne.tolist() == [False, False, True]
+
+    def test_column_to_column(self, rel):
+        mask = Comparison(
+            "<", ColumnRef("pts"), Arithmetic("*", ColumnRef("pts"), Literal(2))
+        ).mask(rel)
+        assert mask.all()
+
+    def test_unknown_op_raises(self, rel):
+        with pytest.raises(ExecutionError):
+            Comparison("~", ColumnRef("pts"), Literal(1)).mask(rel)
+
+
+class TestBooleanCombinators:
+    def test_and(self, rel):
+        pred = And(
+            (
+                Comparison("=", ColumnRef("team"), Literal("GSW")),
+                Comparison(">", ColumnRef("pts"), Literal(15)),
+            )
+        )
+        assert pred.mask(rel).tolist() == [False, False, True]
+
+    def test_empty_and_is_true(self, rel):
+        assert And(()).mask(rel).all()
+
+    def test_or(self, rel):
+        pred = Or(
+            (
+                Comparison("=", ColumnRef("pts"), Literal(10)),
+                Comparison("=", ColumnRef("pts"), Literal(30)),
+            )
+        )
+        assert pred.mask(rel).tolist() == [True, False, True]
+
+    def test_empty_or_is_false(self, rel):
+        assert not Or(()).mask(rel).any()
+
+    def test_not(self, rel):
+        pred = Not(Comparison("=", ColumnRef("team"), Literal("GSW")))
+        assert pred.mask(rel).tolist() == [False, True, False]
+
+    def test_conjunction_flattens(self):
+        a = Comparison("=", ColumnRef("x"), Literal(1))
+        b = Comparison("=", ColumnRef("y"), Literal(2))
+        combined = conjunction([And((a,)), b])
+        assert isinstance(combined, And)
+        assert len(combined.parts) == 2
+
+    def test_conjunction_single(self):
+        a = Comparison("=", ColumnRef("x"), Literal(1))
+        assert conjunction([a]) is a
+
+    def test_referenced_columns(self):
+        pred = And(
+            (
+                Comparison("=", ColumnRef("a"), ColumnRef("b")),
+                Comparison(">", ColumnRef("c"), Literal(1)),
+            )
+        )
+        assert pred.referenced_columns() == {"a", "b", "c"}
+
+
+class TestArithmetic:
+    def test_division(self, rel):
+        expr = Arithmetic("/", ColumnRef("pts"), Literal(10))
+        assert expr.values(rel).tolist() == [1.0, 2.0, 3.0]
+
+    def test_addition_and_str(self, rel):
+        expr = Arithmetic("+", ColumnRef("pts"), Literal(1))
+        assert expr.values(rel)[0] == 11.0
+        assert "+" in str(expr)
+
+    def test_literal_str(self):
+        assert str(Literal("x")) == "'x'"
+        assert str(Literal(5)) == "5"

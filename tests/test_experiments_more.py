@@ -1,0 +1,40 @@
+"""Additional experiment-harness coverage: scalability runner and the
+feature-selection experiment's timing semantics."""
+
+import pytest
+
+from repro.core import CajadeConfig
+from repro.datasets import load_nba, user_study_query
+from repro.experiments import scalability_experiment
+
+
+class TestScalabilityExperiment:
+    def test_series_shape(self):
+        config = CajadeConfig(
+            max_join_edges=1, top_k=3, num_selected_attrs=3, seed=2
+        )
+        series = scalability_experiment(
+            lambda s: load_nba(scale=s, seed=5),
+            user_study_query(),
+            [0.06, 0.12],
+            f1_rate=0.5,
+            base_config=config,
+        )
+        assert set(series) == {0.06, 0.12}
+        for breakdown in series.values():
+            assert breakdown["total"] > 0
+            assert "F-score Calc." in breakdown
+
+    def test_larger_scale_not_cheaper_by_much(self):
+        config = CajadeConfig(
+            max_join_edges=1, top_k=3, num_selected_attrs=3, seed=2
+        )
+        series = scalability_experiment(
+            lambda s: load_nba(scale=s, seed=5),
+            user_study_query(),
+            [0.06, 0.25],
+            f1_rate=0.5,
+            base_config=config,
+        )
+        # 4x the data should not make the run dramatically faster.
+        assert series[0.25]["total"] > series[0.06]["total"] * 0.5

@@ -1,0 +1,81 @@
+"""Unit tests for ranking metrics (NDCG, Kendall tau, top-k match)."""
+
+import pytest
+
+from repro.ml import (
+    dcg,
+    kendall_tau_distance,
+    kendall_tau_distance_scores,
+    ndcg,
+    recall_at_k,
+    top_k_match,
+)
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["a", "b", "c"], rel) == pytest.approx(1.0)
+
+    def test_reversed_is_less(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["c", "b", "a"], rel) < 1.0
+
+    def test_missing_items_zero_gain(self):
+        rel = {"a": 1.0}
+        assert ndcg(["x", "y"], rel) == 0.0
+
+    def test_k_truncation(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["a", "c", "b"], rel, k=1) == pytest.approx(1.0)
+
+    def test_empty_relevance(self):
+        assert ndcg(["a"], {}) == 0.0
+
+    def test_dcg_positional_discount(self):
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / 1.5849625007)
+
+
+class TestKendallTau:
+    def test_identity_zero(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["a", "b", "c"]) == 0
+
+    def test_full_reversal(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["c", "b", "a"]) == 3
+
+    def test_symmetric(self):
+        a, b = ["a", "b", "c", "d"], ["b", "d", "a", "c"]
+        assert kendall_tau_distance(a, b) == kendall_tau_distance(b, a)
+
+    def test_not_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_distance(["a"], ["b"])
+
+    def test_scores_variant_counts_strict_disagreements(self):
+        a = {"x": 3.0, "y": 2.0, "z": 1.0}
+        b = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert kendall_tau_distance_scores(a, b) == 3
+
+    def test_scores_ties_never_disagree(self):
+        a = {"x": 1.0, "y": 1.0}
+        b = {"x": 5.0, "y": 1.0}
+        assert kendall_tau_distance_scores(a, b) == 0
+
+    def test_scores_agreement(self):
+        a = {"x": 3.0, "y": 2.0}
+        b = {"x": 30.0, "y": 20.0}
+        assert kendall_tau_distance_scores(a, b) == 0
+
+
+class TestTopK:
+    def test_full_overlap(self):
+        assert top_k_match(["a", "b"], ["b", "a"], 2) == 2
+
+    def test_partial(self):
+        assert top_k_match(["a", "b", "c"], ["a", "x", "y"], 3) == 1
+
+    def test_recall_normalized(self):
+        assert recall_at_k(["a", "b"], ["a", "x"], 2) == pytest.approx(0.5)
+
+    def test_recall_empty_truth(self):
+        assert recall_at_k([], ["a"], 3) == 0.0

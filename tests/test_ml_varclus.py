@@ -1,0 +1,109 @@
+"""Unit tests for correlation-based attribute clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    cluster_attributes,
+    correlation_matrix,
+    encode_columns,
+    pick_cluster_representatives,
+)
+
+
+class TestEncodeColumns:
+    def test_numeric_passthrough(self):
+        cols = {"a": np.array([1.0, 2.0, 3.0])}
+        m = encode_columns(cols)
+        assert m.shape == (3, 1)
+        assert np.allclose(m[:, 0], [1, 2, 3])
+
+    def test_text_label_encoding(self):
+        cols = {"a": np.array(["x", "y", "x"], dtype=object)}
+        m = encode_columns(cols)
+        assert m[:, 0].tolist() == [0.0, 1.0, 0.0]
+
+    def test_nan_filled_with_mean(self):
+        cols = {"a": np.array([1.0, np.nan, 3.0])}
+        m = encode_columns(cols)
+        assert m[1, 0] == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert encode_columns({}).size == 0
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_ones(self, rng):
+        m = rng.normal(size=(100, 3))
+        corr = correlation_matrix(m)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_absolute_value(self, rng):
+        x = rng.normal(size=200)
+        m = np.column_stack([x, -x])
+        corr = correlation_matrix(m)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_constant_column_zero_corr(self, rng):
+        m = np.column_stack([rng.normal(size=50), np.ones(50)])
+        corr = correlation_matrix(m)
+        assert corr[0, 1] == 0.0
+
+
+class TestClustering:
+    def test_correlated_pair_clusters(self, rng):
+        x = rng.normal(size=500)
+        cols = {
+            "age": x,
+            "birth_offset": -x + 0.001 * rng.normal(size=500),
+            "other": rng.normal(size=500),
+        }
+        clusters = cluster_attributes(cols, threshold=0.9)
+        grouped = {frozenset(c.members) for c in clusters}
+        assert frozenset({"age", "birth_offset"}) in grouped
+        assert frozenset({"other"}) in grouped
+
+    def test_one_representative_each(self, rng):
+        x = rng.normal(size=300)
+        cols = {"a": x, "b": 2 * x, "c": rng.normal(size=300)}
+        clusters = cluster_attributes(cols)
+        reps = pick_cluster_representatives(clusters)
+        assert len(reps) == 2
+        for cluster in clusters:
+            assert cluster.representative in cluster.members
+
+    def test_threshold_controls_merging(self, rng):
+        x = rng.normal(size=500)
+        y = x + rng.normal(size=500)  # corr ≈ 0.7
+        cols = {"a": x, "b": y}
+        loose = cluster_attributes(cols, threshold=0.5)
+        tight = cluster_attributes(cols, threshold=0.95)
+        assert len(loose) == 1
+        assert len(tight) == 2
+
+    def test_transitive_single_linkage(self, rng):
+        x = rng.normal(size=800)
+        cols = {
+            "a": x,
+            "b": x + 0.05 * rng.normal(size=800),
+            "c": x + 0.10 * rng.normal(size=800),
+        }
+        clusters = cluster_attributes(cols, threshold=0.9)
+        assert len(clusters) == 1
+        assert set(clusters[0].members) == {"a", "b", "c"}
+
+    def test_empty_input(self):
+        assert cluster_attributes({}) == []
+
+    def test_deterministic_order(self, rng):
+        cols = {"z": rng.normal(size=50), "a": rng.normal(size=50)}
+        clusters = cluster_attributes(cols)
+        assert [c.representative for c in clusters] == ["a", "z"]
+
+    def test_categorical_identity_redundancy(self, rng):
+        # An id column and its name column are perfectly correlated.
+        ids = rng.integers(0, 5, size=400)
+        names = np.array([f"name{i}" for i in ids], dtype=object)
+        cols = {"player_id": ids.astype(float), "player_name": names}
+        clusters = cluster_attributes(cols, threshold=0.9)
+        assert len(clusters) == 1
