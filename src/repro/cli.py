@@ -60,18 +60,34 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sel-attrs", type=float, default=4,
                         help="λ#sel-attr (default 4)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="mining worker threads (default 1 = serial; "
+                             "results are identical at any value)")
+    parser.add_argument("--apt-cache-mb", type=float, default=256.0,
+                        help="APT prefix-cache memory budget in MB "
+                             "(default 256; 0 disables caching)")
     parser.add_argument("--sentences", action="store_true",
                         help="also print natural-language renderings")
 
 
 def _config_from(args: argparse.Namespace) -> CajadeConfig:
-    return CajadeConfig(
-        max_join_edges=args.edges,
-        top_k=args.top_k,
-        f1_sample_rate=args.f1_sample,
-        num_selected_attrs=args.sel_attrs,
-        seed=args.seed,
-    )
+    try:
+        return CajadeConfig(
+            max_join_edges=args.edges,
+            top_k=args.top_k,
+            f1_sample_rate=args.f1_sample,
+            num_selected_attrs=args.sel_attrs,
+            seed=args.seed,
+            workers=args.workers,
+            apt_cache_mb=args.apt_cache_mb,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: invalid configuration: {exc}")
+
+
+def _print_cache_stats(result) -> None:
+    if result.engine is not None:
+        print(result.engine.describe())
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -93,9 +109,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     from .db.csvio import load_database
 
+    config = _config_from(args)
     db = load_database(args.database)
     schema_graph = SchemaGraph.from_database(db)
-    config = _config_from(args)
     explainer = CajadeExplainer(db, schema_graph, config)
 
     t1 = _parse_tuple_spec(args.t1)
@@ -107,6 +123,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
         question = OutlierQuestion(t1)
     result = explainer.explain(args.sql, question)
     print(result.describe())
+    _print_cache_stats(result)
     if args.sentences:
         print()
         for explanation in result.explanations:
@@ -117,17 +134,18 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_workload(args: argparse.Namespace) -> int:
     from .datasets import load_mimic, load_nba, query_by_name
 
+    config = _config_from(args)
     workload = query_by_name(args.name)
     if workload.dataset == "nba":
         db, schema_graph = load_nba(scale=args.scale, seed=args.seed)
     else:
         db, schema_graph = load_mimic(scale=args.scale, seed=args.seed)
-    config = _config_from(args)
     explainer = CajadeExplainer(db, schema_graph, config)
     print(f"{workload.name}: {workload.description}")
     print(f"question: {workload.question.describe()}")
     result = explainer.explain(workload.sql, workload.question)
     print(result.describe())
+    _print_cache_stats(result)
     if args.sentences:
         print()
         for explanation in result.explanations:

@@ -5,6 +5,17 @@ provenance table joined with every context node's relation on the edge
 conditions.  Materialization walks Ω breadth-first from the PT node doing
 hash joins; edges closing cycles among visited nodes become post-filters.
 
+Materialization is split into a *canonical plan* (:func:`build_plan`) and
+its execution so :mod:`repro.engine` can cache and share intermediate
+join results across join graphs.  The canonical step order deliberately
+matches the BFS enumeration order of :mod:`repro.core.enumeration`
+(lowest node id first — node ids are assigned in extension order): a join
+graph of size k that extends a size-(k−1) graph Ω' by a fresh node
+produces a plan whose first k−1 join steps are exactly Ω''s plan, which
+is the invariant that makes prefix sharing in the engine's
+materialization trie fire.  Changing either order breaks that sharing
+(results stay correct; only reuse is lost).
+
 Each APT row keeps its originating provenance row's ``__pt_row_id`` so
 Definition 7's per-PT-row coverage is computable: a PT row is covered by a
 pattern iff at least one of its APT rows matches.
@@ -19,7 +30,7 @@ import numpy as np
 
 from ..db.database import Database
 from ..db.errors import ExecutionError
-from ..db.executor import hash_join
+from ..db.executor import JoinCache, hash_join
 from ..db.provenance import PT_ROW_ID, ProvenanceTable
 from ..db.relation import Relation
 from ..db.types import ColumnType
@@ -85,40 +96,69 @@ class AugmentedProvenanceTable:
         )
 
 
-def materialize_apt(
-    join_graph: JoinGraph,
-    pt: ProvenanceTable,
-    db: Database,
-    restrict_row_ids: np.ndarray | None = None,
-) -> AugmentedProvenanceTable:
-    """Materialize APT(Q, D, Ω).
+# ----------------------------------------------------------------------
+# Canonical materialization plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinStep:
+    """One hash-join step: bring ``table`` in under ``alias``.
 
-    ``restrict_row_ids`` limits the provenance side to the rows that
-    matter for a question (the union of t1's and t2's provenance) — the
-    result is then APT(Q, D, Ω, t1) ⊎ APT(Q, D, Ω, t2), which is all the
-    mining pipeline consumes.
+    ``conditions`` pairs columns of the running intermediate (left) with
+    columns of the incoming context relation (right).  They are sorted so
+    two graphs whose steps constrain the same columns — regardless of the
+    order their edges were added — produce identical, directly hashable
+    steps (condition order does not affect a hash join's output rows or
+    their order).
     """
-    base = pt.relation
-    if restrict_row_ids is not None:
-        wanted = np.isin(base.column(PT_ROW_ID), restrict_row_ids)
-        base = base.filter_mask(wanted)
 
+    table: str
+    alias: str
+    conditions: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    """A cycle-closing edge applied as an equality post-filter.
+
+    ``pairs`` holds ``(left_col, right_col)`` column names of the running
+    intermediate; rows where any pair differs (or is NULL) are dropped.
+    """
+
+    pairs: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class MaterializationPlan:
+    """The canonical step sequence materializing one join graph's APT."""
+
+    joins: tuple[JoinStep, ...]
+    filters: tuple[FilterStep, ...]
+
+    @property
+    def steps(self) -> tuple[JoinStep | FilterStep, ...]:
+        """All steps in execution order: joins first, then filters."""
+        return self.joins + self.filters
+
+
+def build_plan(join_graph: JoinGraph, pt: ProvenanceTable) -> MaterializationPlan:
+    """Derive the canonical materialization plan of ``join_graph``.
+
+    The walk visits the lowest-id frontier node first, conjoining every
+    edge that links it to the visited set; node ids are assigned in
+    enumeration-extension order, so a graph extending Ω' by a fresh node
+    yields Ω''s join steps plus one (the trie-sharing invariant — see the
+    module docstring).  Cycle-closing edges become sorted filter steps.
+    """
     aliases = join_graph.materialization_aliases()
-    current = base
-    visited: set[int] = {join_graph.pt_node.nid}
-    remaining_edges = list(join_graph.edges)
+    pt_columns = pt.relation.column_names
 
     def pt_side_column(attr: str, pt_alias: str | None) -> str:
         if pt_alias is not None:
             candidate = f"{pt_alias}.{attr}"
-            if candidate in current.column_names:
+            if candidate in pt_columns:
                 return candidate
         # Fall back to unique suffix resolution over PT columns.
-        hits = [
-            c
-            for c in current.column_names
-            if c.split(".")[-1] == attr and not _is_context_column(c, aliases)
-        ]
+        hits = [c for c in pt_columns if c.split(".")[-1] == attr]
         if len(hits) == 1:
             return hits[0]
         raise ExecutionError(
@@ -132,6 +172,9 @@ def materialize_apt(
             return pt_side_column(attr, edge.pt_alias)
         return f"{aliases[node_id]}.{attr}"
 
+    joins: list[JoinStep] = []
+    visited: set[int] = {join_graph.pt_node.nid}
+    remaining_edges = list(join_graph.edges)
     while True:
         # Pick a not-yet-visited node reachable from the visited set and
         # collect every edge linking it to visited nodes (parallel edges
@@ -147,62 +190,122 @@ def materialize_apt(
         node_id = min(frontier)
         edges = frontier[node_id]
         node = join_graph.node(node_id)
-        context = db.table(node.label).prefix_columns(f"{aliases[node_id]}.")
+        alias = aliases[node_id]
         conditions: list[tuple[str, str]] = []
         for edge in edges:
             if edge.v == node_id:
-                pairs = edge.condition.pairs
                 anchor = edge.u
-                for a_attr, b_attr in pairs:
+                for a_attr, b_attr in edge.condition.pairs:
                     conditions.append(
-                        (
-                            left_column(edge, anchor, a_attr),
-                            f"{aliases[node_id]}.{b_attr}",
-                        )
+                        (left_column(edge, anchor, a_attr), f"{alias}.{b_attr}")
                     )
             else:
-                pairs = edge.condition.pairs
                 anchor = edge.v
-                for a_attr, b_attr in pairs:
+                for a_attr, b_attr in edge.condition.pairs:
                     conditions.append(
-                        (
-                            left_column(edge, anchor, b_attr),
-                            f"{aliases[node_id]}.{a_attr}",
-                        )
+                        (left_column(edge, anchor, b_attr), f"{alias}.{a_attr}")
                     )
-        current = hash_join(current, context, conditions)
+        joins.append(
+            JoinStep(
+                table=node.label,
+                alias=alias,
+                conditions=tuple(sorted(conditions)),
+            )
+        )
         visited.add(node_id)
         remaining_edges = [e for e in remaining_edges if e not in edges]
 
     # Any remaining edges close cycles among visited nodes: filter.
+    filters: list[FilterStep] = []
     for edge in remaining_edges:
         if edge.u not in visited or edge.v not in visited:
             raise ExecutionError(
                 "join graph is disconnected; cannot materialize APT"
             )
-        mask = np.ones(current.num_rows, dtype=bool)
-        for a_attr, b_attr in edge.condition.pairs:
-            left = current.column(left_column(edge, edge.u, a_attr))
-            right = current.column(left_column(edge, edge.v, b_attr))
-            if left.dtype == object or right.dtype == object:
-                mask &= np.array(
-                    [
-                        l is not None and r is not None and l == r
-                        for l, r in zip(left, right)
-                    ],
-                    dtype=bool,
+        pairs = tuple(
+            sorted(
+                (
+                    left_column(edge, edge.u, a_attr),
+                    left_column(edge, edge.v, b_attr),
                 )
-            else:
-                with np.errstate(invalid="ignore"):
-                    mask &= np.asarray(left == right)
-        current = current.filter_mask(mask)
+                for a_attr, b_attr in edge.condition.pairs
+            )
+        )
+        filters.append(FilterStep(pairs=pairs))
+    return MaterializationPlan(joins=tuple(joins), filters=tuple(sorted(filters, key=lambda f: f.pairs)))
 
+
+def execute_join_step(
+    current: Relation,
+    step: JoinStep,
+    db: Database,
+    join_cache: JoinCache | None = None,
+    context: Relation | None = None,
+) -> Relation:
+    """Run one plan join step against the running intermediate.
+
+    ``context`` may supply a pre-prefixed context relation (the engine
+    memoizes these so the memoized hash-join path sees stable
+    fingerprints); otherwise it is derived from the database.
+    """
+    if context is None:
+        context = db.table(step.table).prefix_columns(f"{step.alias}.")
+    return hash_join(current, context, list(step.conditions), cache=join_cache)
+
+
+def apply_filter_step(current: Relation, step: FilterStep) -> Relation:
+    """Apply one cycle-closing equality filter to the intermediate."""
+    mask = np.ones(current.num_rows, dtype=bool)
+    for left_name, right_name in step.pairs:
+        left = current.column(left_name)
+        right = current.column(right_name)
+        if left.dtype == object or right.dtype == object:
+            mask &= np.array(
+                [
+                    l is not None and r is not None and l == r
+                    for l, r in zip(left, right)
+                ],
+                dtype=bool,
+            )
+        else:
+            with np.errstate(invalid="ignore"):
+                mask &= np.asarray(left == right)
+    return current.filter_mask(mask)
+
+
+def restrict_base(
+    pt: ProvenanceTable, restrict_row_ids: np.ndarray | None
+) -> Relation:
+    """The PT-side base relation, optionally restricted to question rows."""
+    base = pt.relation
+    if restrict_row_ids is not None:
+        wanted = np.isin(base.column(PT_ROW_ID), restrict_row_ids)
+        base = base.filter_mask(wanted)
+    return base
+
+
+def materialize_apt(
+    join_graph: JoinGraph,
+    pt: ProvenanceTable,
+    db: Database,
+    restrict_row_ids: np.ndarray | None = None,
+) -> AugmentedProvenanceTable:
+    """Materialize APT(Q, D, Ω) directly (no cross-graph caching).
+
+    ``restrict_row_ids`` limits the provenance side to the rows that
+    matter for a question (the union of t1's and t2's provenance) — the
+    result is then APT(Q, D, Ω, t1) ⊎ APT(Q, D, Ω, t2), which is all the
+    mining pipeline consumes.  :class:`repro.engine.MaterializationEngine`
+    produces identical results while sharing intermediate joins across
+    graphs; both execute the same :func:`build_plan` output.
+    """
+    current = restrict_base(pt, restrict_row_ids)
+    plan = build_plan(join_graph, pt)
+    for step in plan.joins:
+        current = execute_join_step(current, step, db)
+    for step in plan.filters:
+        current = apply_filter_step(current, step)
     return _wrap_apt(join_graph, pt, current, db)
-
-
-def _is_context_column(name: str, aliases: dict[int, str]) -> bool:
-    prefix = name.split(".")[0]
-    return prefix in set(aliases.values())
 
 
 def _key_columns_of(db: Database, table: str) -> set[str]:

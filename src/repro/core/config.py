@@ -112,6 +112,24 @@ class CajadeConfig:
     default because some legitimate paper explanations (e.g. team=MIA for
     the LeBron question) are side-constant too."""
 
+    # -- engine: caching and parallelism ---------------------------------
+    workers: int = 1
+    """Worker threads mining APTs across join graphs.  1 (the default)
+    runs serially; any value preserves results exactly because every
+    join graph mines with its own deterministic generator."""
+
+    apt_cache_mb: float = 256.0
+    """Memory budget (MB) for the materialization engine's caches —
+    the shared-prefix APT trie plus the memoized hash-join results.
+    0 disables all engine caching (every APT is rebuilt from the
+    provenance table, the pre-engine behaviour)."""
+
+    join_memo_entries: int = 0
+    """Entry bound of the db-layer memoized hash-join LRU inside the
+    engine (it takes a quarter of ``apt_cache_mb`` when enabled).  Off
+    by default: the engine's trie subsumes it for APT materialization —
+    see :class:`repro.engine.MaterializationEngine`."""
+
     # -- determinism ------------------------------------------------------
     seed: int = 7
     """Seed for every sampling step (LCA sample, F1 sample, forest)."""
@@ -131,6 +149,12 @@ class CajadeConfig:
             raise ValueError("num_fragments must be >= 1")
         if self.num_selected_attrs <= 0:
             raise ValueError("num_selected_attrs must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1 (1 = serial)")
+        if self.apt_cache_mb < 0:
+            raise ValueError("apt_cache_mb must be >= 0 (0 disables)")
+        if self.join_memo_entries < 0:
+            raise ValueError("join_memo_entries must be >= 0 (0 disables)")
 
     def with_overrides(self, **kwargs) -> "CajadeConfig":
         """A copy with some fields replaced (keeps configs immutable-ish)."""

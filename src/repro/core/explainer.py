@@ -7,11 +7,25 @@
 2. resolve the user question to the provenance rows of its output tuples;
 3. enumerate join graphs over the schema graph (Algorithm 2), validating
    with PK-connectivity and cost checks;
-4. materialize the APT of each valid join graph and mine patterns
-   (Algorithm 1);
+4. materialize the APT of each valid join graph through the
+   :class:`repro.engine.MaterializationEngine` and mine patterns
+   (Algorithm 1), optionally across a worker pool
+   (``CajadeConfig.workers``);
 5. rank the union of all mined patterns by F-score with diversity
    reranking, recompute exact statistics for the finalists, and return
    ranked :class:`Explanation` objects.
+
+APT materialization — the dominant cost of the paper's Figures 8/9 —
+runs through the engine's materialization trie: join graphs are
+canonicalized into ordered edge prefixes and the intermediate join of a
+shared prefix is computed once.  The trie *ordering invariant* makes
+this sound and effective: the canonical edge order produced by
+:func:`repro.core.apt.build_plan` extends the BFS enumeration order of
+:mod:`repro.core.enumeration` (node ids grow in extension order, lowest
+frontier id joins first), so a size-k graph extending a size-(k−1) graph
+reuses that graph's entire materialization.  Mining then runs per join
+graph with an independent per-graph generator, which keeps serial and
+parallel executions byte-identical.
 """
 
 from __future__ import annotations
@@ -25,7 +39,13 @@ from ..db.database import Database
 from ..db.parser import parse_sql
 from ..db.provenance import ProvenanceTable
 from ..db.query import Query
-from .apt import AugmentedProvenanceTable, materialize_apt
+from ..engine import (
+    EngineStats,
+    MaterializationEngine,
+    graph_rng,
+    run_streaming,
+)
+from .apt import AugmentedProvenanceTable
 from .config import CajadeConfig
 from .diversity import select_diverse_top_k
 from .enumeration import EnumerationStats, enumerate_join_graphs
@@ -35,7 +55,15 @@ from .pattern import Pattern
 from .quality import PatternSupport, QualityEvaluator, QualityStats
 from .question import ComparisonQuestion, OutlierQuestion, ResolvedQuestion
 from .schema_graph import SchemaGraph
-from .timing import JG_ENUMERATION, MATERIALIZE_APTS, StepTimer
+from .timing import (
+    APT_CACHE_EVICTIONS,
+    APT_CACHE_HITS,
+    APT_CACHE_MISSES,
+    JG_ENUMERATION,
+    JOIN_MEMO_HITS,
+    MATERIALIZE_APTS,
+    StepTimer,
+)
 
 
 @dataclass
@@ -134,6 +162,7 @@ class ExplanationResult:
     timer: StepTimer
     enumeration: EnumerationStats
     join_graphs_mined: int
+    engine: EngineStats | None = None
 
     def top(self, k: int | None = None) -> list[Explanation]:
         if k is None:
@@ -162,6 +191,16 @@ class ExplanationResult:
                 "duplicates": self.enumeration.duplicates,
             },
         }
+        if self.engine is not None:
+            payload["apt_cache"] = {
+                "steps_reused": self.engine.steps_reused,
+                "steps_computed": self.engine.steps_computed,
+                "full_hits": self.engine.full_hits,
+                "join_memo_hits": self.engine.join_memo_hits,
+                "evictions": (
+                    self.engine.cache.evictions if self.engine.cache else 0
+                ),
+            }
         return json.dumps(payload, indent=indent, default=str)
 
 
@@ -197,7 +236,6 @@ class CajadeExplainer:
         if k is not None:
             config = config.with_overrides(top_k=k)
         timer = timer or StepTimer()
-        rng = np.random.default_rng(config.seed)
 
         if isinstance(query, str):
             query = parse_sql(query)
@@ -208,7 +246,6 @@ class CajadeExplainer:
 
         enumeration_stats = EnumerationStats()
         collected: list[tuple[Pattern, float, tuple]] = []
-        mined_graphs = 0
 
         with timer.step(JG_ENUMERATION):
             join_graphs = list(
@@ -222,26 +259,64 @@ class CajadeExplainer:
                 )
             )
 
-        for join_graph in join_graphs:
-            with timer.step(MATERIALIZE_APTS):
-                apt = materialize_apt(
-                    join_graph, pt, self.db, restrict_row_ids=restrict
-                )
-            if apt.num_rows == 0:
-                continue
-            mining = mine_apt(apt, resolved, config, rng, timer=timer)
-            mined_graphs += 1
+        # Stream APTs out of the shared-prefix engine (trie order, so
+        # graphs extending the same prefix reuse its cached
+        # intermediate) straight into mining — serial runs hold one APT
+        # at a time; a worker pool holds at most 2x workers.  Results
+        # are keyed by enumeration index and merged in index order, so
+        # the outcome is byte-identical for any schedule.
+        engine = MaterializationEngine(
+            pt,
+            self.db,
+            restrict_row_ids=restrict,
+            cache_mb=config.apt_cache_mb,
+            join_memo_entries=config.join_memo_entries,
+        )
+
+        def _nonempty_apts():
+            iterator = engine.materialize_iter(join_graphs)
+            while True:
+                with timer.step(MATERIALIZE_APTS):
+                    item = next(iterator, None)
+                if item is None:
+                    return
+                if item[1].num_rows > 0:
+                    yield item
+
+        def _mine_one(
+            index: int, apt: AugmentedProvenanceTable
+        ) -> tuple[StepTimer, list]:
+            local_timer = StepTimer()
+            rng = graph_rng(config.seed, index)
+            mining = mine_apt(apt, resolved, config, rng, timer=local_timer)
             finalists = self._exact_stats(
                 apt, resolved, mining.patterns, config, rng
             )
+            return local_timer, finalists
+
+        results_by_index = run_streaming(
+            _nonempty_apts(), _mine_one, config.workers
+        )
+        mined_graphs = len(results_by_index)
+        for index in sorted(results_by_index):
+            local_timer, finalists = results_by_index[index]
+            timer.merge(local_timer)
             for mined, stats, support in finalists:
                 collected.append(
                     (
                         mined.pattern,
                         stats.f_score,
-                        (join_graph, mined, stats, support),
+                        (join_graphs[index], mined, stats, support),
                     )
                 )
+
+        engine_stats = engine.stats
+        timer.count(APT_CACHE_HITS, engine_stats.steps_reused)
+        timer.count(APT_CACHE_MISSES, engine_stats.steps_computed)
+        if engine_stats.cache is not None:
+            timer.count(APT_CACHE_EVICTIONS, engine_stats.cache.evictions)
+        if config.join_memo_entries > 0:
+            timer.count(JOIN_MEMO_HITS, engine_stats.join_memo_hits)
 
         if config.use_diversity:
             chosen = select_diverse_top_k(collected, config.top_k)
@@ -269,6 +344,7 @@ class CajadeExplainer:
             timer=timer,
             enumeration=enumeration_stats,
             join_graphs_mined=mined_graphs,
+            engine=engine_stats,
         )
 
     # ------------------------------------------------------------------

@@ -5,6 +5,11 @@ The paper's performance figures break total runtime into named steps
 F-score Calc., Refine Patterns, JG Enum.).  :class:`StepTimer` accumulates
 seconds under exactly those labels so the benchmark harness can print the
 same breakdown rows (Figures 7, 9c, 9d).
+
+Alongside seconds, the timer also accumulates named integer *counters*
+(APT cache hits/misses/evictions from the materialization engine, join
+memo hits), which the breakdown table reports so cache behaviour shows up
+next to the step costs it explains.
 """
 
 from __future__ import annotations
@@ -32,12 +37,26 @@ ALL_STEPS = (
     JG_ENUMERATION,
 )
 
+# Canonical counter labels (engine cache behaviour).
+APT_CACHE_HITS = "APT cache hits"
+APT_CACHE_MISSES = "APT cache misses"
+APT_CACHE_EVICTIONS = "APT cache evictions"
+JOIN_MEMO_HITS = "Join memo hits"
+
+ALL_COUNTERS = (
+    APT_CACHE_HITS,
+    APT_CACHE_MISSES,
+    APT_CACHE_EVICTIONS,
+    JOIN_MEMO_HITS,
+)
+
 
 class StepTimer:
-    """Accumulates wall-clock seconds per named pipeline step."""
+    """Accumulates wall-clock seconds (and counters) per named step."""
 
     def __init__(self) -> None:
         self._seconds: dict[str, float] = {}
+        self._counters: dict[str, int] = {}
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
@@ -54,6 +73,30 @@ class StepTimer:
 
     def seconds(self, name: str) -> float:
         return self._seconds.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter (negative n is rejected)."""
+        if n < 0:
+            raise ValueError("counter increments must be >= 0")
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Counter → value, canonical cache counters first."""
+        ordered = {
+            name: self._counters[name]
+            for name in ALL_COUNTERS
+            if name in self._counters
+        }
+        for name, value in self._counters.items():
+            if name not in ordered:
+                ordered[name] = value
+        return ordered
 
     @property
     def total(self) -> float:
@@ -74,10 +117,20 @@ class StepTimer:
     def merge(self, other: "StepTimer") -> None:
         for name, value in other._seconds.items():
             self.add(name, value)
+        for name, value in other._counters.items():
+            self.count(name, value)
 
     def format_table(self) -> str:
-        """A printable two-column breakdown ending with a total row."""
+        """A printable two-column breakdown ending with a total row.
+
+        Counter rows (cache hits/misses/evictions) follow the timing
+        rows when any counter has been recorded.
+        """
         rows = [f"{name:<22s} {secs:10.3f}s"
                 for name, secs in self.breakdown().items()]
         rows.append(f"{'total':<22s} {self.total:10.3f}s")
+        rows.extend(
+            f"{name:<22s} {value:10d}"
+            for name, value in self.counters().items()
+        )
         return "\n".join(rows)

@@ -15,6 +15,7 @@ predicates are applied on the joined result.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
@@ -41,16 +42,90 @@ from .types import ColumnType
 # ----------------------------------------------------------------------
 # Hash join
 # ----------------------------------------------------------------------
+class JoinCache:
+    """Memoizes :func:`hash_join` results by input fingerprints.
+
+    Relations are immutable, so ``(left.fingerprint, right.fingerprint,
+    conditions)`` uniquely identifies a join's output and identical join
+    work is never redone.  Entries are kept in an LRU bounded by count
+    and, when ``capacity_bytes`` is given, by the estimated bytes of the
+    retained results (single results over the budget are not stored).
+    The cached outputs themselves are shared, never copied.
+    """
+
+    def __init__(
+        self, max_entries: int = 512, capacity_bytes: int | None = None
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self._max_entries = max_entries
+        self._capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[tuple, tuple[Relation, int]]" = (
+            OrderedDict()
+        )
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        left: Relation, right: Relation, conditions: list[tuple[str, str]]
+    ) -> tuple:
+        return (left.fingerprint, right.fingerprint, tuple(conditions))
+
+    def get(self, key: tuple) -> Relation | None:
+        hit = self._entries.get(key)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return hit[0]
+
+    def put(self, key: tuple, relation: Relation) -> None:
+        nbytes = relation.estimated_bytes
+        if self._capacity_bytes is not None and (
+            self._capacity_bytes <= 0 or nbytes > self._capacity_bytes
+        ):
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old[1]
+        self._entries[key] = (relation, nbytes)
+        self.current_bytes += nbytes
+        while self._entries and (
+            len(self._entries) > self._max_entries
+            or (
+                self._capacity_bytes is not None
+                and self.current_bytes > self._capacity_bytes
+            )
+        ):
+            _, (_, evicted) = self._entries.popitem(last=False)
+            self.current_bytes -= evicted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def hash_join(
     left: Relation,
     right: Relation,
     conditions: list[tuple[str, str]],
+    cache: JoinCache | None = None,
 ) -> Relation:
     """Equi-join two relations on ``[(left_col, right_col), ...]``.
 
     Builds a hash table on the smaller input.  NULL keys never match
     (SQL semantics).  The output schema is the concatenation of both
     inputs' columns; callers must ensure the names are disjoint.
+
+    Keys are encoded column-wise into dense integer codes so build and
+    probe are pure vectorized numpy (sort + searchsorted) instead of a
+    per-row Python tuple loop; single numeric columns are used directly
+    as key arrays.  ``cache`` optionally memoizes the whole join by the
+    inputs' fingerprints.
     """
     if not conditions:
         raise ExecutionError("hash_join requires at least one condition")
@@ -58,35 +133,144 @@ def hash_join(
     if overlap:
         raise ExecutionError(f"join would produce duplicate columns: {overlap}")
 
+    if cache is not None:
+        key = JoinCache.key(left, right, conditions)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
     swap = right.num_rows < left.num_rows
     build, probe = (right, left) if swap else (left, right)
     build_cols = [c[1] if swap else c[0] for c in conditions]
     probe_cols = [c[0] if swap else c[1] for c in conditions]
 
-    table: dict[tuple[Any, ...], list[int]] = {}
     build_arrays = [build.column(c) for c in build_cols]
-    for i in range(build.num_rows):
-        key = tuple(arr[i] for arr in build_arrays)
-        if any(_is_null_key(v) for v in key):
-            continue
-        table.setdefault(key, []).append(i)
-
     probe_arrays = [probe.column(c) for c in probe_cols]
-    build_idx: list[int] = []
-    probe_idx: list[int] = []
-    for j in range(probe.num_rows):
-        key = tuple(arr[j] for arr in probe_arrays)
-        if any(_is_null_key(v) for v in key):
-            continue
-        hits = table.get(key)
-        if hits:
-            build_idx.extend(hits)
-            probe_idx.extend([j] * len(hits))
+    build_codes, probe_codes, build_valid, probe_valid = _encode_join_keys(
+        build_arrays, probe_arrays
+    )
 
-    build_sel = build.take(np.array(build_idx, dtype=np.int64))
-    probe_sel = probe.take(np.array(probe_idx, dtype=np.int64))
+    # Group build rows by key code: a stable sort keeps rows of equal
+    # keys in build order, matching the insertion order of the classic
+    # dict-of-lists build phase.
+    build_rows = np.nonzero(build_valid)[0]
+    order = build_rows[np.argsort(build_codes[build_rows], kind="stable")]
+    sorted_codes = build_codes[order]
+
+    lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+    hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+    counts = np.where(probe_valid, hi - lo, 0)
+
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(probe.num_rows, dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    offsets = np.arange(total, dtype=np.int64) - segment_starts
+    build_idx = (
+        order[starts + offsets] if total else np.empty(0, dtype=np.int64)
+    )
+
+    build_sel = build.take(build_idx)
+    probe_sel = probe.take(probe_idx)
     left_sel, right_sel = (probe_sel, build_sel) if swap else (build_sel, probe_sel)
-    return _zip_columns(left_sel, right_sel)
+    result = _zip_columns(left_sel, right_sel)
+    if cache is not None:
+        cache.put(key, result)
+    return result
+
+
+def _encode_join_keys(
+    build_arrays: list[np.ndarray],
+    probe_arrays: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Encode multi-column join keys as dense int64 codes.
+
+    Build and probe columns are factorized jointly so equal values get
+    equal codes on both sides; multi-column keys combine per-column codes
+    mixed-radix with re-compression between columns to avoid overflow.
+    Returns ``(build_codes, probe_codes, build_valid, probe_valid)``
+    where the valid masks are False on NULL keys (which never match).
+    """
+    n_build = len(build_arrays[0]) if build_arrays else 0
+    combined: np.ndarray | None = None
+    valid: np.ndarray | None = None
+    for position, (barr, parr) in enumerate(zip(build_arrays, probe_arrays)):
+        codes, col_valid = _encode_key_column(barr, parr)
+        if combined is None:
+            combined, valid = codes, col_valid
+        else:
+            assert valid is not None
+            # Mixed-radix combine, then re-compress to [0, n) so chained
+            # combines cannot overflow int64.
+            radix = int(codes.max()) + 2 if len(codes) else 1
+            combined = combined * radix + codes
+            valid &= col_valid
+            if position < len(build_arrays) - 1:
+                _, combined = np.unique(combined, return_inverse=True)
+    assert combined is not None and valid is not None
+    return combined[:n_build], combined[n_build:], valid[:n_build], valid[n_build:]
+
+
+def _encode_key_column(
+    build_arr: np.ndarray, probe_arr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize one build/probe column pair into shared int64 codes."""
+    if build_arr.dtype == object or probe_arr.dtype == object:
+        return _encode_object_pair(build_arr, probe_arr)
+    if build_arr.dtype == probe_arr.dtype:
+        merged = np.concatenate([build_arr, probe_arr])
+    else:
+        # Mixed numeric dtypes (e.g. int64 vs NULL-promoted float64)
+        # compare under float semantics — exact for every int below
+        # 2^53.  Larger integers would collide when cast, so fall back
+        # to the exact-value object path for them.
+        if _unsafe_float_cast(build_arr) or _unsafe_float_cast(probe_arr):
+            return _encode_object_pair(build_arr, probe_arr)
+        merged = np.concatenate(
+            [build_arr.astype(np.float64), probe_arr.astype(np.float64)]
+        )
+    if merged.dtype.kind == "f":
+        valid = ~np.isnan(merged)
+    else:
+        valid = np.ones(len(merged), dtype=bool)
+    _, codes = np.unique(merged, return_inverse=True)
+    return codes.astype(np.int64, copy=False), valid
+
+
+def _unsafe_float_cast(arr: np.ndarray) -> bool:
+    """True when casting an integer array to float64 could lose bits."""
+    if arr.dtype.kind not in "iu" or len(arr) == 0:
+        return False
+    return int(np.abs(arr).max()) > 2**53
+
+
+def _encode_object_pair(
+    build_arr: np.ndarray, probe_arr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dict-based factorization under exact Python value equality.
+
+    ``astype(object)`` boxes numeric values as native Python ints and
+    floats, whose cross-type ``==``/``hash`` compare exact mathematical
+    values — the semantics the replaced per-row tuple join had.
+    """
+    merged = np.concatenate(
+        [build_arr.astype(object, copy=False),
+         probe_arr.astype(object, copy=False)]
+    )
+    codes = np.empty(len(merged), dtype=np.int64)
+    valid = np.ones(len(merged), dtype=bool)
+    mapping: dict[Any, int] = {}
+    for i, value in enumerate(merged):
+        if _is_null_key(value):
+            valid[i] = False
+            codes[i] = -1
+            continue
+        code = mapping.get(value)
+        if code is None:
+            code = len(mapping)
+            mapping[value] = code
+        codes[i] = code
+    return codes, valid
 
 
 def _is_null_key(value: Any) -> bool:

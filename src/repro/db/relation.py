@@ -12,6 +12,7 @@ indexing copies, projection does not).
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -19,6 +20,11 @@ import numpy as np
 from .errors import IntegrityError, SchemaError
 from .schema import Column, TableSchema
 from .types import ColumnType, coerce_value, infer_column_type
+
+# Process-wide counter backing Relation.fingerprint.  Relations are
+# immutable once built, so a unique per-instance token is a sound
+# memoization key: equal fingerprints imply identical contents.
+_FINGERPRINT_COUNTER = itertools.count(1)
 
 
 def _column_array(values: Sequence[Any], ctype: ColumnType) -> np.ndarray:
@@ -42,7 +48,7 @@ def _column_array(values: Sequence[Any], ctype: ColumnType) -> np.ndarray:
 class Relation:
     """An immutable columnar table: a schema plus one array per column."""
 
-    __slots__ = ("schema", "_columns", "_nrows")
+    __slots__ = ("schema", "_columns", "_nrows", "_fingerprint")
 
     def __init__(self, schema: TableSchema, columns: dict[str, np.ndarray]):
         if set(columns) != set(schema.column_names):
@@ -56,6 +62,7 @@ class Relation:
         self.schema = schema
         self._columns = columns
         self._nrows = lengths.pop() if lengths else 0
+        self._fingerprint: int | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -133,6 +140,31 @@ class Relation:
     @property
     def num_rows(self) -> int:
         return self._nrows
+
+    @property
+    def fingerprint(self) -> int:
+        """A process-unique identity token for this (immutable) relation.
+
+        Two relations with the same fingerprint are the same object, so
+        caches (e.g. the memoized hash-join path in
+        :mod:`repro.db.executor`) can key results on input fingerprints
+        without hashing any column data.  Assigned lazily on first use.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = next(_FINGERPRINT_COUNTER)
+        return self._fingerprint
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Approximate *incremental* resident size, in bytes.
+
+        Sums the column arrays' buffer sizes.  Object columns count only
+        their pointer arrays: derived relations (joins, selections) copy
+        pointers, not the boxed values, which stay shared with the source
+        relations — so the pointer array is the true marginal cost.  Used
+        by the engine's bounded-memory APT prefix cache.
+        """
+        return sum(arr.nbytes for arr in self._columns.values())
 
     @property
     def column_names(self) -> list[str]:

@@ -1,0 +1,21 @@
+"""The explanation engine: shared-prefix APT materialization + parallel mining.
+
+Layering: db → core → engine → cli.  The engine consumes the canonical
+materialization plans of :mod:`repro.core.apt` and the memoized hash-join
+path of :mod:`repro.db.executor`; :class:`repro.core.explainer
+.CajadeExplainer` drives it and the CLI surfaces its knobs
+(``--workers``, ``--apt-cache-mb``) and cache statistics.
+"""
+
+from .engine import EngineStats, MaterializationEngine
+from .parallel import graph_rng, run_streaming
+from .trie import CacheStats, PrefixCache
+
+__all__ = [
+    "CacheStats",
+    "EngineStats",
+    "MaterializationEngine",
+    "PrefixCache",
+    "graph_rng",
+    "run_streaming",
+]

@@ -1,0 +1,254 @@
+"""Shared-prefix APT materialization engine.
+
+:class:`MaterializationEngine` replaces the explainer's per-graph
+``materialize_apt`` loop.  It is bound to one provenance table and
+question restriction; for each join graph it builds the canonical
+:class:`~repro.core.apt.MaterializationPlan`, finds the longest plan
+prefix already materialized in its trie, and executes only the missing
+suffix steps.  Because BFS-enumerated join graphs overwhelmingly extend
+already-enumerated graphs by one edge (the paper's Algorithm 2), most
+graphs cost one hash join instead of rebuilding the whole
+PT ⋈ S₁ ⋈ … ⋈ Sⱼ pipeline from scratch.
+
+The ordering invariant this relies on: the canonical edge (step) order of
+``build_plan`` must match the enumeration extension order — node ids are
+assigned in extension order and the plan walks the lowest-id frontier
+node first, so a graph extending Ω' yields Ω''s steps as an exact plan
+prefix.  See :mod:`repro.core.apt` for the full statement.
+
+Underneath, context relations are prefixed once and memoized so repeated
+joins see stable relation fingerprints.  The db-layer memoized hash-join
+path (:class:`repro.db.executor.JoinCache`) can be layered in via
+``join_memo_entries``, but is off by default: within the engine the trie
+already dedups every join the memo could, and trie evictions cascade
+through fingerprint keys (see the constructor docstring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.apt import (
+    AugmentedProvenanceTable,
+    JoinStep,
+    _wrap_apt,
+    apply_filter_step,
+    build_plan,
+    execute_join_step,
+    restrict_base,
+)
+from ..core.join_graph import JoinGraph
+from ..db.database import Database
+from ..db.executor import JoinCache
+from ..db.provenance import ProvenanceTable
+from ..db.relation import Relation
+from .trie import CacheStats, PrefixCache
+
+_MB = 1024 * 1024
+
+
+def _plan_order_key(plan) -> tuple:
+    """A sortable key grouping plans by shared step prefixes (trie order)."""
+    return tuple(
+        (0, step.table, step.alias, step.conditions)
+        if isinstance(step, JoinStep)
+        else (1, step.pairs)
+        for step in plan.steps
+    )
+
+
+@dataclass
+class EngineStats:
+    """Work-sharing counters for one engine lifetime.
+
+    ``steps_reused``/``steps_computed`` count plan steps served from the
+    trie versus executed; ``full_hits`` counts graphs whose entire plan
+    (an isomorphic materialization) was already cached.  ``cache`` holds
+    the underlying trie's probe/eviction/byte counters and
+    ``join_memo_hits`` the db-layer memoized-join hits.
+    """
+
+    graphs: int = 0
+    steps_reused: int = 0
+    steps_computed: int = 0
+    full_hits: int = 0
+    join_memo_hits: int = 0
+    cache: CacheStats | None = None
+
+    def describe(self) -> str:
+        cache = self.cache or CacheStats()
+        return (
+            f"apt cache: {self.steps_reused} steps reused / "
+            f"{self.steps_computed} computed over {self.graphs} graphs "
+            f"({self.full_hits} full hits, {cache.evictions} evictions, "
+            f"{cache.current_bytes / _MB:.1f} MB cached)"
+        )
+
+
+class MaterializationEngine:
+    """Materializes APTs for many join graphs, sharing join prefixes.
+
+    Args:
+        pt: the provenance table all APTs extend.
+        db: the database supplying context relations.
+        restrict_row_ids: optional question restriction applied to the PT
+            side (the engine is per-question, so the restriction is part
+            of the engine's identity, not of the cache keys).
+        cache_mb: total memory budget in megabytes for the engine's
+            caches; with the join memo enabled the prefix trie gets
+            three quarters and the memo one quarter, otherwise the trie
+            gets everything.  0 disables all caching, making
+            ``materialize`` equivalent to ``materialize_apt``.
+        join_memo_entries: entry bound of the db-layer memoized
+            hash-join LRU.  Off by default: inside the engine the trie
+            subsumes it — a memo hit requires both input fingerprints to
+            survive, and recomputing any evicted prefix creates a fresh
+            relation whose children's memo keys can never match again —
+            measured hit rates are zero while the byte share is better
+            spent on the trie.  Enable it for workloads that re-join
+            long-lived relations outside the trie's key space.
+    """
+
+    def __init__(
+        self,
+        pt: ProvenanceTable,
+        db: Database,
+        restrict_row_ids: np.ndarray | None = None,
+        cache_mb: float = 256.0,
+        join_memo_entries: int = 0,
+    ):
+        if cache_mb < 0:
+            raise ValueError("cache_mb must be >= 0")
+        self._pt = pt
+        self._db = db
+        self._base = restrict_base(pt, restrict_row_ids)
+        total_bytes = int(cache_mb * _MB)
+        if total_bytes <= 0 or join_memo_entries <= 0:
+            self._join_cache = None
+            trie_bytes = total_bytes
+        else:
+            memo_bytes = total_bytes // 4
+            trie_bytes = total_bytes - memo_bytes
+            self._join_cache = JoinCache(
+                join_memo_entries, capacity_bytes=memo_bytes
+            )
+        self._cache = PrefixCache(trie_bytes)
+        self._contexts: dict[tuple[str, str], Relation] = {}
+        self._graphs = 0
+        self._steps_reused = 0
+        self._steps_computed = 0
+        self._full_hits = 0
+
+    # ------------------------------------------------------------------
+    def _context(self, table: str, alias: str) -> Relation:
+        """The context relation prefixed for ``alias``, memoized.
+
+        Memoization keeps fingerprints stable across graphs so the
+        join memo can recognize repeated (prefix ⋈ context) work.
+        """
+        key = (table, alias)
+        relation = self._contexts.get(key)
+        if relation is None:
+            relation = self._db.table(table).prefix_columns(f"{alias}.")
+            self._contexts[key] = relation
+        return relation
+
+    def materialize(self, join_graph: JoinGraph) -> AugmentedProvenanceTable:
+        """Materialize APT(Q, D, Ω), reusing the longest cached prefix.
+
+        Produces relations identical (schema, rows, row order,
+        ``__pt_row_id``) to :func:`repro.core.apt.materialize_apt` — both
+        execute the same canonical plan; only the starting point differs.
+        """
+        return self._materialize_plan(
+            join_graph, build_plan(join_graph, self._pt)
+        )
+
+    def materialize_many(
+        self, join_graphs: Sequence[JoinGraph]
+    ) -> list[AugmentedProvenanceTable]:
+        """Materialize a batch of join graphs, returned in input order.
+
+        Convenience wrapper over :meth:`materialize_iter`; holds every
+        APT of the batch alive at once, so prefer the iterator when the
+        batch is large and APTs can be consumed one at a time.
+        """
+        results: list[AugmentedProvenanceTable | None] = [None] * len(
+            join_graphs
+        )
+        for index, apt in self.materialize_iter(join_graphs):
+            results[index] = apt
+        return results  # type: ignore[return-value]
+
+    def materialize_iter(
+        self, join_graphs: Sequence[JoinGraph]
+    ) -> Iterator[tuple[int, AugmentedProvenanceTable]]:
+        """Yield ``(input_index, APT)`` in trie (prefix DFS) order.
+
+        BFS enumeration emits all size-k graphs before any size-(k+1)
+        graph, so by the time a graph's extensions arrive its cached
+        prefix may be hundreds of insertions cold and already evicted.
+        Visiting the batch in lexicographic plan order instead keeps each
+        shared prefix hot exactly while its whole subtree is processed —
+        the LRU then only needs to hold one root-to-leaf path plus recent
+        siblings.  Yielding one APT at a time lets callers bound how many
+        finished APTs are alive simultaneously; each yield carries the
+        graph's index in the input sequence so order-sensitive callers
+        can reassemble input order.
+        """
+        plans = [build_plan(g, self._pt) for g in join_graphs]
+        order = sorted(
+            range(len(plans)), key=lambda i: _plan_order_key(plans[i])
+        )
+        for i in order:
+            yield i, self._materialize_plan(join_graphs[i], plans[i])
+
+    def _materialize_plan(
+        self, join_graph: JoinGraph, plan
+    ) -> AugmentedProvenanceTable:
+        steps = plan.steps
+        self._graphs += 1
+
+        current = self._base
+        depth = len(steps)
+        while depth > 0:
+            cached = self._cache.get(steps[:depth])
+            if cached is not None:
+                current = cached
+                break
+            depth -= 1
+        self._steps_reused += depth
+        if steps and depth == len(steps):
+            self._full_hits += 1
+
+        for i in range(depth, len(steps)):
+            step = steps[i]
+            if isinstance(step, JoinStep):
+                current = execute_join_step(
+                    current,
+                    step,
+                    self._db,
+                    join_cache=self._join_cache,
+                    context=self._context(step.table, step.alias),
+                )
+            else:
+                current = apply_filter_step(current, step)
+            self._steps_computed += 1
+            self._cache.put(steps[: i + 1], current)
+
+        return _wrap_apt(join_graph, self._pt, current, self._db)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            graphs=self._graphs,
+            steps_reused=self._steps_reused,
+            steps_computed=self._steps_computed,
+            full_hits=self._full_hits,
+            join_memo_hits=self._join_cache.hits if self._join_cache else 0,
+            cache=self._cache.stats,
+        )

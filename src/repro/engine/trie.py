@@ -1,0 +1,106 @@
+"""The materialization trie: an LRU-bounded cache over join prefixes.
+
+Join graphs are canonicalized into ordered step sequences by
+:func:`repro.core.apt.build_plan`; the tuple of the first j steps is the
+*prefix key* identifying the intermediate relation PT ⋈ S₁ ⋈ … ⋈ Sⱼ.
+Because the canonical step order extends the BFS enumeration order of
+:mod:`repro.core.enumeration` (see the ordering invariant documented in
+:mod:`repro.core.apt`), every graph extending the same size-(k−1) graph
+shares that graph's whole prefix, so the cache is logically a trie over
+plan steps — stored flat as a dict keyed by prefix tuples, with one LRU
+spine across all prefixes.
+
+Memory is bounded: each cached relation is charged its
+:attr:`~repro.db.relation.Relation.estimated_bytes` and cold prefixes are
+evicted least-recently-used once the budget is exceeded.  A capacity of
+zero disables caching entirely (every insert is rejected).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..db.relation import Relation
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one prefix cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    rejected: int = 0
+    current_bytes: int = 0
+    peak_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "rejected": self.rejected,
+            "current_bytes": self.current_bytes,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+class PrefixCache:
+    """LRU cache mapping plan-prefix keys to intermediate relations.
+
+    Keys are tuples of (hashable, frozen) plan steps; values are the
+    immutable relations produced by executing exactly those steps.  The
+    byte budget counts estimated relation sizes; a single relation larger
+    than the whole budget is rejected outright rather than thrashing the
+    cache.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[tuple, tuple[Relation, int]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> Relation | None:
+        """The relation cached under ``key``, refreshing its recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def put(self, key: tuple, relation: Relation) -> None:
+        """Insert ``relation`` under ``key``, evicting cold prefixes."""
+        nbytes = relation.estimated_bytes
+        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+            self.stats.rejected += 1
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.current_bytes -= old[1]
+        self._entries[key] = (relation, nbytes)
+        self.stats.current_bytes += nbytes
+        self.stats.insertions += 1
+        while self.stats.current_bytes > self.capacity_bytes and self._entries:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self.stats.current_bytes -= evicted_bytes
+            self.stats.evictions += 1
+        self.stats.peak_bytes = max(
+            self.stats.peak_bytes, self.stats.current_bytes
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.current_bytes = 0

@@ -98,3 +98,30 @@ class TestEndToEnd:
         assert code == 0
         captured = capsys.readouterr()
         assert "Qmimic2" in captured.out
+
+
+class TestEngineFlags:
+    def test_invalid_workers_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "explain", str(tmp_path), "--sql", "SELECT 1 AS x",
+                    "--t1", "x=1", "--workers", "0",
+                ]
+            )
+        assert "invalid configuration" in str(excinfo.value)
+        assert "workers" in str(excinfo.value)
+
+    def test_invalid_cache_budget_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "explain", str(tmp_path), "--sql", "SELECT 1 AS x",
+                    "--t1", "x=1", "--apt-cache-mb", "-3",
+                ]
+            )
+        assert "apt_cache_mb" in str(excinfo.value)

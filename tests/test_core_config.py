@@ -35,11 +35,28 @@ class TestValidation:
             {"recall_threshold": 1.1},
             {"num_fragments": 0},
             {"num_selected_attrs": 0},
+            {"workers": 0},
+            {"workers": -2},
+            {"apt_cache_mb": -1.0},
+            {"apt_cache_mb": -0.001},
         ],
     )
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):
             CajadeConfig(**kwargs)
+
+
+class TestEngineKnobs:
+    def test_defaults_to_serial(self):
+        config = CajadeConfig()
+        assert config.workers == 1
+        assert config.apt_cache_mb == 256.0
+
+    def test_zero_cache_allowed(self):
+        assert CajadeConfig(apt_cache_mb=0.0).apt_cache_mb == 0.0
+
+    def test_workers_override(self):
+        assert CajadeConfig().with_overrides(workers=4).workers == 4
 
 
 class TestSelectedAttrCount:

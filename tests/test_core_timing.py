@@ -2,7 +2,17 @@
 
 import time
 
-from repro.core.timing import ALL_STEPS, F_SCORE_CALC, StepTimer
+import pytest
+
+from repro.core.timing import (
+    ALL_COUNTERS,
+    ALL_STEPS,
+    APT_CACHE_EVICTIONS,
+    APT_CACHE_HITS,
+    APT_CACHE_MISSES,
+    F_SCORE_CALC,
+    StepTimer,
+)
 
 
 class TestStepTimer:
@@ -62,3 +72,62 @@ class TestStepTimer:
             pass
         assert timer.seconds("risky") >= 0.0
         assert "risky" in timer.breakdown()
+
+
+class TestCounters:
+    def test_accumulates(self):
+        timer = StepTimer()
+        timer.count(APT_CACHE_HITS, 3)
+        timer.count(APT_CACHE_HITS, 2)
+        timer.count(APT_CACHE_MISSES)
+        assert timer.counter(APT_CACHE_HITS) == 5
+        assert timer.counter(APT_CACHE_MISSES) == 1
+
+    def test_unknown_counter_zero(self):
+        assert StepTimer().counter("nope") == 0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            StepTimer().count(APT_CACHE_HITS, -1)
+
+    def test_canonical_order_first(self):
+        timer = StepTimer()
+        timer.count("custom", 1)
+        timer.count(APT_CACHE_EVICTIONS, 1)
+        timer.count(APT_CACHE_HITS, 1)
+        keys = list(timer.counters())
+        assert keys == [APT_CACHE_HITS, APT_CACHE_EVICTIONS, "custom"]
+        assert set(ALL_COUNTERS) >= {APT_CACHE_HITS, APT_CACHE_EVICTIONS}
+
+    def test_merge_includes_counters(self):
+        a, b = StepTimer(), StepTimer()
+        a.count(APT_CACHE_HITS, 1)
+        b.count(APT_CACHE_HITS, 4)
+        b.count(APT_CACHE_MISSES, 2)
+        a.merge(b)
+        assert a.counter(APT_CACHE_HITS) == 5
+        assert a.counter(APT_CACHE_MISSES) == 2
+
+    def test_format_table_shows_counters(self):
+        timer = StepTimer()
+        timer.add("a", 1.0)
+        timer.count(APT_CACHE_HITS, 7)
+        text = timer.format_table()
+        assert APT_CACHE_HITS in text
+        assert "7" in text
+
+    def test_explain_populates_cache_counters(self, mini_db, mini_schema_graph):
+        from repro import CajadeConfig, CajadeExplainer, ComparisonQuestion
+        from tests.conftest import GSW_WINS_SQL
+
+        config = CajadeConfig(
+            max_join_edges=2, f1_sample_rate=1.0, num_selected_attrs=3
+        )
+        timer = StepTimer()
+        CajadeExplainer(mini_db, mini_schema_graph, config).explain(
+            GSW_WINS_SQL,
+            ComparisonQuestion({"season": "2015-16"}, {"season": "2012-13"}),
+            timer=timer,
+        )
+        assert timer.counter(APT_CACHE_MISSES) > 0
+        assert APT_CACHE_MISSES in timer.counters()

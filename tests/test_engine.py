@@ -1,0 +1,527 @@
+"""Tests for the explanation engine: trie cache, engine, parallel mining."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import CajadeConfig, CajadeExplainer, ComparisonQuestion
+from repro.core.apt import JoinStep, build_plan, materialize_apt
+from repro.core.enumeration import enumerate_join_graphs
+from repro.db import ColumnType, Relation, TableSchema
+from repro.db.executor import JoinCache, hash_join
+from repro.db.parser import parse_sql
+from repro.db.provenance import ProvenanceTable
+from repro.engine import MaterializationEngine, PrefixCache, run_streaming
+from tests.conftest import GSW_WINS_SQL
+
+QUESTION = ComparisonQuestion({"season": "2015-16"}, {"season": "2012-13"})
+
+
+def _relation(name: str, n: int, cols: int = 2) -> Relation:
+    schema = TableSchema.build(
+        name, {f"{name}.c{i}": ColumnType.INT for i in range(cols)}
+    )
+    return Relation.from_rows(
+        schema, [tuple(range(cols)) for _ in range(n)]
+    )
+
+
+def _pipeline(mini_db, config=None):
+    config = config or CajadeConfig(
+        max_join_edges=2, f1_sample_rate=1.0, num_selected_attrs=4, seed=1
+    )
+    query = parse_sql(GSW_WINS_SQL)
+    pt = ProvenanceTable.compute(query, mini_db)
+    resolved = QUESTION.resolve(pt)
+    restrict = np.concatenate([resolved.row_ids1, resolved.row_ids2])
+    from repro.core.schema_graph import SchemaGraph
+
+    sg = SchemaGraph.from_database(mini_db)
+    graphs = list(enumerate_join_graphs(sg, query, pt, mini_db, config))
+    return pt, restrict, graphs
+
+
+def assert_relations_identical(a: Relation, b: Relation) -> None:
+    assert a.column_names == b.column_names
+    assert a.num_rows == b.num_rows
+    for name in a.column_names:
+        left, right = a.column(name), b.column(name)
+        assert left.dtype == right.dtype
+        if left.dtype.kind == "f":
+            assert np.array_equal(left, right, equal_nan=True)
+        else:
+            assert np.array_equal(left, right)
+
+
+# ----------------------------------------------------------------------
+# PrefixCache
+# ----------------------------------------------------------------------
+class TestPrefixCache:
+    def test_roundtrip_and_stats(self):
+        cache = PrefixCache(capacity_bytes=1 << 20)
+        rel = _relation("t", 10)
+        cache.put(("a",), rel)
+        assert cache.get(("a",)) is rel
+        assert cache.get(("b",)) is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.insertions == 1
+
+    def test_lru_eviction_order(self):
+        rel = _relation("t", 100)  # 100 rows x 2 int cols = 1600 bytes
+        cache = PrefixCache(capacity_bytes=3 * rel.estimated_bytes)
+        cache.put(("a",), rel)
+        cache.put(("b",), rel)
+        cache.put(("c",), rel)
+        cache.get(("a",))  # refresh a; b is now coldest
+        cache.put(("d",), rel)
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache and ("d",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_accounting(self):
+        rel = _relation("t", 50)
+        cache = PrefixCache(capacity_bytes=10 * rel.estimated_bytes)
+        cache.put(("a",), rel)
+        cache.put(("b",), rel)
+        assert cache.stats.current_bytes == 2 * rel.estimated_bytes
+        # Replacing a key must not double-count.
+        cache.put(("a",), rel)
+        assert cache.stats.current_bytes == 2 * rel.estimated_bytes
+
+    def test_oversized_rejected(self):
+        rel = _relation("t", 1000)
+        cache = PrefixCache(capacity_bytes=rel.estimated_bytes - 1)
+        cache.put(("a",), rel)
+        assert len(cache) == 0
+        assert cache.stats.rejected == 1
+
+    def test_zero_capacity_disables(self):
+        cache = PrefixCache(capacity_bytes=0)
+        cache.put(("a",), _relation("t", 1))
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_zero_capacity_rejects_empty_relations(self):
+        """Zero-byte relations must not slip past a zero budget."""
+        cache = PrefixCache(capacity_bytes=0)
+        empty = _relation("t", 0)
+        assert empty.estimated_bytes == 0
+        cache.put(("a",), empty)
+        assert len(cache) == 0
+        assert cache.stats.rejected == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixCache(capacity_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# Vectorized hash join + memoization
+# ----------------------------------------------------------------------
+class TestHashJoinVectorized:
+    def _rel(self, name, col, values, ctype=ColumnType.INT):
+        schema = TableSchema.build(name, {col: ctype})
+        return Relation.from_rows(schema, [(v,) for v in values])
+
+    def test_null_keys_never_match(self):
+        left = self._rel("l", "l.k", [1, None, 2], ColumnType.FLOAT)
+        right = self._rel("r", "r.k", [None, 1, 1], ColumnType.FLOAT)
+        joined = hash_join(left, right, [("l.k", "r.k")])
+        assert joined.num_rows == 2
+        assert all(v == 1.0 for v in joined.column("l.k"))
+
+    def test_mixed_int_float_dtypes(self):
+        left = self._rel("l", "l.k", [1, 2, 3])
+        right = self._rel("r", "r.k", [1.0, 3.0, None], ColumnType.FLOAT)
+        joined = hash_join(left, right, [("l.k", "r.k")])
+        assert sorted(joined.column("l.k").tolist()) == [1, 3]
+
+    def test_object_keys(self):
+        left = self._rel("l", "l.k", ["a", "b", None], ColumnType.TEXT)
+        right = self._rel("r", "r.k", ["b", "b", None, "c"], ColumnType.TEXT)
+        joined = hash_join(left, right, [("l.k", "r.k")])
+        assert joined.num_rows == 2
+        assert set(joined.column("l.k")) == {"b"}
+
+    def test_multi_column_key(self):
+        lschema = TableSchema.build(
+            "l", {"l.a": ColumnType.INT, "l.b": ColumnType.TEXT}
+        )
+        rschema = TableSchema.build(
+            "r", {"r.a": ColumnType.INT, "r.b": ColumnType.TEXT}
+        )
+        left = Relation.from_rows(lschema, [(1, "x"), (1, "y"), (2, "x")])
+        right = Relation.from_rows(rschema, [(1, "x"), (2, "x"), (2, "y")])
+        joined = hash_join(
+            left, right, [("l.a", "r.a"), ("l.b", "r.b")]
+        )
+        assert sorted(
+            zip(joined.column("l.a").tolist(), joined.column("l.b"))
+        ) == [(1, "x"), (2, "x")]
+
+    def test_empty_inputs(self):
+        left = self._rel("l", "l.k", [])
+        right = self._rel("r", "r.k", [1, 2])
+        assert hash_join(left, right, [("l.k", "r.k")]).num_rows == 0
+        assert hash_join(right, left, [("r.k", "l.k")]).num_rows == 0
+
+    def test_duplicate_matches_preserved(self):
+        left = self._rel("l", "l.k", [1, 1])
+        right = self._rel("r", "r.k", [1, 1, 1])
+        joined = hash_join(left, right, [("l.k", "r.k")])
+        assert joined.num_rows == 6
+
+    def test_large_int_float_keys_stay_exact(self):
+        """int64 keys beyond 2^53 must not collide with nearby floats."""
+        big = 2**53 + 1
+        left = self._rel("l", "l.k", [big, 7])
+        right = self._rel(
+            "r", "r.k", [float(2**53), 7.0], ColumnType.FLOAT
+        )
+        joined = hash_join(left, right, [("l.k", "r.k")])
+        assert joined.column("l.k").tolist() == [7]
+
+    def test_matches_nested_loop_order(self):
+        rng = np.random.default_rng(0)
+        left_keys = rng.integers(0, 6, size=40).tolist()
+        right_keys = rng.integers(0, 6, size=25).tolist()
+        left = self._rel("l", "l.k", left_keys)
+        right = self._rel("r", "r.k", right_keys)
+        joined = hash_join(left, right, [("l.k", "r.k")])
+        expected = sorted(
+            (a, b)
+            for a in left_keys
+            for b in right_keys
+            if a == b
+        )
+        actual = sorted(
+            (int(r[0]), int(r[1])) for r in joined.iter_rows()
+        )
+        assert actual == expected
+
+
+class TestJoinCache:
+    def test_memoizes_identical_inputs(self):
+        left = _relation("l", 20)
+        right = Relation.from_rows(
+            TableSchema.build("r", {"r.c0": ColumnType.INT}),
+            [(0,), (0,)],
+        )
+        cache = JoinCache()
+        first = hash_join(left, right, [("l.c0", "r.c0")], cache=cache)
+        second = hash_join(left, right, [("l.c0", "r.c0")], cache=cache)
+        assert second is first
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_distinct_conditions_not_conflated(self):
+        schema = TableSchema.build(
+            "r", {"r.c0": ColumnType.INT, "r.c1": ColumnType.INT}
+        )
+        right = Relation.from_rows(schema, [(0, 1), (1, 0)])
+        left = _relation("l", 5)
+        cache = JoinCache()
+        a = hash_join(left, right, [("l.c0", "r.c0")], cache=cache)
+        b = hash_join(left, right, [("l.c0", "r.c1")], cache=cache)
+        assert a is not b
+
+    def test_lru_bound(self):
+        cache = JoinCache(max_entries=2)
+        left = _relation("l", 3)
+        rights = [
+            Relation.from_rows(
+                TableSchema.build(f"r{i}", {f"r{i}.c0": ColumnType.INT}),
+                [(0,)],
+            )
+            for i in range(3)
+        ]
+        for i, right in enumerate(rights):
+            hash_join(left, right, [("l.c0", f"r{i}.c0")], cache=cache)
+        assert len(cache) == 2
+
+    def test_fingerprints_unique_and_stable(self):
+        a, b = _relation("a", 1), _relation("b", 1)
+        assert a.fingerprint != b.fingerprint
+        assert a.fingerprint == a.fingerprint
+
+    def test_byte_budget_enforced(self):
+        left = _relation("l", 100)
+        cache = JoinCache(max_entries=100, capacity_bytes=1)
+        result = hash_join(
+            left,
+            Relation.from_rows(
+                TableSchema.build("r", {"r.c0": ColumnType.INT}), [(0,)]
+            ),
+            [("l.c0", "r.c0")],
+            cache=cache,
+        )
+        # Result exceeds the byte budget: computed but not retained.
+        assert result.num_rows == 100
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_byte_budget_evicts_lru(self):
+        small = _relation("l", 10)
+        cache = JoinCache(
+            max_entries=100, capacity_bytes=3 * small.estimated_bytes
+        )
+        for i in range(4):
+            right = Relation.from_rows(
+                TableSchema.build(f"r{i}", {f"r{i}.c0": ColumnType.INT}),
+                [(0,)],
+            )
+            hash_join(small, right, [("l.c0", f"r{i}.c0")], cache=cache)
+        assert cache.current_bytes <= 3 * small.estimated_bytes
+        assert len(cache) < 4
+
+
+# ----------------------------------------------------------------------
+# Plan canonicalization (the trie ordering invariant)
+# ----------------------------------------------------------------------
+class TestPlanPrefixInvariant:
+    def test_extension_plans_share_parent_prefix(self, mini_db):
+        """Graphs extending Ω' by a fresh node start with Ω''s steps."""
+        from repro.core.enumeration import extend_join_graph
+        from repro.core.schema_graph import SchemaGraph
+
+        pt, _, graphs = _pipeline(mini_db)
+        sg = SchemaGraph.from_database(mini_db)
+        query = parse_sql(GSW_WINS_SQL)
+        checked = 0
+        for parent in graphs:
+            parent_plan = build_plan(parent, pt)
+            for child in extend_join_graph(parent, sg, query):
+                if len(child.nodes) == len(parent.nodes):
+                    continue  # parallel edge, not a fresh-node extension
+                child_plan = build_plan(child, pt)
+                assert (
+                    child_plan.joins[: len(parent_plan.joins)]
+                    == parent_plan.joins
+                )
+                assert child_plan.filters == parent_plan.filters
+                checked += 1
+        assert checked > 0, "BFS extensions must share plan prefixes"
+
+    def test_conditions_sorted(self, mini_db):
+        pt, _, graphs = _pipeline(mini_db)
+        for g in graphs:
+            for step in build_plan(g, pt).joins:
+                assert list(step.conditions) == sorted(step.conditions)
+
+    def test_plan_steps_hashable(self, mini_db):
+        pt, _, graphs = _pipeline(mini_db)
+        keys = {build_plan(g, pt).steps for g in graphs}
+        assert len(keys) == len(graphs)  # enumeration dedups isomorphs
+
+
+# ----------------------------------------------------------------------
+# MaterializationEngine
+# ----------------------------------------------------------------------
+class TestMaterializationEngine:
+    def test_identical_to_direct(self, mini_db):
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=64.0
+        )
+        for g in graphs:
+            direct = materialize_apt(
+                g, pt, mini_db, restrict_row_ids=restrict
+            )
+            cached = engine.materialize(g)
+            assert_relations_identical(direct.relation, cached.relation)
+            assert [a.name for a in direct.attributes] == [
+                a.name for a in cached.attributes
+            ]
+
+    def test_identical_under_tiny_cache(self, mini_db):
+        """Evictions must never change results."""
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=0.002
+        )
+        for g in graphs:
+            direct = materialize_apt(
+                g, pt, mini_db, restrict_row_ids=restrict
+            )
+            assert_relations_identical(
+                direct.relation, engine.materialize(g).relation
+            )
+
+    def test_zero_cache_equivalent(self, mini_db):
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=0.0
+        )
+        for g in graphs[:5]:
+            direct = materialize_apt(
+                g, pt, mini_db, restrict_row_ids=restrict
+            )
+            assert_relations_identical(
+                direct.relation, engine.materialize(g).relation
+            )
+        assert engine.stats.steps_reused == 0
+
+    def test_zero_cache_disables_join_memo_too(self, mini_db):
+        """apt_cache_mb=0 must mean genuinely no caching anywhere."""
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=0.0
+        )
+        sized = [g for g in graphs if g.num_edges > 0][0]
+        engine.materialize(sized)
+        engine.materialize(sized)
+        stats = engine.stats
+        assert stats.join_memo_hits == 0
+        assert stats.full_hits == 0
+        assert stats.cache is not None and stats.cache.insertions == 0
+
+    def test_materialize_many_preserves_order(self, mini_db):
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=64.0
+        )
+        batch = engine.materialize_many(graphs)
+        assert len(batch) == len(graphs)
+        for g, apt in zip(graphs, batch):
+            assert apt.join_graph is g
+
+    def test_repeat_materialization_hits_cache(self, mini_db):
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=64.0
+        )
+        sized = [g for g in graphs if g.num_edges > 0]
+        engine.materialize(sized[0])
+        before = engine.stats.full_hits
+        engine.materialize(sized[0])
+        assert engine.stats.full_hits == before + 1
+
+    def test_prefix_sharing_fires(self, mini_db):
+        from repro.core.enumeration import extend_join_graph
+        from repro.core.schema_graph import SchemaGraph
+
+        pt, restrict, graphs = _pipeline(mini_db)
+        sg = SchemaGraph.from_database(mini_db)
+        query = parse_sql(GSW_WINS_SQL)
+        # The valid chain plus all its one-edge extensions: every
+        # fresh-node extension shares the chain's whole plan as prefix.
+        parent = [g for g in graphs if g.num_edges > 0][0]
+        batch = [parent] + extend_join_graph(parent, sg, query)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict, cache_mb=64.0
+        )
+        engine.materialize_many(batch)
+        stats = engine.stats
+        assert stats.steps_reused > 0
+        assert stats.steps_computed > 0
+        assert stats.cache is not None and stats.cache.insertions > 0
+
+        # Direct materialization agrees on every extension too.
+        for g in batch:
+            direct = materialize_apt(
+                g, pt, mini_db, restrict_row_ids=restrict
+            )
+            assert_relations_identical(
+                direct.relation, engine.materialize(g).relation
+            )
+
+    def test_negative_cache_rejected(self, mini_db):
+        pt, restrict, _ = _pipeline(mini_db)
+        with pytest.raises(ValueError):
+            MaterializationEngine(pt, mini_db, cache_mb=-1.0)
+
+    def test_stats_describe_renders(self, mini_db):
+        pt, restrict, graphs = _pipeline(mini_db)
+        engine = MaterializationEngine(
+            pt, mini_db, restrict_row_ids=restrict
+        )
+        engine.materialize_many(graphs[:3])
+        text = engine.stats.describe()
+        assert "apt cache" in text
+        assert "steps reused" in text
+
+
+# ----------------------------------------------------------------------
+# Parallel mining
+# ----------------------------------------------------------------------
+class TestParallel:
+    def test_run_streaming_serial_and_parallel_agree(self):
+        items = [(i, i + 1) for i in range(25)]
+        fn = lambda k, v: k * v  # noqa: E731
+        serial = run_streaming(iter(items), fn, 1)
+        pooled = run_streaming(iter(items), fn, 4, max_inflight=3)
+        assert serial == pooled == {k: k * v for k, v in items}
+
+    def test_run_streaming_propagates_exceptions(self):
+        def boom(key, value):
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            run_streaming([(0, 0), (1, 1), (2, 2)], boom, 3)
+
+    def test_run_streaming_bounds_inflight_pull(self):
+        """The stream must not be drained ahead of the workers."""
+        pulled = []
+
+        def stream():
+            for i in range(10):
+                pulled.append(i)
+                yield i, i
+
+        # Serial: each item is processed before the next is pulled.
+        seen_at_pull = []
+        def fn(k, v):
+            seen_at_pull.append(len(pulled))
+            return v
+
+        run_streaming(stream(), fn, 1)
+        assert seen_at_pull == [i + 1 for i in range(10)]
+
+    def _explain_json(self, mini_db, mini_schema_graph, **overrides):
+        config = CajadeConfig(
+            max_join_edges=2,
+            top_k=5,
+            f1_sample_rate=0.5,
+            num_selected_attrs=4,
+            seed=1,
+            **overrides,
+        )
+        result = CajadeExplainer(mini_db, mini_schema_graph, config).explain(
+            GSW_WINS_SQL, QUESTION
+        )
+        payload = json.loads(result.to_json())
+        payload.pop("apt_cache", None)
+        return json.dumps(payload, sort_keys=True)
+
+    def test_workers_preserve_results(self, mini_db, mini_schema_graph):
+        serial = self._explain_json(mini_db, mini_schema_graph, workers=1)
+        parallel = self._explain_json(mini_db, mini_schema_graph, workers=3)
+        assert serial == parallel
+
+    def test_cache_preserves_results(self, mini_db, mini_schema_graph):
+        on = self._explain_json(mini_db, mini_schema_graph, apt_cache_mb=64.0)
+        off = self._explain_json(mini_db, mini_schema_graph, apt_cache_mb=0.0)
+        assert on == off
+
+    def test_join_memo_preserves_results(self, mini_db, mini_schema_graph):
+        memo = self._explain_json(
+            mini_db, mini_schema_graph, join_memo_entries=64
+        )
+        plain = self._explain_json(mini_db, mini_schema_graph)
+        assert memo == plain
+
+    def test_explain_reports_engine_stats(self, mini_db, mini_schema_graph):
+        config = CajadeConfig(
+            max_join_edges=1, f1_sample_rate=1.0, num_selected_attrs=3
+        )
+        result = CajadeExplainer(mini_db, mini_schema_graph, config).explain(
+            GSW_WINS_SQL, QUESTION
+        )
+        assert result.engine is not None
+        assert result.engine.graphs > 0
+        payload = json.loads(result.to_json())
+        assert "apt_cache" in payload

@@ -5,12 +5,15 @@ Each property targets an invariant listed in DESIGN.md §6:
 - per-PT-row coverage being fan-out-independent,
 - metric bounds,
 - hash join ≡ nested-loop join,
+- engine-cached APT materialization ≡ direct materialization,
 - aggregation partitioning,
 - diversity score range,
 - NDCG/Kendall metric identities.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 import pytest
@@ -19,7 +22,7 @@ from hypothesis import strategies as st
 
 from repro.core import Pattern, PatternPredicate, QualityStats, dissimilarity
 from repro.core.pattern import OP_EQ, OP_GE, OP_LE
-from repro.db import ColumnType, Relation, TableSchema
+from repro.db import ColumnType, Database, Relation, TableSchema
 from repro.db.executor import hash_join
 from repro.ml import kendall_tau_distance, ndcg
 
@@ -200,6 +203,159 @@ class TestJoinProperties:
             i for v in groups.values() for i in v.tolist()
         )
         assert all_indices == list(range(len(rows)))
+
+
+# ----------------------------------------------------------------------
+# Engine materialization properties
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def _engine_fixture():
+    """A tiny database, its join-graph pool, and direct-path APTs.
+
+    The pool holds every enumerated join graph plus all one-edge
+    extensions of the valid ones, so it contains deep shared prefixes.
+    """
+    from repro.core.apt import materialize_apt
+    from repro.core.config import CajadeConfig
+    from repro.core.enumeration import (
+        enumerate_join_graphs,
+        extend_join_graph,
+    )
+    from repro.core.schema_graph import SchemaGraph
+    from repro.db.parser import parse_sql
+    from repro.db.provenance import ProvenanceTable
+
+    db = Database("prop")
+    games = []
+    for year, season in ((2012, "a"), (2015, "b")):
+        for g in range(4):
+            games.append(
+                (year, g + 1, "GSW" if g % 2 else "LAL", season)
+            )
+    db.create_table(
+        TableSchema.build(
+            "game",
+            {
+                "year": ColumnType.INT,
+                "gameno": ColumnType.INT,
+                "winner": ColumnType.TEXT,
+                "season": ColumnType.TEXT,
+            },
+            primary_key=("year", "gameno"),
+        ),
+        games,
+    )
+    db.create_table(
+        TableSchema.build(
+            "player",
+            {"player_id": ColumnType.INT, "player_name": ColumnType.TEXT},
+            primary_key=("player_id",),
+        ),
+        [(0, "Curry"), (1, "Green")],
+    )
+    pgs = [
+        (pid, year, gameno, 10 * (pid + 1) + gameno)
+        for (year, gameno, _, _) in games
+        for pid in (0, 1)
+    ]
+    db.create_table(
+        TableSchema.build(
+            "player_game",
+            {
+                "player_id": ColumnType.INT,
+                "year": ColumnType.INT,
+                "gameno": ColumnType.INT,
+                "pts": ColumnType.INT,
+            },
+            primary_key=("player_id", "year", "gameno"),
+        ),
+        pgs,
+    )
+    db.add_foreign_key(
+        "player_game", ("year", "gameno"), "game", ("year", "gameno")
+    )
+    db.add_foreign_key(
+        "player_game", ("player_id",), "player", ("player_id",)
+    )
+
+    query = parse_sql(
+        "SELECT season, COUNT(*) AS n FROM game g GROUP BY season"
+    )
+    pt = ProvenanceTable.compute(query, db)
+    sg = SchemaGraph.from_database(db)
+    config = CajadeConfig(max_join_edges=2)
+    pool = list(enumerate_join_graphs(sg, query, pt, db, config))
+    for graph in list(pool):
+        if graph.num_edges > 0:
+            pool.extend(extend_join_graph(graph, sg, query))
+    directs = [materialize_apt(g, pt, db) for g in pool]
+    return db, pt, pool, directs
+
+
+class TestEngineProperties:
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=1,
+            max_size=15,
+        ),
+        cache_kb=st.sampled_from([0, 2, 64, 4096]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_engine_matches_direct_materialization(self, picks, cache_kb):
+        """For arbitrary join-graph sets and cache budgets, the engine
+        produces relations identical (schema, rows, ``__pt_row_id``) to
+        direct ``materialize_apt``."""
+        from repro.engine import MaterializationEngine
+
+        db, pt, pool, directs = _engine_fixture()
+        engine = MaterializationEngine(pt, db, cache_mb=cache_kb / 1024.0)
+        for pick in picks:
+            index = pick % len(pool)
+            direct = directs[index]
+            cached = engine.materialize(pool[index])
+            assert (
+                cached.relation.column_names
+                == direct.relation.column_names
+            )
+            assert np.array_equal(
+                cached.pt_row_ids, direct.pt_row_ids
+            )
+            for name in direct.relation.column_names:
+                left = direct.relation.column(name)
+                right = cached.relation.column(name)
+                assert left.dtype == right.dtype
+                if left.dtype.kind == "f":
+                    assert np.array_equal(left, right, equal_nan=True)
+                else:
+                    assert np.array_equal(left, right)
+
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_materialize_many_order_independent_of_schedule(self, picks):
+        """Batch (trie-order) and one-by-one materialization agree."""
+        from repro.engine import MaterializationEngine
+
+        db, pt, pool, directs = _engine_fixture()
+        graphs = [pool[p % len(pool)] for p in picks]
+        batch = MaterializationEngine(pt, db).materialize_many(graphs)
+        for pick, apt in zip(picks, batch):
+            direct = directs[pick % len(pool)]
+            assert apt.relation.column_names == direct.relation.column_names
+            for name in direct.relation.column_names:
+                left = direct.relation.column(name)
+                right = apt.relation.column(name)
+                assert left.dtype == right.dtype
+                if left.dtype.kind == "f":
+                    assert np.array_equal(left, right, equal_nan=True)
+                else:
+                    assert np.array_equal(left, right)
 
 
 # ----------------------------------------------------------------------
