@@ -12,9 +12,9 @@ motivates:
 import numpy as np
 import pytest
 
+from repro.api import CajadeSession
 from repro.core import (
     CajadeConfig,
-    CajadeExplainer,
     ComparisonQuestion,
     materialize_apt,
     mine_apt,
@@ -103,7 +103,7 @@ def test_ablation_qcost_skipping(benchmark, nba, report):
             config = CajadeConfig(**BASE).with_overrides(
                 max_join_edges=2, qcost_threshold=threshold
             )
-            result = CajadeExplainer(db, sg, config).explain(
+            result = CajadeSession(db, sg, config).explain(
                 wq.sql, wq.question
             )
             out[threshold] = result.enumeration
@@ -152,7 +152,7 @@ def test_ablation_diversity(benchmark, nba, report):
             config = CajadeConfig(**BASE).with_overrides(
                 max_join_edges=2, use_diversity=diverse
             )
-            result = CajadeExplainer(db, sg, config).explain(
+            result = CajadeSession(db, sg, config).explain(
                 wq.sql, wq.question
             )
             out[diverse] = result

@@ -41,10 +41,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro.api import CajadeSession
 from repro.core.apt import materialize_apt
 from repro.core.config import CajadeConfig
 from repro.core.enumeration import enumerate_join_graphs
-from repro.core.explainer import CajadeExplainer
 from repro.db.parser import parse_sql
 from repro.db.provenance import ProvenanceTable
 from repro.db.relation import Relation
@@ -182,7 +182,7 @@ def run(args: argparse.Namespace) -> int:
     outputs: dict[str, str] = {}
     for label, run_config in runs.items():
         start = time.perf_counter()
-        result = CajadeExplainer(db, schema_graph, run_config).explain(
+        result = CajadeSession(db, schema_graph, run_config).explain(
             workload.sql, workload.question
         )
         elapsed = time.perf_counter() - start

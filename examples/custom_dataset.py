@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro import (
     CajadeConfig,
-    CajadeExplainer,
+    CajadeSession,
     ComparisonQuestion,
     Database,
     OutlierQuestion,
@@ -123,20 +123,20 @@ def main() -> None:
         lca_sample_rate=1.0,
         num_selected_attrs=4,
     )
-    explainer = CajadeExplainer(db, schema_graph, config)
+    session = CajadeSession(db, schema_graph, config)
 
     # -- two-point comparison -------------------------------------------
     question = ComparisonQuestion(
         {"store_id": 0, "quarter": "Q4"}, {"store_id": 0, "quarter": "Q3"}
     )
-    result = explainer.explain(sql, question)
+    result = session.explain(sql, question)
     print("\nwhy did store 0 sell more in Q4 than Q3?")
     for rank, e in enumerate(result.top(3), start=1):
         print(f"  {rank}. {e.describe()}")
 
     # -- single-point outlier question -----------------------------------
     outlier = OutlierQuestion({"store_id": 0, "quarter": "Q4"})
-    result = explainer.explain(sql, outlier)
+    result = session.explain(sql, outlier)
     print("\nwhy is (store 0, Q4) different from everything else?")
     for rank, e in enumerate(result.top(3), start=1):
         print(f"  {rank}. {e.describe()}")

@@ -11,7 +11,7 @@
 Run:  python examples/extensions_tour.py
 """
 
-from repro import CajadeConfig, CajadeExplainer
+from repro import CajadeConfig, CajadeSession
 from repro.core.join_discovery import (
     augment_schema_graph,
     discover_join_candidates,
@@ -42,8 +42,8 @@ def main() -> None:
             exclude_group_determined=guard,
             seed=3,
         )
-        explainer = CajadeExplainer(db, schema_graph, config)
-        result = explainer.explain(workload.sql, workload.question)
+        session = CajadeSession(db, schema_graph, config)
+        result = session.explain(workload.sql, workload.question)
         label = "with FD guard" if guard else "without FD guard"
         print(f"Qmimic5 top explanations ({label}):")
         for rank, explanation in enumerate(result.top(3), start=1):
@@ -60,7 +60,7 @@ def main() -> None:
     config = CajadeConfig(
         max_join_edges=1, top_k=3, f1_sample_rate=1.0, num_selected_attrs=4
     )
-    result = CajadeExplainer(db, schema_graph, config).explain(
+    result = CajadeSession(db, schema_graph, config).explain(
         workload.sql, workload.question
     )
     print("as sentences:")

@@ -10,7 +10,7 @@ Run:  python examples/mimic_case_study.py [scale]
 import sys
 import time
 
-from repro import CajadeConfig, CajadeExplainer
+from repro import CajadeConfig, CajadeSession
 from repro.datasets import load_mimic, mimic_queries
 
 
@@ -35,14 +35,14 @@ def main(scale: float = 0.25) -> None:
         num_selected_attrs=4,
         seed=3,
     )
-    explainer = CajadeExplainer(db, schema_graph, config)
+    session = CajadeSession(db, schema_graph, config)
 
     for workload in mimic_queries():
         print()
         print(f"=== {workload.name}: {workload.description} ===")
         print(f"question: {workload.question.describe()}")
         start = time.perf_counter()
-        result = explainer.explain(workload.sql, workload.question)
+        result = session.explain(workload.sql, workload.question)
         elapsed = time.perf_counter() - start
         for rank, explanation in enumerate(result.top(3), start=1):
             print(f"  {rank}. {explanation.describe()}")

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from repro import (
     CajadeConfig,
-    CajadeExplainer,
+    CajadeSession,
     ComparisonQuestion,
     Database,
     SchemaGraph,
@@ -98,7 +98,7 @@ def main() -> None:
         lca_sample_rate=1.0,
         num_selected_attrs=4,
     )
-    explainer = CajadeExplainer(db, schema_graph, config)
+    session = CajadeSession(db, schema_graph, config)
 
     sql = (
         "SELECT winner AS team, season, COUNT(*) AS win "
@@ -111,7 +111,7 @@ def main() -> None:
     question = ComparisonQuestion(
         {"season": "2015-16"}, {"season": "2012-13"}
     )
-    result = explainer.explain(sql, question)
+    result = session.explain(sql, question)
     print()
     print(result.describe())
     print()

@@ -3,16 +3,29 @@
 "Putting Things into Context: Rich Explanations for Query Answers using
 Join Graphs" — Li, Miao, Zeng, Glavic, Roy.
 
-The public API re-exports the most commonly used entry points:
+The canonical entry point is the session API: register a database once,
+then ask many questions while parsed queries, provenance tables and the
+materialization trie stay warm:
 
->>> from repro import CajadeExplainer, ComparisonQuestion
+>>> from repro import CajadeSession
 >>> from repro.datasets import load_nba
 >>> db, schema_graph = load_nba(scale=0.25)
->>> explainer = CajadeExplainer(db, schema_graph)
->>> result = explainer.explain(sql, ComparisonQuestion(t1, t2))
->>> print(result.describe(3))
+>>> session = CajadeSession(db, schema_graph)
+>>> response = session.ask(sql).why_higher(t1, t2).top_k(3).run()
+>>> print(response.describe())
+
+The one-shot :class:`CajadeExplainer` remains as a deprecated shim over
+a one-request session (byte-identical results, no cross-question reuse).
 """
 
+from .api import (
+    CajadeSession,
+    ExplanationRequest,
+    ExplanationResponse,
+    QuestionBuilder,
+    SessionStats,
+    query_fingerprint,
+)
 from .core import (
     CajadeConfig,
     CajadeExplainer,
@@ -27,22 +40,28 @@ from .core import (
 )
 from .db import Database, ProvenanceTable, Relation, TableSchema, parse_sql
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CajadeConfig",
     "CajadeExplainer",
+    "CajadeSession",
     "ComparisonQuestion",
     "Database",
     "Explanation",
+    "ExplanationRequest",
+    "ExplanationResponse",
     "ExplanationResult",
     "JoinGraph",
     "OutlierQuestion",
     "parse_sql",
     "Pattern",
     "ProvenanceTable",
+    "query_fingerprint",
+    "QuestionBuilder",
     "Relation",
     "SchemaGraph",
+    "SessionStats",
     "StepTimer",
     "TableSchema",
     "__version__",

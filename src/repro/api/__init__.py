@@ -1,0 +1,27 @@
+"""The session-oriented public API (the canonical way to drive CaJaDE).
+
+Layering: db → core → engine → **api** → cli.  This package owns the
+long-lived :class:`CajadeSession` — schema graph computed once, parsed
+queries/provenance cached by SQL fingerprint, one warm
+:class:`~repro.engine.MaterializationEngine` per registered query — and
+the typed :class:`ExplanationRequest` / :class:`ExplanationResponse`
+objects individual questions travel in.  The legacy one-shot
+:class:`~repro.core.explainer.CajadeExplainer` is a deprecated shim
+over a one-request session.
+"""
+
+from .session import CajadeSession, QuestionBuilder, SessionStats
+from .types import (
+    ExplanationRequest,
+    ExplanationResponse,
+    query_fingerprint,
+)
+
+__all__ = [
+    "CajadeSession",
+    "ExplanationRequest",
+    "ExplanationResponse",
+    "QuestionBuilder",
+    "SessionStats",
+    "query_fingerprint",
+]

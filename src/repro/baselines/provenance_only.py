@@ -7,8 +7,9 @@ Identical pattern mining, but restricted to the provenance table itself
 
 from __future__ import annotations
 
+from ..api.session import CajadeSession
 from ..core.config import CajadeConfig
-from ..core.explainer import CajadeExplainer, ExplanationResult
+from ..core.explainer import ExplanationResult
 from ..core.question import ComparisonQuestion, OutlierQuestion
 from ..core.schema_graph import SchemaGraph
 from ..db.database import Database
@@ -20,7 +21,7 @@ class ProvenanceOnlyExplainer:
 
     def __init__(self, db: Database, config: CajadeConfig | None = None):
         base = config or CajadeConfig()
-        self._inner = CajadeExplainer(
+        self._session = CajadeSession(
             db,
             schema_graph=SchemaGraph(tables=db.table_names),
             config=base.with_overrides(max_join_edges=0),
@@ -32,5 +33,9 @@ class ProvenanceOnlyExplainer:
         question: ComparisonQuestion | OutlierQuestion,
         k: int | None = None,
     ) -> ExplanationResult:
-        """Top-k provenance-only explanations for a user question."""
-        return self._inner.explain(query, question, k=k)
+        """Top-k provenance-only explanations for a user question.
+
+        Repeated questions benefit from the session's warm state (the
+        provenance table is the whole APT at λ#edges = 0).
+        """
+        return self._session.explain(query, question, top_k=k)

@@ -27,28 +27,45 @@ import argparse
 import sys
 from typing import Any
 
+from .api import CajadeSession
 from .core.config import CajadeConfig
-from .core.explainer import CajadeExplainer
 from .core.question import ComparisonQuestion, OutlierQuestion
 from .core.schema_graph import SchemaGraph
 
 
 def _parse_tuple_spec(spec: list[str]) -> dict[str, Any]:
-    """Parse ``name=value`` pairs; values try int, float, then str."""
+    """Parse ``name=value`` pairs.
+
+    Values coerce in order: quoted string (``name="2015"`` stays the
+    string ``2015``), ``true``/``false`` (case-insensitive) to bool,
+    int, float, bare string.
+    """
     out: dict[str, Any] = {}
     for item in spec:
         if "=" not in item:
             raise SystemExit(f"bad tuple spec {item!r}; expected name=value")
         name, raw = item.split("=", 1)
-        value: Any = raw
-        for cast in (int, float):
-            try:
-                value = cast(raw)
-                break
-            except ValueError:
-                continue
-        out[name] = value
+        out[name] = _coerce_value(raw)
     return out
+
+
+def _coerce_value(raw: str) -> Any:
+    if (
+        len(raw) >= 2
+        and raw[0] == raw[-1]
+        and raw[0] in ("'", '"')
+    ):
+        return raw[1:-1]
+    if raw.lower() == "true":
+        return True
+    if raw.lower() == "false":
+        return False
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -112,7 +129,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     config = _config_from(args)
     db = load_database(args.database)
     schema_graph = SchemaGraph.from_database(db)
-    explainer = CajadeExplainer(db, schema_graph, config)
+    session = CajadeSession(db, schema_graph, config)
 
     t1 = _parse_tuple_spec(args.t1)
     if args.t2:
@@ -121,7 +138,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
         )
     else:
         question = OutlierQuestion(t1)
-    result = explainer.explain(args.sql, question)
+    result = session.explain(args.sql, question)
     print(result.describe())
     _print_cache_stats(result)
     if args.sentences:
@@ -140,10 +157,10 @@ def cmd_workload(args: argparse.Namespace) -> int:
         db, schema_graph = load_nba(scale=args.scale, seed=args.seed)
     else:
         db, schema_graph = load_mimic(scale=args.scale, seed=args.seed)
-    explainer = CajadeExplainer(db, schema_graph, config)
+    session = CajadeSession(db, schema_graph, config)
     print(f"{workload.name}: {workload.description}")
     print(f"question: {workload.question.describe()}")
-    result = explainer.explain(workload.sql, workload.question)
+    result = session.explain(workload.sql, workload.question)
     print(result.describe())
     _print_cache_stats(result)
     if args.sentences:

@@ -1,69 +1,34 @@
-"""The end-to-end CaJaDE pipeline and its public API.
+"""Explanation result types, plus the deprecated one-shot explainer.
 
-:class:`CajadeExplainer` wires everything together:
+The pipeline itself (parse → provenance → enumerate → materialize →
+mine → rank, paper Algorithms 1+2) lives in
+:class:`repro.api.CajadeSession`, the canonical session-oriented entry
+point that keeps parsed queries, provenance tables and the
+materialization trie warm across user questions.  This module keeps:
 
-1. parse / accept the user's aggregate query and compute its provenance
-   table (the role GProM plays in the paper's implementation);
-2. resolve the user question to the provenance rows of its output tuples;
-3. enumerate join graphs over the schema graph (Algorithm 2), validating
-   with PK-connectivity and cost checks;
-4. materialize the APT of each valid join graph through the
-   :class:`repro.engine.MaterializationEngine` and mine patterns
-   (Algorithm 1), optionally across a worker pool
-   (``CajadeConfig.workers``);
-5. rank the union of all mined patterns by F-score with diversity
-   reranking, recompute exact statistics for the finalists, and return
-   ranked :class:`Explanation` objects.
-
-APT materialization — the dominant cost of the paper's Figures 8/9 —
-runs through the engine's materialization trie: join graphs are
-canonicalized into ordered edge prefixes and the intermediate join of a
-shared prefix is computed once.  The trie *ordering invariant* makes
-this sound and effective: the canonical edge order produced by
-:func:`repro.core.apt.build_plan` extends the BFS enumeration order of
-:mod:`repro.core.enumeration` (node ids grow in extension order, lowest
-frontier id joins first), so a size-k graph extending a size-(k−1) graph
-reuses that graph's entire materialization.  Mining then runs per join
-graph with an independent per-graph generator, which keeps serial and
-parallel executions byte-identical.
+- :class:`Explanation` / :class:`ExplanationResult` — the ranked output
+  types every layer shares;
+- :class:`CajadeExplainer` — the original one-shot API, now a thin
+  deprecated shim that answers each ``explain`` call through a fresh
+  one-request session (byte-identical results, none of the reuse).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
-
-import numpy as np
+import warnings
+from dataclasses import dataclass
 
 from ..db.database import Database
-from ..db.parser import parse_sql
-from ..db.provenance import ProvenanceTable
 from ..db.query import Query
-from ..engine import (
-    EngineStats,
-    MaterializationEngine,
-    graph_rng,
-    run_streaming,
-)
-from .apt import AugmentedProvenanceTable
+from ..engine import EngineStats
 from .config import CajadeConfig
-from .diversity import select_diverse_top_k
-from .enumeration import EnumerationStats, enumerate_join_graphs
+from .enumeration import EnumerationStats
 from .join_graph import JoinGraph
-from .mining import MinedPattern, mine_apt
 from .pattern import Pattern
-from .quality import PatternSupport, QualityEvaluator, QualityStats
+from .quality import PatternSupport, QualityStats
 from .question import ComparisonQuestion, OutlierQuestion, ResolvedQuestion
 from .schema_graph import SchemaGraph
-from .timing import (
-    APT_CACHE_EVICTIONS,
-    APT_CACHE_HITS,
-    APT_CACHE_MISSES,
-    JG_ENUMERATION,
-    JOIN_MEMO_HITS,
-    MATERIALIZE_APTS,
-    StepTimer,
-)
+from .timing import StepTimer
 
 
 @dataclass
@@ -205,7 +170,15 @@ class ExplanationResult:
 
 
 class CajadeExplainer:
-    """Context-Aware Join-Augmented Deep Explanations.
+    """Context-Aware Join-Augmented Deep Explanations (one-shot API).
+
+    .. deprecated:: 1.1
+        Use :class:`repro.api.CajadeSession`, which keeps parsed
+        queries, provenance tables and the materialization trie warm
+        across questions.  This shim answers each ``explain`` call
+        through a fresh one-request session: results are byte-identical,
+        but every call pays the full cold-start cost the session API
+        exists to amortize.
 
     Args:
         db: the database the query runs against.
@@ -219,6 +192,12 @@ class CajadeExplainer:
         schema_graph: SchemaGraph | None = None,
         config: CajadeConfig | None = None,
     ):
+        warnings.warn(
+            "CajadeExplainer is deprecated; use repro.api.CajadeSession "
+            "(see the README migration note)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.db = db
         self.schema_graph = schema_graph or SchemaGraph.from_database(db)
         self.config = config or CajadeConfig()
@@ -231,172 +210,14 @@ class CajadeExplainer:
         k: int | None = None,
         timer: StepTimer | None = None,
     ) -> ExplanationResult:
-        """Produce the globally ranked top-k explanations for a question."""
-        config = self.config
-        if k is not None:
-            config = config.with_overrides(top_k=k)
-        timer = timer or StepTimer()
+        """Produce the globally ranked top-k explanations for a question.
 
-        if isinstance(query, str):
-            query = parse_sql(query)
-        with timer.step(MATERIALIZE_APTS):
-            pt = ProvenanceTable.compute(query, self.db)
-        resolved = question.resolve(pt)
-        restrict = np.concatenate([resolved.row_ids1, resolved.row_ids2])
-
-        enumeration_stats = EnumerationStats()
-        collected: list[tuple[Pattern, float, tuple]] = []
-
-        with timer.step(JG_ENUMERATION):
-            join_graphs = list(
-                enumerate_join_graphs(
-                    self.schema_graph,
-                    query,
-                    pt,
-                    self.db,
-                    config,
-                    stats=enumeration_stats,
-                )
-            )
-
-        # Stream APTs out of the shared-prefix engine (trie order, so
-        # graphs extending the same prefix reuse its cached
-        # intermediate) straight into mining — serial runs hold one APT
-        # at a time; a worker pool holds at most 2x workers.  Results
-        # are keyed by enumeration index and merged in index order, so
-        # the outcome is byte-identical for any schedule.
-        engine = MaterializationEngine(
-            pt,
-            self.db,
-            restrict_row_ids=restrict,
-            cache_mb=config.apt_cache_mb,
-            join_memo_entries=config.join_memo_entries,
-        )
-
-        def _nonempty_apts():
-            iterator = engine.materialize_iter(join_graphs)
-            while True:
-                with timer.step(MATERIALIZE_APTS):
-                    item = next(iterator, None)
-                if item is None:
-                    return
-                if item[1].num_rows > 0:
-                    yield item
-
-        def _mine_one(
-            index: int, apt: AugmentedProvenanceTable
-        ) -> tuple[StepTimer, list]:
-            local_timer = StepTimer()
-            rng = graph_rng(config.seed, index)
-            mining = mine_apt(apt, resolved, config, rng, timer=local_timer)
-            finalists = self._exact_stats(
-                apt, resolved, mining.patterns, config, rng
-            )
-            return local_timer, finalists
-
-        results_by_index = run_streaming(
-            _nonempty_apts(), _mine_one, config.workers
-        )
-        mined_graphs = len(results_by_index)
-        for index in sorted(results_by_index):
-            local_timer, finalists = results_by_index[index]
-            timer.merge(local_timer)
-            for mined, stats, support in finalists:
-                collected.append(
-                    (
-                        mined.pattern,
-                        stats.f_score,
-                        (join_graphs[index], mined, stats, support),
-                    )
-                )
-
-        engine_stats = engine.stats
-        timer.count(APT_CACHE_HITS, engine_stats.steps_reused)
-        timer.count(APT_CACHE_MISSES, engine_stats.steps_computed)
-        if engine_stats.cache is not None:
-            timer.count(APT_CACHE_EVICTIONS, engine_stats.cache.evictions)
-        if config.join_memo_entries > 0:
-            timer.count(JOIN_MEMO_HITS, engine_stats.join_memo_hits)
-
-        if config.use_diversity:
-            chosen = select_diverse_top_k(collected, config.top_k)
-        else:
-            chosen = sorted(
-                collected, key=lambda c: (-c[1], c[0].describe())
-            )[: config.top_k]
-
-        explanations = []
-        for _pattern, _score, payload in chosen:
-            join_graph, mined, stats, support = payload
-            explanations.append(
-                Explanation(
-                    join_graph=join_graph,
-                    pattern=mined.pattern,
-                    primary=mined.primary,
-                    primary_label=resolved.label_for_key(mined.primary == 1),
-                    stats=stats,
-                    support=support,
-                )
-            )
-        return ExplanationResult(
-            explanations=explanations,
-            question=resolved,
-            timer=timer,
-            enumeration=enumeration_stats,
-            join_graphs_mined=mined_graphs,
-            engine=engine_stats,
-        )
-
-    # ------------------------------------------------------------------
-    def _exact_stats(
-        self,
-        apt: AugmentedProvenanceTable,
-        resolved: ResolvedQuestion,
-        mined: list[MinedPattern],
-        config: CajadeConfig,
-        rng: np.random.Generator,
-    ) -> list[tuple[MinedPattern, QualityStats, PatternSupport]]:
-        """Re-evaluate a join graph's finalists exactly (no sampling).
-
-        Mining may run on a λF1-samp sample; the reported supports
-        (c1, a1), (c2, a2) and scores of returned explanations are exact.
+        Delegates to a fresh one-request :class:`repro.api.CajadeSession`
+        (imported lazily — api sits above core in the layering).
         """
-        if not mined:
-            return []
-        if config.f1_sample_rate >= 1.0:
-            evaluator = None
-        else:
-            evaluator = QualityEvaluator(
-                apt,
-                resolved.row_ids1,
-                resolved.row_ids2,
-                sample_rate=1.0,
-                rng=rng,
-            )
-        results = []
-        for entry in mined:
-            if evaluator is None:
-                stats = entry.stats
-                support = PatternSupport(
-                    covered1=entry.stats.tp
-                    if entry.primary == 1
-                    else entry.stats.fp,
-                    total1=len(resolved.row_ids1),
-                    covered2=entry.stats.fp
-                    if entry.primary == 1
-                    else entry.stats.tp,
-                    total2=len(resolved.row_ids2),
-                )
-            else:
-                cov1, cov2 = evaluator.coverage_counts(entry.pattern)
-                stats = evaluator.stats_from_counts(
-                    cov1, cov2, primary=entry.primary
-                )
-                support = PatternSupport(
-                    covered1=cov1,
-                    total1=len(resolved.row_ids1),
-                    covered2=cov2,
-                    total2=len(resolved.row_ids2),
-                )
-            results.append((entry, stats, support))
-        return results
+        from ..api.session import CajadeSession
+
+        session = CajadeSession(self.db, self.schema_graph, self.config)
+        return session.explain(
+            query, question, top_k=k, timer=timer
+        )

@@ -1,13 +1,14 @@
 """The explanation engine: shared-prefix APT materialization + parallel mining.
 
-Layering: db → core → engine → cli.  The engine consumes the canonical
-materialization plans of :mod:`repro.core.apt` and the memoized hash-join
-path of :mod:`repro.db.executor`; :class:`repro.core.explainer
-.CajadeExplainer` drives it and the CLI surfaces its knobs
-(``--workers``, ``--apt-cache-mb``) and cache statistics.
+Layering: db → core → engine → api → cli.  The engine consumes the
+canonical materialization plans of :mod:`repro.core.apt` and the
+memoized hash-join path of :mod:`repro.db.executor`;
+:class:`repro.api.CajadeSession` drives it (one long-lived engine per
+registered query) and the CLI surfaces its knobs (``--workers``,
+``--apt-cache-mb``) and cache statistics.
 """
 
-from .engine import EngineStats, MaterializationEngine
+from .engine import EngineStats, MaterializationEngine, restriction_fingerprint
 from .parallel import graph_rng, run_streaming
 from .trie import CacheStats, PrefixCache
 
@@ -17,5 +18,6 @@ __all__ = [
     "MaterializationEngine",
     "PrefixCache",
     "graph_rng",
+    "restriction_fingerprint",
     "run_streaming",
 ]

@@ -22,12 +22,22 @@ path (:class:`repro.db.executor.JoinCache`) can be layered in via
 ``join_memo_entries``, but is off by default: within the engine the trie
 already dedups every join the memo could, and trie evictions cascade
 through fingerprint keys (see the constructor docstring).
+
+An engine can outlive a single question: the question restriction is a
+per-call argument (``restrict_row_ids`` on the ``materialize*`` methods)
+and every trie key is namespaced by a fingerprint of the restriction's
+row-id *set*, so APTs of different questions coexist in one trie without
+ever aliasing, and re-asking a question hits the prefixes its first run
+left behind.  :class:`repro.api.CajadeSession` relies on this to keep
+one warm engine per registered query across many user questions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -48,6 +58,32 @@ from ..db.relation import Relation
 from .trie import CacheStats, PrefixCache
 
 _MB = 1024 * 1024
+
+# Sentinel distinguishing "argument omitted" (use the engine default)
+# from an explicit ``None`` (no restriction).
+_USE_DEFAULT: Any = object()
+
+# Restricted PT-side bases kept per engine (LRU).  Bases are small
+# (question rows only) but an unbounded memo would leak across the
+# lifetime of a serving session answering many distinct questions.
+_MAX_MEMOIZED_BASES = 16
+
+
+def restriction_fingerprint(
+    restrict_row_ids: np.ndarray | None,
+) -> tuple | None:
+    """A hashable key identifying a question restriction's row-id *set*.
+
+    :func:`repro.core.apt.restrict_base` applies restrictions with set
+    semantics (``np.isin``), so order and duplicates are canonicalized
+    away before hashing; equal sets always collide and unequal sets get
+    distinct digests.  ``None`` (no restriction) maps to ``None``.
+    """
+    if restrict_row_ids is None:
+        return None
+    ids = np.unique(np.asarray(restrict_row_ids, dtype=np.int64))
+    digest = hashlib.blake2b(ids.tobytes(), digest_size=16).hexdigest()
+    return (int(ids.size), digest)
 
 
 def _plan_order_key(plan) -> tuple:
@@ -78,6 +114,42 @@ class EngineStats:
     join_memo_hits: int = 0
     cache: CacheStats | None = None
 
+    def copy(self) -> "EngineStats":
+        """A frozen-in-time copy (the ``cache`` field is otherwise live)."""
+        cache = replace(self.cache) if self.cache is not None else None
+        return replace(self, cache=cache)
+
+    def delta(self, since: "EngineStats | None") -> "EngineStats":
+        """Counters accumulated after the ``since`` snapshot.
+
+        Byte gauges (``current_bytes``/``peak_bytes``) are not
+        differences — the later absolute values are kept.  Used by
+        :class:`repro.api.CajadeSession` to report per-request engine
+        work from one long-lived engine.
+        """
+        if since is None:
+            return self.copy()
+        cache = None
+        if self.cache is not None:
+            old = since.cache or CacheStats()
+            cache = CacheStats(
+                hits=self.cache.hits - old.hits,
+                misses=self.cache.misses - old.misses,
+                evictions=self.cache.evictions - old.evictions,
+                insertions=self.cache.insertions - old.insertions,
+                rejected=self.cache.rejected - old.rejected,
+                current_bytes=self.cache.current_bytes,
+                peak_bytes=self.cache.peak_bytes,
+            )
+        return EngineStats(
+            graphs=self.graphs - since.graphs,
+            steps_reused=self.steps_reused - since.steps_reused,
+            steps_computed=self.steps_computed - since.steps_computed,
+            full_hits=self.full_hits - since.full_hits,
+            join_memo_hits=self.join_memo_hits - since.join_memo_hits,
+            cache=cache,
+        )
+
     def describe(self) -> str:
         cache = self.cache or CacheStats()
         return (
@@ -94,9 +166,11 @@ class MaterializationEngine:
     Args:
         pt: the provenance table all APTs extend.
         db: the database supplying context relations.
-        restrict_row_ids: optional question restriction applied to the PT
-            side (the engine is per-question, so the restriction is part
-            of the engine's identity, not of the cache keys).
+        restrict_row_ids: default question restriction applied to the PT
+            side when a ``materialize*`` call does not pass its own.
+            Restrictions namespace every cache key (see
+            :func:`restriction_fingerprint`), so one engine can serve
+            many questions without rebuilding its trie.
         cache_mb: total memory budget in megabytes for the engine's
             caches; with the join memo enabled the prefix trie gets
             three quarters and the memo one quarter, otherwise the trie
@@ -124,7 +198,14 @@ class MaterializationEngine:
             raise ValueError("cache_mb must be >= 0")
         self._pt = pt
         self._db = db
-        self._base = restrict_base(pt, restrict_row_ids)
+        self._default_restriction = restrict_row_ids
+        # Restriction fingerprint -> restricted PT-side base relation.
+        # Memoized so re-asked questions reuse the same base object and
+        # the join memo sees stable fingerprints; LRU-bounded so a
+        # long-lived engine answering many distinct questions cannot
+        # accumulate filtered PT copies without limit (evicted bases
+        # are recomputed deterministically — trie keys are unaffected).
+        self._bases: "OrderedDict[tuple | None, Relation]" = OrderedDict()
         total_bytes = int(cache_mb * _MB)
         if total_bytes <= 0 or join_memo_entries <= 0:
             self._join_cache = None
@@ -143,6 +224,23 @@ class MaterializationEngine:
         self._full_hits = 0
 
     # ------------------------------------------------------------------
+    def _restriction(
+        self, restrict_row_ids: np.ndarray | None | Any
+    ) -> tuple[tuple | None, Relation]:
+        """Resolve a per-call restriction to (fingerprint, base relation)."""
+        if restrict_row_ids is _USE_DEFAULT:
+            restrict_row_ids = self._default_restriction
+        key = restriction_fingerprint(restrict_row_ids)
+        base = self._bases.get(key)
+        if base is None:
+            base = restrict_base(self._pt, restrict_row_ids)
+            self._bases[key] = base
+            while len(self._bases) > _MAX_MEMOIZED_BASES:
+                self._bases.popitem(last=False)
+        else:
+            self._bases.move_to_end(key)
+        return key, base
+
     def _context(self, table: str, alias: str) -> Relation:
         """The context relation prefixed for ``alias``, memoized.
 
@@ -156,19 +254,29 @@ class MaterializationEngine:
             self._contexts[key] = relation
         return relation
 
-    def materialize(self, join_graph: JoinGraph) -> AugmentedProvenanceTable:
+    def materialize(
+        self,
+        join_graph: JoinGraph,
+        restrict_row_ids: np.ndarray | None | Any = _USE_DEFAULT,
+    ) -> AugmentedProvenanceTable:
         """Materialize APT(Q, D, Ω), reusing the longest cached prefix.
 
         Produces relations identical (schema, rows, row order,
         ``__pt_row_id``) to :func:`repro.core.apt.materialize_apt` — both
         execute the same canonical plan; only the starting point differs.
+        ``restrict_row_ids`` overrides the engine's default restriction
+        for this call (pass ``None`` for an unrestricted APT).
         """
         return self._materialize_plan(
-            join_graph, build_plan(join_graph, self._pt)
+            join_graph,
+            build_plan(join_graph, self._pt),
+            *self._restriction(restrict_row_ids),
         )
 
     def materialize_many(
-        self, join_graphs: Sequence[JoinGraph]
+        self,
+        join_graphs: Sequence[JoinGraph],
+        restrict_row_ids: np.ndarray | None | Any = _USE_DEFAULT,
     ) -> list[AugmentedProvenanceTable]:
         """Materialize a batch of join graphs, returned in input order.
 
@@ -179,12 +287,16 @@ class MaterializationEngine:
         results: list[AugmentedProvenanceTable | None] = [None] * len(
             join_graphs
         )
-        for index, apt in self.materialize_iter(join_graphs):
+        for index, apt in self.materialize_iter(
+            join_graphs, restrict_row_ids
+        ):
             results[index] = apt
         return results  # type: ignore[return-value]
 
     def materialize_iter(
-        self, join_graphs: Sequence[JoinGraph]
+        self,
+        join_graphs: Sequence[JoinGraph],
+        restrict_row_ids: np.ndarray | None | Any = _USE_DEFAULT,
     ) -> Iterator[tuple[int, AugmentedProvenanceTable]]:
         """Yield ``(input_index, APT)`` in trie (prefix DFS) order.
 
@@ -199,23 +311,35 @@ class MaterializationEngine:
         graph's index in the input sequence so order-sensitive callers
         can reassemble input order.
         """
+        restriction_key, base = self._restriction(restrict_row_ids)
         plans = [build_plan(g, self._pt) for g in join_graphs]
         order = sorted(
             range(len(plans)), key=lambda i: _plan_order_key(plans[i])
         )
         for i in order:
-            yield i, self._materialize_plan(join_graphs[i], plans[i])
+            yield i, self._materialize_plan(
+                join_graphs[i], plans[i], restriction_key, base
+            )
 
     def _materialize_plan(
-        self, join_graph: JoinGraph, plan
+        self,
+        join_graph: JoinGraph,
+        plan,
+        restriction_key: tuple | None,
+        base: Relation,
     ) -> AugmentedProvenanceTable:
         steps = plan.steps
         self._graphs += 1
 
-        current = self._base
+        # Trie keys are namespaced by the restriction so APTs of
+        # different questions never alias.
+        def prefix_key(depth: int) -> tuple:
+            return (restriction_key,) + steps[:depth]
+
+        current = base
         depth = len(steps)
         while depth > 0:
-            cached = self._cache.get(steps[:depth])
+            cached = self._cache.get(prefix_key(depth))
             if cached is not None:
                 current = cached
                 break
@@ -237,7 +361,7 @@ class MaterializationEngine:
             else:
                 current = apply_filter_step(current, step)
             self._steps_computed += 1
-            self._cache.put(steps[: i + 1], current)
+            self._cache.put(prefix_key(i + 1), current)
 
         return _wrap_apt(join_graph, self._pt, current, self._db)
 

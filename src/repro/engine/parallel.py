@@ -42,6 +42,7 @@ def run_streaming(
     fn: Callable[[K, V], T],
     workers: int,
     max_inflight: int | None = None,
+    pool: ThreadPoolExecutor | None = None,
 ) -> dict[K, T]:
     """Consume a stream of keyed work items with bounded buffering.
 
@@ -52,21 +53,33 @@ def run_streaming(
     paused — bounding how many produced values (e.g. materialized APTs)
     exist simultaneously.  Returns results keyed by item key; callers
     impose whatever ordering they need.
+
+    ``pool`` lets callers share one executor across several runs (e.g. a
+    session answering a batch of requests); it is left running for the
+    owner to shut down.  Without it a private pool is created and torn
+    down per call.
     """
     results: dict[K, T] = {}
     if workers <= 1:
         for key, value in items:
             results[key] = fn(key, value)
         return results
-    max_inflight = max_inflight or 2 * workers
-    pending: dict = {}
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+
+    def drain(executor: ThreadPoolExecutor) -> None:
+        pending: dict = {}
+        limit = max_inflight or 2 * workers
         for key, value in items:
-            while len(pending) >= max_inflight:
+            while len(pending) >= limit:
                 done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     results[pending.pop(future)] = future.result()
-            pending[pool.submit(fn, key, value)] = key
+            pending[executor.submit(fn, key, value)] = key
         for future, key in pending.items():
             results[key] = future.result()
+
+    if pool is not None:
+        drain(pool)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as private:
+            drain(private)
     return results

@@ -14,13 +14,14 @@ from typing import Callable
 
 import numpy as np
 
+from ..api import CajadeSession
 from ..baselines.explanation_tables import (
     ExplanationTables,
     discretize_numeric_columns,
 )
 from ..core.apt import materialize_apt
 from ..core.config import CajadeConfig
-from ..core.explainer import CajadeExplainer, ExplanationResult
+from ..core.explainer import ExplanationResult
 from ..core.join_graph import JoinGraph
 from ..core.lca import lca_candidates
 from ..core.pattern import Pattern
@@ -40,11 +41,34 @@ def explain_with_breakdown(
     schema_graph: SchemaGraph,
     workload: WorkloadQuery,
     config: CajadeConfig,
+    session: CajadeSession | None = None,
 ) -> tuple[ExplanationResult, dict[str, float]]:
-    """Run one explanation and return (result, step→seconds breakdown)."""
-    explainer = CajadeExplainer(db, schema_graph, config)
+    """Run one explanation and return (result, step→seconds breakdown).
+
+    A fresh one-request session per call by default — experiment arms
+    measure *cold* runtimes, so cross-call warmth would corrupt the
+    figures.  Pass a ``session`` explicitly to measure warm behaviour
+    instead (e.g. ``benchmarks/bench_session.py``).
+    """
+    overrides: dict[str, object] = {}
+    if session is None:
+        session = CajadeSession(db, schema_graph, config)
+    else:
+        # Engine-shaping knobs (apt_cache_mb, join_memo_entries) come
+        # from the session's own config — a per-request override cannot
+        # retrofit an already-built engine, so they are not diffed.
+        from ..api.types import _SESSION_LEVEL_FIELDS
+
+        overrides = {
+            name: value
+            for name, value in vars(config).items()
+            if name not in _SESSION_LEVEL_FIELDS
+            and value != getattr(session.config, name)
+        }
     timer = StepTimer()
-    result = explainer.explain(workload.sql, workload.question, timer=timer)
+    result = session.explain(
+        workload.sql, workload.question, timer=timer, overrides=overrides
+    )
     return result, timer.breakdown()
 
 

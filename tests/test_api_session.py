@@ -1,0 +1,339 @@
+"""Tests for the session-oriented public API (repro.api)."""
+
+import json
+
+import pytest
+
+from repro import (
+    CajadeConfig,
+    CajadeSession,
+    ComparisonQuestion,
+    ExplanationRequest,
+    OutlierQuestion,
+    query_fingerprint,
+)
+from repro.core.timing import APT_CACHE_HITS, APT_CACHE_MISSES, StepTimer
+from tests.conftest import GSW_WINS_SQL
+
+QUESTION = ComparisonQuestion({"season": "2015-16"}, {"season": "2012-13"})
+OUTLIER = OutlierQuestion({"season": "2015-16"})
+
+CONFIG = CajadeConfig(
+    max_join_edges=2,
+    top_k=5,
+    f1_sample_rate=1.0,
+    lca_sample_rate=1.0,
+    num_selected_attrs=4,
+    seed=1,
+)
+
+
+def ranked_payload(result) -> str:
+    """User-visible output minus cache counters (differ by warmth)."""
+    payload = json.loads(result.to_json())
+    payload.pop("apt_cache", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture()
+def session(mini_db, mini_schema_graph) -> CajadeSession:
+    return CajadeSession(mini_db, mini_schema_graph, CONFIG)
+
+
+def cold_payload(mini_db, mini_schema_graph, question, **knobs) -> str:
+    """One-shot result from a fresh single-request session."""
+    one_shot = CajadeSession(mini_db, mini_schema_graph, CONFIG)
+    return ranked_payload(one_shot.explain(GSW_WINS_SQL, question, **knobs))
+
+
+class TestSessionBasics:
+    def test_returns_ranked_explanations(self, session):
+        response = session.explain(GSW_WINS_SQL, QUESTION)
+        assert response.explanations
+        assert len(response.explanations) <= 5
+        assert not response.warm_query
+        assert response.fingerprint == query_fingerprint(GSW_WINS_SQL)
+        assert response.total_seconds > 0
+
+    def test_request_object_roundtrip(self, session):
+        request = ExplanationRequest(GSW_WINS_SQL, QUESTION, top_k=2)
+        response = session.explain(request)
+        assert response.request is request
+        assert len(response.explanations) <= 2
+
+    def test_sql_and_request_both_given_rejected(self, session):
+        request = ExplanationRequest(GSW_WINS_SQL, QUESTION)
+        with pytest.raises(TypeError):
+            session.explain(request, QUESTION)
+
+    def test_sql_without_question_rejected(self, session):
+        with pytest.raises(TypeError):
+            session.explain(GSW_WINS_SQL)
+
+    def test_timer_passed_in_is_used(self, session):
+        timer = StepTimer()
+        session.explain(GSW_WINS_SQL, QUESTION, timer=timer)
+        assert timer.total > 0
+        assert "Materialize APTs" in timer.breakdown()
+
+    def test_context_manager(self, mini_db, mini_schema_graph):
+        with CajadeSession(mini_db, mini_schema_graph, CONFIG) as session:
+            session.explain(GSW_WINS_SQL, QUESTION)
+            assert session.registered_queries
+        assert not session.registered_queries  # close() drops state
+
+
+class TestCrossQuestionReuse:
+    """The tentpole guarantees: warm reuse, byte-identical results."""
+
+    def test_second_explain_grows_cache_hits(self, session):
+        first = session.explain(GSW_WINS_SQL, QUESTION)
+        second = session.explain(GSW_WINS_SQL, QUESTION)
+        # The warm request serves every materialization step from the
+        # trie: per-request APT_CACHE_HITS grows past the cold run's,
+        # and nothing is recomputed.
+        assert second.engine.steps_reused > first.engine.steps_reused
+        assert second.engine.steps_computed == 0
+        # Every graph with at least one plan step is a full-plan hit
+        # (Ω0's empty plan never counts as one).
+        assert second.engine.full_hits == second.engine.graphs - 1
+        assert second.timer.counter(APT_CACHE_HITS) > 0
+        assert second.timer.counter(APT_CACHE_MISSES) == 0
+        assert second.warm_query
+        assert second.mined_graphs_reused == second.join_graphs_mined
+
+    def test_warm_responses_byte_identical_serial(
+        self, session, mini_db, mini_schema_graph
+    ):
+        cold = cold_payload(mini_db, mini_schema_graph, QUESTION)
+        session.explain(GSW_WINS_SQL, QUESTION)
+        warm = session.explain(GSW_WINS_SQL, QUESTION)
+        assert ranked_payload(warm) == cold
+
+    def test_warm_responses_byte_identical_parallel(
+        self, session, mini_db, mini_schema_graph
+    ):
+        cold = cold_payload(mini_db, mini_schema_graph, QUESTION)
+        session.explain(GSW_WINS_SQL, QUESTION)
+        warm = session.explain(GSW_WINS_SQL, QUESTION, workers=3)
+        assert ranked_payload(warm) == cold
+
+    def test_different_question_same_query_reuses_state(self, session):
+        session.explain(GSW_WINS_SQL, QUESTION)
+        response = session.explain(GSW_WINS_SQL, OUTLIER)
+        assert response.warm_query
+        stats = session.stats
+        assert stats.queries_registered == 1
+        assert stats.query_state_hits == 1
+        assert stats.enumeration_hits == 1
+
+    def test_different_question_byte_identical_to_cold(
+        self, session, mini_db, mini_schema_graph
+    ):
+        cold = cold_payload(mini_db, mini_schema_graph, OUTLIER)
+        session.explain(GSW_WINS_SQL, QUESTION)  # warm with another question
+        warm = session.explain(GSW_WINS_SQL, OUTLIER)
+        assert ranked_payload(warm) == cold
+
+    def test_swapped_question_sides_not_aliased(self, session):
+        """t1/t2 swapped shares the restriction union but must not hit
+        the other direction's mining memo."""
+        forward = session.explain(GSW_WINS_SQL, QUESTION)
+        swapped = session.explain(
+            GSW_WINS_SQL,
+            ComparisonQuestion(QUESTION.secondary, QUESTION.primary),
+        )
+        assert swapped.mined_graphs_reused == 0
+        assert ranked_payload(forward) != ranked_payload(swapped)
+
+    def test_mining_memo_disabled(self, mini_db, mini_schema_graph):
+        session = CajadeSession(
+            mini_db, mini_schema_graph, CONFIG, max_cached_minings=0
+        )
+        session.explain(GSW_WINS_SQL, QUESTION)
+        second = session.explain(GSW_WINS_SQL, QUESTION)
+        assert second.mined_graphs_reused == 0
+        assert second.engine.steps_computed == 0  # trie still warm
+
+    def test_query_state_lru_eviction(self, mini_db, mini_schema_graph):
+        session = CajadeSession(
+            mini_db, mini_schema_graph, CONFIG, max_cached_queries=1
+        )
+        session.explain(GSW_WINS_SQL, QUESTION)
+        other_sql = GSW_WINS_SQL.replace(
+            "COUNT(*) AS win", "COUNT(*) AS total"
+        )
+        session.explain(other_sql, QUESTION)
+        response = session.explain(GSW_WINS_SQL, QUESTION)
+        assert not response.warm_query  # evicted, recomputed
+        assert session.stats.queries_evicted >= 2
+
+
+class TestFingerprints:
+    def test_whitespace_insensitive(self):
+        spaced = GSW_WINS_SQL.replace(" ", "  ").replace(",", ", ")
+        assert query_fingerprint(spaced) == query_fingerprint(GSW_WINS_SQL)
+
+    def test_query_objects_supported(self, session):
+        from repro.db import parse_sql
+
+        query = parse_sql(GSW_WINS_SQL)
+        response = session.explain(query, QUESTION)
+        assert response.explanations
+        # The parsed query carries its original text, so string and
+        # Query forms share one session slot.
+        followup = session.explain(GSW_WINS_SQL, QUESTION)
+        assert followup.warm_query
+
+    def test_register_is_idempotent(self, session):
+        fp1 = session.register(GSW_WINS_SQL)
+        fp2 = session.register(GSW_WINS_SQL)
+        assert fp1 == fp2
+        assert session.registered_queries == [fp1]
+        assert session.engine_stats(GSW_WINS_SQL) is not None
+        assert session.engine_stats("SELECT 1 AS x FROM game g") is None
+
+
+class TestRequestValidation:
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown CajadeConfig"):
+            ExplanationRequest(
+                GSW_WINS_SQL, QUESTION, overrides={"not_a_knob": 1}
+            )
+
+    def test_session_level_override_rejected(self):
+        with pytest.raises(ValueError, match="session-level"):
+            ExplanationRequest(
+                GSW_WINS_SQL, QUESTION, overrides={"apt_cache_mb": 0.0}
+            )
+
+    def test_bad_question_type_rejected(self):
+        with pytest.raises(TypeError):
+            ExplanationRequest(GSW_WINS_SQL, {"season": "2015-16"})
+
+    def test_config_for_merges_knobs(self):
+        request = ExplanationRequest(
+            GSW_WINS_SQL,
+            QUESTION,
+            top_k=3,
+            workers=2,
+            overrides={"seed": 99},
+        )
+        config = request.config_for(CONFIG)
+        assert config.top_k == 3
+        assert config.workers == 2
+        assert config.seed == 99
+        assert config.max_join_edges == CONFIG.max_join_edges
+        assert CONFIG.top_k == 5  # base untouched
+
+    def test_describe_mentions_knobs(self):
+        request = ExplanationRequest(GSW_WINS_SQL, QUESTION, top_k=3)
+        assert "top_k=3" in request.describe()
+        assert "2015-16" in request.describe()
+
+
+class TestQuestionBuilder:
+    def test_fluent_chain_matches_direct_request(self, session):
+        direct = session.explain(
+            ExplanationRequest(GSW_WINS_SQL, QUESTION, top_k=3)
+        )
+        fluent = (
+            session.ask(GSW_WINS_SQL)
+            .why_higher(QUESTION.primary, QUESTION.secondary)
+            .top_k(3)
+            .run()
+        )
+        assert ranked_payload(fluent) == ranked_payload(direct)
+
+    def test_outlier_and_knobs(self, session):
+        response = (
+            session.ask(GSW_WINS_SQL)
+            .outlier({"season": "2015-16"})
+            .edges(1)
+            .f1_sample(1.0)
+            .workers(2)
+            .override(seed=5)
+            .run()
+        )
+        assert response.explanations
+        request = response.request
+        assert request.max_join_edges == 1
+        assert request.workers == 2
+        assert dict(request.overrides) == {"seed": 5}
+
+    def test_build_without_question_raises(self, session):
+        with pytest.raises(ValueError, match="no question"):
+            session.ask(GSW_WINS_SQL).top_k(3).build()
+
+    def test_why_lower_is_comparison(self, session):
+        request = (
+            session.ask(GSW_WINS_SQL)
+            .why_lower(QUESTION.secondary, QUESTION.primary)
+            .build()
+        )
+        assert isinstance(request.question, ComparisonQuestion)
+        assert request.question.primary == QUESTION.secondary
+
+
+class TestExplainBatch:
+    def test_responses_in_input_order(self, session):
+        requests = [
+            ExplanationRequest(GSW_WINS_SQL, OUTLIER),
+            ExplanationRequest(GSW_WINS_SQL, QUESTION),
+            ExplanationRequest(GSW_WINS_SQL, QUESTION, top_k=2),
+        ]
+        responses = session.explain_batch(requests)
+        assert [r.request for r in responses] == requests
+        assert session.stats.batches == 1
+
+    def test_batch_matches_one_shot(self, session, mini_db, mini_schema_graph):
+        cold = cold_payload(mini_db, mini_schema_graph, QUESTION)
+        responses = session.explain_batch(
+            [
+                ExplanationRequest(GSW_WINS_SQL, QUESTION),
+                ExplanationRequest(GSW_WINS_SQL, QUESTION, workers=2),
+            ]
+        )
+        assert ranked_payload(responses[0]) == cold
+        assert ranked_payload(responses[1]) == cold
+
+    def test_batch_repeats_hit_warm_state(self, session):
+        responses = session.explain_batch(
+            [
+                ExplanationRequest(GSW_WINS_SQL, QUESTION),
+                ExplanationRequest(GSW_WINS_SQL, QUESTION),
+            ]
+        )
+        assert responses[1].mined_graphs_reused > 0
+        assert responses[1].engine.steps_computed == 0
+
+
+class TestDeprecatedShim:
+    def test_explainer_warns_and_matches_session(
+        self, mini_db, mini_schema_graph
+    ):
+        from repro import CajadeExplainer
+
+        with pytest.warns(DeprecationWarning, match="CajadeSession"):
+            explainer = CajadeExplainer(mini_db, mini_schema_graph, CONFIG)
+        old = explainer.explain(GSW_WINS_SQL, QUESTION)
+        new = CajadeSession(mini_db, mini_schema_graph, CONFIG).explain(
+            GSW_WINS_SQL, QUESTION
+        )
+        assert ranked_payload(old) == ranked_payload(new)
+
+    def test_no_internal_deprecated_callers(self):
+        """repro's own modules must not construct CajadeExplainer (the
+        pyproject filter would turn their warning into an error; this
+        asserts the source level too)."""
+        import pathlib
+
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).parent
+        offenders = []
+        for path in package_root.rglob("*.py"):
+            text = path.read_text()
+            if "CajadeExplainer(" in text and path.name != "explainer.py":
+                offenders.append(str(path))
+        assert not offenders

@@ -10,6 +10,28 @@ class TestTupleSpec:
         out = _parse_tuple_spec(["season=2015-16", "k=3", "r=0.5"])
         assert out == {"season": "2015-16", "k": 3, "r": 0.5}
 
+    def test_quoted_values_stay_strings(self):
+        out = _parse_tuple_spec(
+            ['name="2015"', "city='7.5'", 'word="true"']
+        )
+        assert out == {"name": "2015", "city": "7.5", "word": "true"}
+        assert all(isinstance(v, str) for v in out.values())
+
+    def test_boolean_values(self):
+        out = _parse_tuple_spec(
+            ["a=true", "b=false", "c=True", "d=FALSE"]
+        )
+        assert out == {"a": True, "b": False, "c": True, "d": False}
+
+    def test_quotes_preserved_inside_value(self):
+        # Mismatched or interior quotes are not stripped.
+        out = _parse_tuple_spec(["x='mixed\"", "y=o'brien"])
+        assert out == {"x": "'mixed\"", "y": "o'brien"}
+
+    def test_empty_and_equals_in_value(self):
+        out = _parse_tuple_spec(["x=", "expr=a=b"])
+        assert out == {"x": "", "expr": "a=b"}
+
     def test_bad_spec_exits(self):
         with pytest.raises(SystemExit):
             _parse_tuple_spec(["noequals"])
