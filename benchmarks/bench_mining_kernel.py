@@ -1,0 +1,234 @@
+"""Benchmark: dictionary-encoded columnar mining kernel, on vs off.
+
+Runs the Qnba scaling workload of the paper's Figure 9 (the user-study
+query UQ1 over a generated NBA instance) end to end with the scoring
+kernel disabled (the retained naive per-row reference path — the
+pre-kernel behaviour) and enabled, and compares the *F-score Calc.* +
+*Refine Patterns* step seconds from the StepTimer — the two steps the
+paper's own timing breakdowns put on top for large join graphs, and the
+ones the kernel targets.
+
+Modes:
+
+- *kernel-off*: ``use_kernel=False``; every candidate pattern re-scans
+  the APT through per-row Python matching and coverage finishes with a
+  dict loop;
+- *kernel-on*: dictionary-encoded int32 codes, dense-slot scatter
+  coverage, byte-bounded mask LRU with incremental ``parent & predicate``
+  reuse;
+- *kernel-on --workers N*: the same, mined with a worker pool.
+
+Every mode's ranked explanations must be byte-identical (the kernel is
+an execution strategy, never a semantics change); the run fails
+otherwise.  The full run additionally asserts a >= 3x median speedup on
+the targeted steps; ``--smoke`` keeps the identity checks (and enables
+``kernel_verify`` cross-checking on the kernel run) but skips the
+speedup assertion.  Both modes write machine-readable medians to
+``benchmarks/results/BENCH_mining.json`` (the smoke payload carries
+``"smoke": true`` — the committed copy of the file must come from a
+full run; regenerate it with no flags before committing it).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_mining_kernel.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import CajadeSession
+from repro.core.config import CajadeConfig
+from repro.core.timing import (
+    F_SCORE_CALC,
+    KERNEL_FULL_EVALS,
+    KERNEL_INCREMENTAL_EVALS,
+    KERNEL_MASK_EVICTIONS,
+    KERNEL_MASK_HITS,
+    KERNEL_MASK_MISSES,
+    REFINE_PATTERNS,
+    StepTimer,
+)
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent / "results" / "BENCH_mining.json"
+)
+
+
+def ranked_payload(result) -> str:
+    """Everything the user sees, minus cache counters (which legitimately
+    differ between execution strategies)."""
+    payload = json.loads(result.to_json())
+    payload.pop("apt_cache", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_mode(db, schema_graph, workload, config, repeats):
+    """Fresh-session runs of one mode; returns per-repeat step seconds,
+    the ranked payload, and the last run's kernel counters."""
+    step_seconds = []
+    totals = []
+    payload = None
+    counters: dict[str, int] = {}
+    for _ in range(repeats):
+        timer = StepTimer()
+        session = CajadeSession(db, schema_graph, config)
+        start = time.perf_counter()
+        result = session.explain(workload.sql, workload.question, timer=timer)
+        totals.append(time.perf_counter() - start)
+        step_seconds.append(
+            timer.seconds(F_SCORE_CALC) + timer.seconds(REFINE_PATTERNS)
+        )
+        payload = ranked_payload(result)
+        counters = {
+            name: timer.counter(name)
+            for name in (
+                KERNEL_MASK_HITS,
+                KERNEL_MASK_MISSES,
+                KERNEL_MASK_EVICTIONS,
+                KERNEL_INCREMENTAL_EVALS,
+                KERNEL_FULL_EVALS,
+            )
+            if timer.counter(name)
+        }
+    return step_seconds, totals, payload, counters
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.datasets import load_nba, user_study_query
+
+    print(f"loading NBA (scale={args.scale}) ...", flush=True)
+    db, schema_graph = load_nba(scale=args.scale, seed=5)
+    workload = user_study_query()
+    base = CajadeConfig(
+        max_join_edges=args.edges,
+        num_selected_attrs=3,
+        top_k=10,
+        seed=2,
+        kernel_cache_mb=args.kernel_cache_mb,
+    )
+    modes = {
+        "kernel-off": base.with_overrides(use_kernel=False),
+        "kernel-on": base.with_overrides(kernel_verify=args.smoke),
+        f"kernel-on workers={args.workers}": base.with_overrides(
+            workers=args.workers
+        ),
+    }
+    print(
+        f"{workload.name}: Fig-9 scaling workload, λ#edges={args.edges}, "
+        f"{args.repeats} repeat(s) per mode"
+    )
+
+    results = {}
+    for label, config in modes.items():
+        steps, totals, payload, counters = run_mode(
+            db, schema_graph, workload, config, args.repeats
+        )
+        results[label] = (steps, totals, payload, counters)
+        shown = " ".join(f"{s:.2f}" for s in steps)
+        print(
+            f"{label:>24s}: F-score Calc.+Refine {shown}s "
+            f"(median {statistics.median(steps):.2f}s, "
+            f"total median {statistics.median(totals):.2f}s)"
+        )
+        if counters:
+            print(f"{'':>24s}  {counters}")
+
+    off_steps, off_totals, off_payload, _ = results["kernel-off"]
+    on_steps, on_totals, on_payload, on_counters = results["kernel-on"]
+    median_off = statistics.median(off_steps)
+    median_on = statistics.median(on_steps)
+    speedup = median_off / median_on if median_on > 0 else float("inf")
+    print(
+        f"F-score Calc. + Refine Patterns: {median_off:.2f}s -> "
+        f"{median_on:.2f}s  = {speedup:.2f}x"
+    )
+
+    byte_identical = all(
+        payload == off_payload for _, _, payload, _ in results.values()
+    )
+    report = {
+        "benchmark": "bench_mining_kernel",
+        "workload": f"{workload.name} (Fig-9 NBA scaling workload)",
+        "scale": args.scale,
+        "max_join_edges": args.edges,
+        "repeats": args.repeats,
+        "workers": args.workers,
+        "kernel_cache_mb": args.kernel_cache_mb,
+        "smoke": args.smoke,
+        "steps_measured": [F_SCORE_CALC, REFINE_PATTERNS],
+        "median_step_seconds_kernel_off": round(median_off, 4),
+        "median_step_seconds_kernel_on": round(median_on, 4),
+        "median_total_seconds_kernel_off": round(
+            statistics.median(off_totals), 4
+        ),
+        "median_total_seconds_kernel_on": round(
+            statistics.median(on_totals), 4
+        ),
+        "speedup": round(speedup, 2),
+        "byte_identical": byte_identical,
+        "kernel_counters": on_counters,
+    }
+    target = RESULTS_PATH
+    if args.smoke and RESULTS_PATH.exists():
+        try:
+            committed = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            committed = {}
+        if committed.get("smoke") is False:
+            # Never clobber the committed full-run medians with smoke
+            # numbers; smoke output goes to a sibling (gitignored) file.
+            target = RESULTS_PATH.with_name("BENCH_mining_smoke.json")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {target}")
+
+    if not byte_identical:
+        for label, (_, _, payload, _) in results.items():
+            if payload != off_payload:
+                print(f"FAIL: {label} explanations differ from kernel-off")
+        return 1
+    print(
+        "ranked explanations byte-identical across kernel on/off, "
+        f"serial and workers={args.workers}"
+    )
+
+    if not args.smoke and speedup < 3.0:
+        print(f"FAIL: kernel speedup {speedup:.2f}x < 3x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: small workload, kernel_verify on, no "
+             "speedup assertion (byte-identity still enforced)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="NBA dataset scale (default 0.25, the "
+                             "Fig-9 top point; smoke 0.04)")
+    parser.add_argument("--edges", type=int, default=2,
+                        help="λ#edges for all runs (default 2)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per mode (default 3; smoke 1)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--kernel-cache-mb", type=float, default=64.0)
+    args = parser.parse_args(argv)
+    if args.scale is None:
+        args.scale = 0.04 if args.smoke else 0.25
+    if args.repeats is None:
+        args.repeats = 1 if args.smoke else 3
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,11 +84,19 @@ from ..engine import (
 from .types import ExplanationRequest, ExplanationResponse, query_fingerprint
 
 # Config fields that provably do not change mining output: ``workers``
-# preserves results exactly (per-graph generators), and the engine-level
-# cache knobs only move bytes around.  Everything else keys the
-# session's per-graph mining memo.
+# preserves results exactly (per-graph generators), the engine-level
+# cache knobs only move bytes around, and the scoring-kernel knobs are
+# byte-identical by construction (asserted by tests).  Everything else
+# keys the session's per-graph mining memo.
 _MINING_NEUTRAL_FIELDS = frozenset(
-    {"workers", "apt_cache_mb", "join_memo_entries"}
+    {
+        "workers",
+        "apt_cache_mb",
+        "join_memo_entries",
+        "use_kernel",
+        "kernel_cache_mb",
+        "kernel_verify",
+    }
 )
 
 
@@ -638,6 +646,9 @@ def _exact_stats(
             resolved.row_ids2,
             sample_rate=1.0,
             rng=rng,
+            use_kernel=config.use_kernel,
+            kernel_cache_mb=config.kernel_cache_mb,
+            verify_kernel=config.kernel_verify,
         )
     results = []
     for entry in mined:

@@ -59,6 +59,13 @@ def filter_attributes(
     if informative.sum() < 4 or len(set(labels[informative].tolist())) < 2:
         return _passthrough(apt, names)
 
+    # The evaluator's columnar kernel (when enabled) supplies
+    # dictionary-encoded code arrays; the per-column passes below then
+    # run as bincount/unique over int32 codes instead of per-row Python
+    # loops over object values.  Results are identical either way (codes
+    # are a bijection of the non-NULL values).
+    kernel = evaluator.kernel
+
     # -- drop categorical attributes that cannot reach λrecall ----------
     # An equality pattern on attribute A can cover at most
     # max-frequency(A) provenance rows of either side; if that bound is
@@ -70,7 +77,7 @@ def filter_attributes(
         n
         for n in names
         if apt.attribute(n).is_numeric
-        or _best_possible_recall(columns[n], labels, n1, n2)
+        or _best_possible_recall(columns[n], labels, n1, n2, kernel, n)
         >= config.recall_threshold
     ]
     if not names:
@@ -81,7 +88,7 @@ def filter_attributes(
         names = [
             n
             for n in names
-            if not _is_group_determined(columns[n], labels)
+            if not _is_group_determined(columns[n], labels, kernel, n)
         ]
         if not names:
             return _passthrough(apt, [])
@@ -96,7 +103,14 @@ def filter_attributes(
 
     # -- random-forest relevance over cluster representatives ----------
     rep_columns = {n: columns[n] for n in representatives}
-    matrix = encode_columns(rep_columns)
+    rep_codes = None
+    if kernel is not None:
+        rep_codes = {
+            n: code_arr
+            for n in representatives
+            if (code_arr := kernel.ml_codes(n)) is not None
+        }
+    matrix = encode_columns(rep_columns, codes=rep_codes)
     y = (labels[informative] == 1).astype(np.float64)
     X = matrix[informative]
     forest = RandomForestClassifier(
@@ -137,14 +151,32 @@ def filter_attributes(
     )
 
 
-def _is_group_determined(values: np.ndarray, labels: np.ndarray) -> bool:
+def _is_group_determined(
+    values: np.ndarray,
+    labels: np.ndarray,
+    kernel=None,
+    name: str | None = None,
+) -> bool:
     """Whether an attribute is an alias of the question's group key.
 
     True when each side's rows carry exactly one non-NULL value and the
     two values differ — any equality pattern on such an attribute merely
-    restates which output tuple a row belongs to.
+    restates which output tuple a row belongs to.  With kernel codes the
+    per-side value sets reduce to ``np.unique`` over non-NULL int codes
+    (codes biject to values, so set cardinality and equality carry over).
     """
     import math
+
+    codes = kernel.match_codes(name) if kernel is not None else None
+    if codes is not None:
+        side_codes = []
+        for side in (1, 2):
+            selected = codes[labels == side]
+            unique = np.unique(selected[selected >= 0])
+            if len(unique) != 1:
+                return False
+            side_codes.append(int(unique[0]))
+        return side_codes[0] != side_codes[1]
 
     side_values: list[set] = []
     for side in (1, 2):
@@ -163,17 +195,33 @@ def _is_group_determined(values: np.ndarray, labels: np.ndarray) -> bool:
 
 
 def _best_possible_recall(
-    values: np.ndarray, labels: np.ndarray, n1: int, n2: int
+    values: np.ndarray,
+    labels: np.ndarray,
+    n1: int,
+    n2: int,
+    kernel=None,
+    name: str | None = None,
 ) -> float:
     """Upper bound on the recall of any equality pattern on a column.
 
     Counts the most frequent non-NULL value per question side and divides
     by that side's provenance size; the max over sides bounds what LCA
-    candidates on this attribute can achieve.
+    candidates on this attribute can achieve.  With kernel codes the
+    per-side mode is one ``np.bincount`` over non-None int codes (NaN
+    cells keep a code, exactly like the dict-counting path below).
     """
+    codes = kernel.counting_codes(name) if kernel is not None else None
     best = 0.0
     for side, size in ((1, n1), (2, n2)):
         if size == 0:
+            continue
+        if codes is not None:
+            selected = codes[labels == side]
+            selected = selected[selected >= 0]
+            if len(selected):
+                best = max(
+                    best, int(np.bincount(selected).max()) / size
+                )
             continue
         counts: dict[object, int] = {}
         mask = labels == side

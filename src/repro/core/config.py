@@ -130,6 +130,24 @@ class CajadeConfig:
     by default: the engine's trie subsumes it for APT materialization —
     see :class:`repro.engine.MaterializationEngine`."""
 
+    # -- columnar scoring kernel ------------------------------------------
+    use_kernel: bool = True
+    """Score patterns on the dictionary-encoded columnar kernel
+    (:class:`repro.core.kernel.MiningKernel`): categorical columns are
+    encoded once into int32 codes, coverage is a dense-slot scatter, and
+    predicate/pattern masks are memoized with incremental
+    ``parent & predicate`` reuse.  Off runs the retained per-row naive
+    reference path; ranked output is byte-identical either way."""
+
+    kernel_cache_mb: float = 64.0
+    """Memory budget (MB) for the kernel's memoized mask LRU, shared by
+    all candidates of one APT.  0 keeps scoring vectorized but disables
+    memoization (every mask is recomputed, no incremental reuse)."""
+
+    kernel_verify: bool = False
+    """Cross-check every kernel coverage computation against the naive
+    reference and raise on any mismatch (tests / CI; slow)."""
+
     # -- determinism ------------------------------------------------------
     seed: int = 7
     """Seed for every sampling step (LCA sample, F1 sample, forest)."""
@@ -155,6 +173,8 @@ class CajadeConfig:
             raise ValueError("apt_cache_mb must be >= 0 (0 disables)")
         if self.join_memo_entries < 0:
             raise ValueError("join_memo_entries must be >= 0 (0 disables)")
+        if self.kernel_cache_mb < 0:
+            raise ValueError("kernel_cache_mb must be >= 0 (0 disables)")
 
     def with_overrides(self, **kwargs) -> "CajadeConfig":
         """A copy with some fields replaced (keeps configs immutable-ish)."""

@@ -1,0 +1,453 @@
+"""Dictionary-encoded columnar scoring kernel for pattern mining.
+
+MineAPT's profile weight sits in scoring: every candidate pattern used to
+re-scan the APT through ``PatternPredicate.matches_array`` (a per-row
+Python list comprehension for object-dtype columns) and coverage counting
+finished with a Python dict loop over covered provenance ids.  The kernel
+removes both costs for one APT:
+
+- **Dictionary encoding** — each categorical (object-dtype) column is
+  encoded once into an ``int32`` code array; every later equality test is
+  one vectorized integer comparison.  NULL cells (``None`` or a float
+  NaN) get the sentinel code ``-1`` which never equals a looked-up value
+  code, preserving the "NULLs never match" semantics exactly.  The same
+  pass also produces a *varclus-compatible* encoding (NULLs keep their
+  first-occurrence code) so feature selection can reuse it for the
+  random-forest feature matrix.
+- **Dense coverage slots** — ``__pt_row_id`` values are mapped once to
+  dense slot indices with side-1 slots in ``[0, m1)`` and side-2 slots in
+  ``[m1, m1+m2)``.  Coverage of a match mask is then a boolean scatter
+  into a reusable slot buffer plus two contiguous non-zero counts — no
+  ``np.unique``, no dict lookups.
+- **Memoized masks with incremental reuse** — single-predicate masks and
+  multi-predicate pattern masks live in one byte-bounded LRU shared
+  across all candidates of the APT.  A refinement Φ' = Φ ∧ p is evaluated
+  as ``mask(Φ) & mask(p)`` when Φ's mask is still resident (the
+  delta-evaluation structure of the refinement lattice; cf. Berkholz et
+  al.'s FO+MOD delta views), falling back to a full AND over memoized
+  single-predicate masks on eviction.  Boolean AND is associative, so the
+  incremental and full paths produce byte-identical masks.
+
+The kernel never consumes randomness and never reorders rows, so kernel
+on/off is byte-identical by construction; :mod:`tests.test_core_kernel`
+asserts this against the retained naive reference implementation in
+:class:`repro.core.quality.QualityEvaluator`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Mapping
+
+import numpy as np
+
+from .pattern import OP_EQ, OP_LE, Pattern, PatternPredicate
+from .timing import (
+    KERNEL_FULL_EVALS,
+    KERNEL_INCREMENTAL_EVALS,
+    KERNEL_MASK_EVICTIONS,
+    KERNEL_MASK_HITS,
+    KERNEL_MASK_MISSES,
+)
+
+
+def _is_null_value(value: Any) -> bool:
+    """NULL under pattern-match semantics: ``None`` or a float NaN."""
+    return value is None or (isinstance(value, float) and value != value)
+
+
+class MaskCache:
+    """A byte-bounded LRU of boolean mask arrays.
+
+    Entries whose own size exceeds the budget are simply not stored (the
+    caller recomputes on demand), so a tiny budget degrades to
+    recompute-always instead of thrashing.
+    """
+
+    def __init__(self, budget_bytes: int):
+        self._budget = max(0, int(budget_bytes))
+        self._entries: "OrderedDict[Any, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._bytes
+
+    def get(self, key: Any) -> np.ndarray | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: Any, mask: np.ndarray) -> None:
+        if self._budget <= 0 or mask.nbytes > self._budget:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[key] = mask
+        self._bytes += mask.nbytes
+        while self._bytes > self._budget:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.evictions += 1
+
+
+class MiningKernel:
+    """Vectorized pattern evaluation over one (possibly sampled) APT.
+
+    Parameters:
+        columns: row-aligned minable columns of the evaluator's universe.
+        row_slot: per-row dense slot index of the row's provenance id
+            (side-1 slots first, then side-2 — see module docstring).
+        m1: number of side-1 slots.
+        m2: number of side-2 slots.
+        cache_mb: byte budget of the shared mask LRU; 0 keeps the kernel
+            vectorized but disables memoization (and therefore
+            incremental reuse).
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray],
+        row_slot: np.ndarray,
+        m1: int,
+        m2: int,
+        cache_mb: float = 64.0,
+    ):
+        if cache_mb < 0:
+            raise ValueError("cache_mb must be >= 0 (0 disables memoization)")
+        self._row_slot = np.asarray(row_slot, dtype=np.int64)
+        self._m1 = int(m1)
+        self._m2 = int(m2)
+        self._num_rows = len(self._row_slot)
+        self._covered = np.zeros(self._m1 + self._m2, dtype=bool)
+        self._ones = np.ones(self._num_rows, dtype=bool)
+        self._cache = MaskCache(int(cache_mb * 1024 * 1024))
+
+        # Encoded storage: match codes (-1 = NULL, never matches), the
+        # value -> code dictionary, ml codes (varclus first-occurrence
+        # compatible), float64 numeric views with validity masks, and a
+        # fallback of raw columns whose values defeated dict encoding.
+        self._codes: dict[str, np.ndarray] = {}
+        self._dicts: dict[str, dict[Any, int]] = {}
+        self._ml_codes: dict[str, np.ndarray] = {}
+        self._none_code: dict[str, int] = {}
+        self._counting_codes: dict[str, np.ndarray] = {}
+        self._numeric: dict[str, np.ndarray] = {}
+        self._numeric_valid: dict[str, np.ndarray | None] = {}
+        self._fallback: dict[str, np.ndarray] = {}
+        self._derived = False
+
+        self.mask_hits = 0
+        self.mask_misses = 0
+        self.incremental_evals = 0
+        self.full_evals = 0
+
+        for name, arr in columns.items():
+            if arr.dtype != object:
+                values = arr.astype(np.float64, copy=False)
+                self._numeric[name] = values
+                invalid = np.isnan(values)
+                self._numeric_valid[name] = (
+                    ~invalid if invalid.any() else None
+                )
+                continue
+            self._encode_categorical(name, arr)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    @classmethod
+    def derived(
+        cls,
+        source: "MiningKernel",
+        selector: np.ndarray,
+        row_slot: np.ndarray,
+        m1: int,
+        m2: int,
+        cache_mb: float = 64.0,
+    ) -> "MiningKernel":
+        """A kernel over a row-subset of ``source``'s universe.
+
+        ``selector`` is a boolean mask over ``source``'s rows.  Encoding
+        dictionaries are shared and code arrays sliced, so a λF1-samp
+        evaluator skips the per-row encoding pass entirely (its rows are
+        a subset of the exact evaluator's — same APT, smaller sampled
+        provenance universe).
+        """
+        self = cls.__new__(cls)
+        self._row_slot = np.asarray(row_slot, dtype=np.int64)
+        self._m1 = int(m1)
+        self._m2 = int(m2)
+        self._num_rows = len(self._row_slot)
+        self._covered = np.zeros(self._m1 + self._m2, dtype=bool)
+        self._ones = np.ones(self._num_rows, dtype=bool)
+        self._cache = MaskCache(int(cache_mb * 1024 * 1024))
+        self._codes = {k: v[selector] for k, v in source._codes.items()}
+        self._dicts = dict(source._dicts)
+        self._ml_codes = {
+            k: v[selector] for k, v in source._ml_codes.items()
+        }
+        self._none_code = dict(source._none_code)
+        self._counting_codes = {}
+        self._numeric = {k: v[selector] for k, v in source._numeric.items()}
+        self._numeric_valid = {
+            k: (None if v is None else v[selector])
+            for k, v in source._numeric_valid.items()
+        }
+        self._fallback = {
+            k: v[selector] for k, v in source._fallback.items()
+        }
+        self._derived = True
+        self.mask_hits = 0
+        self.mask_misses = 0
+        self.incremental_evals = 0
+        self.full_evals = 0
+        return self
+
+    def _encode_categorical(self, name: str, arr: np.ndarray) -> None:
+        code_of: dict[Any, int] = {}
+        ml = np.empty(len(arr), dtype=np.int32)
+        try:
+            for i, value in enumerate(arr):
+                code = code_of.get(value)
+                if code is None:
+                    code = len(code_of)
+                    code_of[value] = code
+                ml[i] = code
+        except TypeError:
+            # Unhashable values (not produced by the db layer, but the
+            # kernel must not be less general than ``matches_array``):
+            # keep the raw column and evaluate such predicates naively.
+            self._fallback[name] = arr
+            return
+        null_codes = [
+            code for value, code in code_of.items() if _is_null_value(value)
+        ]
+        if null_codes:
+            match = ml.copy()
+            for code in null_codes:
+                match[ml == code] = -1
+        else:
+            match = ml
+        self._dicts[name] = code_of
+        self._codes[name] = match
+        self._ml_codes[name] = ml
+        if None in code_of:
+            self._none_code[name] = code_of[None]
+
+    def match_codes(self, attr: str) -> np.ndarray | None:
+        """``int32`` codes of a categorical column; ``-1`` marks NULLs.
+        ``None`` when the attribute is numeric or not dict-encodable."""
+        return self._codes.get(attr)
+
+    def ml_codes(self, attr: str) -> np.ndarray | None:
+        """First-occurrence label encoding including NULLs — exactly what
+        :func:`repro.ml.varclus.encode_columns` produces for the column,
+        so feature selection can skip re-encoding.
+
+        Returns ``None`` on :meth:`derived` kernels: their sliced codes
+        are no longer first-occurrence-numbered over the subset, so
+        callers must fall back to encoding from the raw column (code
+        *numbering* matters here, unlike for matching or counting)."""
+        if self._derived:
+            return None
+        return self._ml_codes.get(attr)
+
+    def counting_codes(self, attr: str) -> np.ndarray | None:
+        """Codes for value-frequency counting: ``None`` cells are ``-1``
+        but NaN cells keep their codes — mirroring the historical
+        semantics of the feature-selection recall bound, which skipped
+        only ``None``."""
+        codes = self._counting_codes.get(attr)
+        if codes is not None:
+            return codes
+        ml = self._ml_codes.get(attr)
+        if ml is None:
+            return None
+        none_code = self._none_code.get(attr)
+        if none_code is None:
+            codes = ml
+        else:
+            codes = ml.copy()
+            codes[ml == none_code] = -1
+        self._counting_codes[attr] = codes
+        return codes
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+    def predicate_mask(self, attr: str, op: str, value: Any) -> np.ndarray:
+        """The (memoized) boolean match mask of one predicate.
+
+        Byte-identical to ``PatternPredicate(attr, op, value)
+        .matches_array(columns[attr])``; treat the result as immutable.
+        """
+        key = (attr, op, value)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.mask_hits += 1
+            return cached
+        self.mask_misses += 1
+        mask = self._compute_predicate_mask(attr, op, value)
+        self._cache.put(key, mask)
+        return mask
+
+    def _compute_predicate_mask(
+        self, attr: str, op: str, value: Any
+    ) -> np.ndarray:
+        codes = self._codes.get(attr)
+        if codes is not None:
+            if op != OP_EQ:
+                raise ValueError(
+                    f"operator {op} not allowed on categorical "
+                    f"attribute {attr}"
+                )
+            if _is_null_value(value):
+                # NULL compares equal to nothing (and NaN != NaN).
+                return np.zeros(self._num_rows, dtype=bool)
+            code = self._dicts[attr].get(value)
+            if code is None:
+                return np.zeros(self._num_rows, dtype=bool)
+            return codes == np.int32(code)
+        if attr in self._fallback:
+            return PatternPredicate(attr, op, value).matches_array(
+                self._fallback[attr]
+            )
+        if attr not in self._numeric:
+            raise KeyError(
+                f"pattern attribute {attr!r} missing from the kernel's "
+                "columns"
+            )
+        numeric = self._numeric[attr]
+        with np.errstate(invalid="ignore"):
+            if op == OP_EQ:
+                mask = numeric == float(value)
+            elif op == OP_LE:
+                mask = numeric <= float(value)
+            else:
+                mask = numeric >= float(value)
+        valid = self._numeric_valid[attr]
+        if valid is not None:
+            mask = mask & valid
+        return mask
+
+    def _resident_mask(self, pattern: Pattern) -> np.ndarray | None:
+        """A pattern's mask if obtainable without a full evaluation."""
+        predicates = pattern.predicates
+        if not predicates:
+            return self._ones
+        if len(predicates) == 1:
+            p = predicates[0]
+            return self.predicate_mask(p.attribute, p.op, p.value)
+        cached = self._cache.get(pattern)
+        if cached is not None:
+            self.mask_hits += 1
+        else:
+            self.mask_misses += 1
+        return cached
+
+    def pattern_mask(
+        self, pattern: Pattern, parent: Pattern | None = None
+    ) -> np.ndarray:
+        """The conjunction mask of ``pattern``; treat as immutable.
+
+        When ``parent`` is a one-predicate-smaller ancestor whose mask is
+        still resident, the result is computed incrementally as
+        ``parent_mask & predicate_mask`` (identical output, one AND).
+        """
+        predicates = pattern.predicates
+        if len(predicates) <= 1:
+            return self._resident_mask(pattern)
+        cached = self._cache.get(pattern)
+        if cached is not None:
+            self.mask_hits += 1
+            return cached
+        self.mask_misses += 1
+
+        mask: np.ndarray | None = None
+        if parent is not None:
+            delta = pattern.delta_from(parent)
+            if delta is not None:
+                parent_mask = self._resident_mask(parent)
+                if parent_mask is not None:
+                    part = self.predicate_mask(
+                        delta.attribute, delta.op, delta.value
+                    )
+                    mask = parent_mask & part
+                    self.incremental_evals += 1
+        if mask is None:
+            self.full_evals += 1
+            aliased = True  # mask still aliases a cached predicate mask
+            for predicate in predicates:
+                part = self.predicate_mask(
+                    predicate.attribute, predicate.op, predicate.value
+                )
+                if mask is None:
+                    mask = part
+                else:
+                    # `mask & part` (not `&=`): cached arrays are shared.
+                    mask = mask & part
+                    aliased = False
+                if not mask.any():
+                    # All-False stays all-False under further ANDs, so
+                    # the early exit still yields the exact full mask.
+                    break
+            if aliased:
+                # Early exit on the first predicate: copy before caching
+                # under the pattern key, or the LRU would account the
+                # same array's bytes twice (once per key).
+                mask = mask.copy()
+        assert mask is not None
+        self._cache.put(pattern, mask)
+        return mask
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+    def coverage(
+        self, pattern: Pattern, parent: Pattern | None = None
+    ) -> tuple[int, int]:
+        """Distinct covered provenance rows per side, Definition 7.
+
+        A provenance row is covered iff at least one of its APT rows
+        matches — the scatter into dense slots deduplicates fan-out.
+        """
+        mask = self.pattern_mask(pattern, parent)
+        if not mask.any():
+            return 0, 0
+        covered = self._covered
+        covered[:] = False
+        covered[self._row_slot[mask]] = True
+        cov1 = int(np.count_nonzero(covered[: self._m1]))
+        cov2 = int(np.count_nonzero(covered[self._m1 :]))
+        return cov1, cov2
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> MaskCache:
+        return self._cache
+
+    def counters(self) -> dict[str, int]:
+        """Canonical StepTimer counter labels -> values."""
+        return {
+            KERNEL_MASK_HITS: self.mask_hits,
+            KERNEL_MASK_MISSES: self.mask_misses,
+            KERNEL_INCREMENTAL_EVALS: self.incremental_evals,
+            KERNEL_FULL_EVALS: self.full_evals,
+            KERNEL_MASK_EVICTIONS: self._cache.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningKernel({self._num_rows} rows, "
+            f"{len(self._codes)} encoded + {len(self._numeric)} numeric "
+            f"columns, {self._cache.bytes_in_use} cache bytes)"
+        )

@@ -83,8 +83,14 @@ def mine_apt(
     # otherwise sampled and exact runs would enumerate different
     # thresholds and the paper's Fig 10f NDCG comparison would be
     # meaningless.
+    kernel_kwargs = dict(
+        use_kernel=config.use_kernel,
+        kernel_cache_mb=config.kernel_cache_mb,
+        verify_kernel=config.kernel_verify,
+    )
     full_evaluator = QualityEvaluator(
-        apt, question.row_ids1, question.row_ids2, sample_rate=1.0, rng=rng
+        apt, question.row_ids1, question.row_ids2, sample_rate=1.0, rng=rng,
+        **kernel_kwargs,
     )
     if config.f1_sample_rate >= 1.0:
         evaluator = full_evaluator
@@ -96,6 +102,8 @@ def mine_apt(
                 question.row_ids2,
                 sample_rate=config.f1_sample_rate,
                 rng=rng,
+                encoding_source=full_evaluator,
+                **kernel_kwargs,
             )
 
     if config.use_feature_selection:
@@ -131,7 +139,13 @@ def mine_apt(
     # The all-* pattern (the LCA of two rows that agree nowhere) seeds
     # numeric-only refinements; it is refined but never reported itself.
     todo_list = [Pattern()] + todo_list
-    todo: deque[Pattern] = deque(todo_list)
+    # Each frontier entry carries its parent pattern: a child's mask is
+    # parent_mask & predicate_mask when the parent's mask is still
+    # resident in the kernel's LRU (full evaluation otherwise) — the
+    # result is byte-identical either way.
+    todo: deque[tuple[Pattern, Pattern | None]] = deque(
+        (pattern, None) for pattern in todo_list
+    )
     seen: set[Pattern] = set(todo_list)
     done: set[Pattern] = set()
     refiner = RefinementGenerator(
@@ -140,13 +154,13 @@ def mine_apt(
     examined = 0
 
     while todo:
-        pattern = todo.popleft()
+        pattern, parent = todo.popleft()
         done.add(pattern)
         examined += 1
         with timer.step(F_SCORE_CALC):
             coverage = recall_cache.pop(pattern, None)
             if coverage is None:
-                coverage = evaluator.coverage_counts(pattern)
+                coverage = evaluator.coverage_counts(pattern, parent=parent)
         refinable = not config.use_recall_pruning
         for primary in (1, 2):
             stats = evaluator.stats_from_counts(*coverage, primary=primary)
@@ -173,10 +187,13 @@ def mine_apt(
             for refined in refiner.refinements(pattern):
                 if refined not in seen and refined not in done:
                     seen.add(refined)
-                    todo.append(refined)
+                    todo.append((refined, pattern))
 
     pool.sort(key=MinedPattern.sort_key)
     del pool[pool_cap:]
+
+    for counter, value in evaluator.kernel_counters().items():
+        timer.count(counter, value)
 
     if config.use_diversity:
         triples = [(mp.pattern, mp.f_score, mp) for mp in pool]

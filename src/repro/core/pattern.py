@@ -142,6 +142,28 @@ class Pattern:
         """Whether every predicate of ``other`` appears in ``self``."""
         return set(other._key).issubset(set(self._key))
 
+    def delta_from(self, parent: "Pattern") -> PatternPredicate | None:
+        """The one predicate ``self`` adds over ``parent``, if exactly one.
+
+        The mining BFS produces children via :meth:`refined`, so each
+        frontier pattern is its parent plus one predicate; the kernel
+        exploits that to evaluate ``mask(self) = mask(parent) & mask(p)``
+        incrementally.  Returns ``None`` when ``self`` is not a one-step
+        refinement of ``parent`` (callers then fall back to a full
+        evaluation).
+        """
+        if len(self._key) != len(parent._key) + 1:
+            return None
+        parent_keys = set(parent._key)
+        extra = [
+            p
+            for p in self.predicates
+            if (p.attribute, p.op, p.value) not in parent_keys
+        ]
+        if len(extra) != 1:
+            return None
+        return extra[0]
+
     # ------------------------------------------------------------------
     def match_mask(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         """Boolean match mask over row-aligned column arrays."""

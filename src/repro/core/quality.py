@@ -16,6 +16,16 @@ provenance rows of the output tuple — including rows the join dropped
 rows per side and evaluating coverage exactly on the sampled universe;
 this yields unbiased recall/precision estimates while scanning only the
 matching fraction of the APT.
+
+Scoring runs on a :class:`repro.core.kernel.MiningKernel` built once per
+evaluator: categorical columns are dictionary-encoded into int32 codes,
+provenance ids map to dense slots (side 1 first, then side 2) so coverage
+is a boolean scatter plus two contiguous counts, and predicate/pattern
+masks are memoized in a byte-bounded LRU with incremental
+``parent & predicate`` reuse.  The pre-kernel per-row implementation is
+retained as :meth:`QualityEvaluator.coverage_counts_reference`; kernel
+and reference are byte-identical (asserted by tests and, optionally, on
+every call via ``verify_kernel``).
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Any
 import numpy as np
 
 from .apt import AugmentedProvenanceTable
+from .kernel import MiningKernel
 from .pattern import Pattern
 
 
@@ -91,6 +102,12 @@ class QualityEvaluator:
         row_ids2: provenance row ids of output tuple t2 (or "the rest").
         sample_rate: λF1-samp; 1.0 evaluates exactly.
         rng: generator driving the provenance-row sample.
+        use_kernel: score on the dictionary-encoded columnar kernel
+            (byte-identical results); off runs the retained naive
+            reference path — the pre-kernel per-row behaviour.
+        kernel_cache_mb: byte budget of the kernel's memoized mask LRU.
+        verify_kernel: cross-check every kernel coverage computation
+            against the reference and raise on any mismatch.
     """
 
     def __init__(
@@ -100,6 +117,11 @@ class QualityEvaluator:
         row_ids2: np.ndarray,
         sample_rate: float = 1.0,
         rng: np.random.Generator | None = None,
+        *,
+        use_kernel: bool = True,
+        kernel_cache_mb: float = 64.0,
+        verify_kernel: bool = False,
+        encoding_source: "QualityEvaluator | None" = None,
     ):
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError("sample_rate must be in (0, 1]")
@@ -116,21 +138,51 @@ class QualityEvaluator:
         self._n1 = len(ids1)
         self._n2 = len(ids2)
 
-        side: dict[int, int] = {}
-        for pid in ids1.tolist():
-            side[pid] = 1
-        for pid in ids2.tolist():
-            side[pid] = 2
-        self._side = side
-
+        # One sorted-array membership pass replaces the old per-id dict
+        # build plus double np.isin scan: rows are kept iff their
+        # provenance id appears in the sampled universe.
         pt_ids = apt.pt_row_ids
-        keep = np.isin(pt_ids, ids1) | np.isin(pt_ids, ids2)
+        universe = np.unique(np.concatenate([ids1, ids2]))
+        if len(universe):
+            pos = np.searchsorted(universe, pt_ids)
+            pos = np.minimum(pos, len(universe) - 1)
+            keep = universe[pos] == pt_ids
+        else:
+            keep = np.zeros(len(pt_ids), dtype=bool)
         kept = apt.relation.filter_mask(keep)
+        self._keep = keep
         self._pt_ids = kept.column("__pt_row_id")
         self._columns = {
             a.name: kept.column(a.name) for a in apt.attributes
         }
         self.sampled_rows = kept.num_rows
+
+        # Dense coverage slots: side-1 slots occupy [0, m1), side-2
+        # slots [m1, m1+m2).  Ids present on both sides count as side 2
+        # (matching the historical dict semantics where the second
+        # assignment won).
+        ids2_unique = np.unique(ids2)
+        ids1_only = np.setdiff1d(ids1, ids2_unique)
+        self._m1 = len(ids1_only)
+        self._m2 = len(ids2_unique)
+        slot_ids = np.concatenate([ids1_only, ids2_unique])
+        order = np.argsort(slot_ids, kind="stable")
+        sorted_slot_ids = slot_ids[order]
+        if self.sampled_rows:
+            slot_pos = np.searchsorted(sorted_slot_ids, self._pt_ids)
+            self._row_slot = order[slot_pos].astype(np.int64)
+        else:
+            self._row_slot = np.empty(0, dtype=np.int64)
+        self._side_labels = np.where(
+            self._row_slot < self._m1, 1, 2
+        ).astype(np.int64)
+
+        self._use_kernel = use_kernel
+        self._kernel_cache_mb = kernel_cache_mb
+        self._verify_kernel = verify_kernel
+        self._encoding_source = encoding_source
+        self._kernel: MiningKernel | None = None
+        self._side_dict: dict[int, int] | None = None
 
     @staticmethod
     def _sample_ids(
@@ -144,14 +196,88 @@ class QualityEvaluator:
         return rng.choice(ids, size=size, replace=False)
 
     # ------------------------------------------------------------------
-    def coverage_counts(self, pattern: Pattern) -> tuple[int, int]:
-        """Distinct covered provenance rows of (t1, t2) in the sample."""
+    @property
+    def kernel(self) -> MiningKernel | None:
+        """The (lazily built) columnar kernel, or None when disabled.
+
+        When an ``encoding_source`` evaluator over the same APT already
+        built its kernel (e.g. the exact evaluator feeding feature
+        selection while this one is the λF1-samp sample), the encoding
+        dictionaries are shared and its code arrays sliced instead of
+        re-running the per-row encoding pass.
+        """
+        if not self._use_kernel:
+            return None
+        if self._kernel is None:
+            source = self._encoding_source
+            if (
+                source is not None
+                and source is not self
+                and source.apt is self.apt
+                and source._kernel is not None
+                and len(source._keep) == len(self._keep)
+            ):
+                selector = self._keep[source._keep]
+                if int(selector.sum()) == self.sampled_rows:
+                    self._kernel = MiningKernel.derived(
+                        source._kernel,
+                        selector,
+                        self._row_slot,
+                        self._m1,
+                        self._m2,
+                        cache_mb=self._kernel_cache_mb,
+                    )
+                    return self._kernel
+            self._kernel = MiningKernel(
+                self._columns,
+                self._row_slot,
+                self._m1,
+                self._m2,
+                cache_mb=self._kernel_cache_mb,
+            )
+        return self._kernel
+
+    def kernel_counters(self) -> dict[str, int]:
+        """The kernel's StepTimer counter labels -> values ({} if off
+        or never exercised)."""
+        if self._kernel is None:
+            return {}
+        return self._kernel.counters()
+
+    # ------------------------------------------------------------------
+    def coverage_counts(
+        self, pattern: Pattern, parent: Pattern | None = None
+    ) -> tuple[int, int]:
+        """Distinct covered provenance rows of (t1, t2) in the sample.
+
+        ``parent`` is an optional one-predicate-smaller ancestor whose
+        cached mask enables incremental evaluation; it never changes the
+        result, only how it is computed.
+        """
+        kernel = self.kernel
+        if kernel is None:
+            return self.coverage_counts_reference(pattern)
+        counts = kernel.coverage(pattern, parent)
+        if self._verify_kernel:
+            reference = self.coverage_counts_reference(pattern)
+            if counts != reference:
+                raise AssertionError(
+                    f"kernel coverage {counts} != reference {reference} "
+                    f"for pattern {pattern.describe()}"
+                )
+        return counts
+
+    def coverage_counts_reference(
+        self, pattern: Pattern
+    ) -> tuple[int, int]:
+        """The retained naive implementation (pre-kernel behaviour):
+        per-row Python matching, ``np.unique`` and a dict loop."""
         mask = pattern.match_mask(self._columns)
         if not mask.any():
             return 0, 0
         covered = np.unique(self._pt_ids[mask])
         cov1 = cov2 = 0
-        side = self._side
+        side = self._side_mapping()
         for pid in covered.tolist():
             s = side.get(int(pid))
             if s == 1:
@@ -159,6 +285,17 @@ class QualityEvaluator:
             elif s == 2:
                 cov2 += 1
         return cov1, cov2
+
+    def _side_mapping(self) -> dict[int, int]:
+        """pid -> side dict for the reference path, built on demand."""
+        if self._side_dict is None:
+            self._side_dict = dict(
+                zip(
+                    (int(pid) for pid in self._pt_ids.tolist()),
+                    self._side_labels.tolist(),
+                )
+            )
+        return self._side_dict
 
     def evaluate(self, pattern: Pattern, primary: int = 1) -> QualityStats:
         """Definition 7 statistics with the chosen primary tuple."""
@@ -201,13 +338,12 @@ class QualityEvaluator:
         return self._full_n1, self._full_n2
 
     def side_labels(self) -> np.ndarray:
-        """Per-APT-row side (1 or 2) for the feature-selection labels."""
-        side = self._side
-        return np.fromiter(
-            (side.get(int(pid), 0) for pid in self._pt_ids),
-            dtype=np.int64,
-            count=len(self._pt_ids),
-        )
+        """Per-APT-row side (1 or 2) for the feature-selection labels.
+
+        Precomputed during construction (dense slot membership); treat
+        the returned array as read-only.
+        """
+        return self._side_labels
 
     def columns(self) -> dict[str, np.ndarray]:
         """The (sampled) minable columns, row-aligned with side_labels."""

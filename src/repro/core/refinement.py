@@ -47,8 +47,10 @@ def numeric_fragments(
 class RefinementGenerator:
     """Enumerates one-step numeric refinements of a pattern.
 
-    Fragment boundaries per attribute are computed once per APT and reused
-    across all patterns.
+    Fragment boundaries — and the resulting ``(op, value)`` extension
+    list of every attribute — are computed once per APT and reused across
+    all patterns, so the BFS inner loop only filters by attribute usage
+    and instantiates patterns.
     """
 
     def __init__(
@@ -59,39 +61,46 @@ class RefinementGenerator:
     ):
         self.config = config
         self.numeric_attrs = [a for a in numeric_attrs if a in columns]
+        self._numeric_set = frozenset(self.numeric_attrs)
         self._fragments: dict[str, list[float]] = {}
+        self._extensions: list[tuple[str, tuple[tuple[str, float], ...]]] = []
         for attr in self.numeric_attrs:
-            self._fragments[attr] = numeric_fragments(
+            boundaries = numeric_fragments(
                 columns[attr], config.num_fragments
             )
-
-    def fragments_of(self, attr: str) -> list[float]:
-        return list(self._fragments.get(attr, []))
-
-    def refinements(self, pattern: Pattern) -> list[Pattern]:
-        """All one-predicate numeric extensions permitted by λattrNum."""
-        numeric_set = set(self.numeric_attrs)
-        if (
-            pattern.num_numeric_predicates(numeric_set)
-            >= self.config.max_numeric_predicates
-        ):
-            return []
-        extensions: list[Pattern] = []
-        for attr in self.numeric_attrs:
-            if pattern.uses(attr):
-                continue
-            boundaries = self._fragments[attr]
+            self._fragments[attr] = boundaries
             if not boundaries:
                 continue
             # The lowest boundary with <= matches (almost) nothing beyond
             # the minimum and the highest with >= only the maximum; use
             # every boundary with both operators except the two vacuous
             # extremes (<= max and >= min match everything).
-            for op in (OP_LE, OP_GE):
-                for boundary in boundaries:
-                    if op == OP_LE and boundary == boundaries[-1]:
-                        continue
-                    if op == OP_GE and boundary == boundaries[0]:
-                        continue
-                    extensions.append(pattern.refined(attr, op, boundary))
-        return extensions
+            extensions = tuple(
+                (op, boundary)
+                for op in (OP_LE, OP_GE)
+                for boundary in boundaries
+                if not (op == OP_LE and boundary == boundaries[-1])
+                and not (op == OP_GE and boundary == boundaries[0])
+            )
+            if extensions:
+                self._extensions.append((attr, extensions))
+
+    def fragments_of(self, attr: str) -> list[float]:
+        return list(self._fragments.get(attr, []))
+
+    def refinements(self, pattern: Pattern) -> list[Pattern]:
+        """All one-predicate numeric extensions permitted by λattrNum."""
+        if (
+            pattern.num_numeric_predicates(self._numeric_set)
+            >= self.config.max_numeric_predicates
+        ):
+            return []
+        out: list[Pattern] = []
+        for attr, extensions in self._extensions:
+            if pattern.uses(attr):
+                continue
+            out.extend(
+                pattern.refined(attr, op, boundary)
+                for op, boundary in extensions
+            )
+        return out

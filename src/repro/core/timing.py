@@ -43,11 +43,23 @@ APT_CACHE_MISSES = "APT cache misses"
 APT_CACHE_EVICTIONS = "APT cache evictions"
 JOIN_MEMO_HITS = "Join memo hits"
 
+# Canonical counter labels (mining-kernel mask cache behaviour).
+KERNEL_MASK_HITS = "Kernel mask hits"
+KERNEL_MASK_MISSES = "Kernel mask misses"
+KERNEL_MASK_EVICTIONS = "Kernel mask evictions"
+KERNEL_INCREMENTAL_EVALS = "Kernel incremental evals"
+KERNEL_FULL_EVALS = "Kernel full evals"
+
 ALL_COUNTERS = (
     APT_CACHE_HITS,
     APT_CACHE_MISSES,
     APT_CACHE_EVICTIONS,
     JOIN_MEMO_HITS,
+    KERNEL_MASK_HITS,
+    KERNEL_MASK_MISSES,
+    KERNEL_MASK_EVICTIONS,
+    KERNEL_INCREMENTAL_EVALS,
+    KERNEL_FULL_EVALS,
 )
 
 

@@ -20,21 +20,31 @@ from dataclasses import dataclass
 import numpy as np
 
 
-def encode_columns(columns: dict[str, np.ndarray]) -> np.ndarray:
+def encode_columns(
+    columns: dict[str, np.ndarray],
+    codes: dict[str, np.ndarray] | None = None,
+) -> np.ndarray:
     """Encode a name→array mapping as a float matrix (one column each).
 
     TEXT columns are label-encoded by first occurrence; NULL/NaN become
-    a dedicated code so they still correlate.
+    a dedicated code so they still correlate.  ``codes`` may supply
+    precomputed first-occurrence label encodings for object columns
+    (e.g. from :class:`repro.core.kernel.MiningKernel.ml_codes`, which
+    produces exactly this encoding) to skip the per-row Python loop.
     """
     encoded = []
-    for arr in columns.values():
+    for name, arr in columns.items():
         if arr.dtype == object:
-            codes: dict[object, int] = {}
+            precomputed = codes.get(name) if codes else None
+            if precomputed is not None:
+                encoded.append(precomputed.astype(np.float64))
+                continue
+            label_codes: dict[object, int] = {}
             out = np.empty(len(arr))
             for i, value in enumerate(arr):
-                if value not in codes:
-                    codes[value] = len(codes)
-                out[i] = codes[value]
+                if value not in label_codes:
+                    label_codes[value] = len(label_codes)
+                out[i] = label_codes[value]
             encoded.append(out)
         else:
             out = arr.astype(np.float64)

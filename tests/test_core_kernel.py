@@ -1,0 +1,471 @@
+"""Property and equivalence tests for the columnar mining kernel.
+
+The contract under test: kernel scoring is *byte-identical* to the
+retained naive reference path (`QualityEvaluator.coverage_counts_reference`
+and `Pattern.match_mask`) for every pattern, including NULL/NaN rows,
+empty patterns, sampled evaluators, incremental parent-mask reuse, and
+LRU eviction fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CajadeConfig,
+    ComparisonQuestion,
+    MiningKernel,
+    Pattern,
+    PatternPredicate,
+    QualityEvaluator,
+    materialize_apt,
+    mine_apt,
+)
+from repro.core.apt import APTAttribute, AugmentedProvenanceTable
+from repro.core.kernel import MaskCache
+from repro.core.pattern import OP_EQ, OP_GE, OP_LE
+from repro.core.timing import (
+    KERNEL_FULL_EVALS,
+    KERNEL_INCREMENTAL_EVALS,
+    KERNEL_MASK_HITS,
+    StepTimer,
+)
+from repro.db import ColumnType, ProvenanceTable, TableSchema, parse_sql
+from repro.db.relation import Relation
+from tests.conftest import GSW_WINS_SQL
+from tests.test_core_apt import star_join_graph
+
+CATEGORIES = ("red", "blue", "green", None)
+
+
+# ----------------------------------------------------------------------
+# Randomized synthetic APTs
+# ----------------------------------------------------------------------
+def build_apt(rows: list[tuple]) -> AugmentedProvenanceTable:
+    """An APT over (pt_row_id, cat TEXT, num FLOAT, cnt INT) rows.
+
+    ``num`` may be NaN (NULL); ``cat`` may be None.  The join graph is
+    irrelevant to scoring and left None.
+    """
+    schema = TableSchema.build(
+        "apt",
+        {
+            "__pt_row_id": ColumnType.INT,
+            "cat": ColumnType.TEXT,
+            "num": ColumnType.FLOAT,
+            "cnt": ColumnType.INT,
+        },
+    )
+    relation = Relation(
+        schema,
+        {
+            "__pt_row_id": np.array([r[0] for r in rows], dtype=np.int64),
+            "cat": np.array([r[1] for r in rows], dtype=object),
+            "num": np.array(
+                [np.nan if r[2] is None else float(r[2]) for r in rows],
+                dtype=np.float64,
+            ),
+            "cnt": np.array([r[3] for r in rows], dtype=np.int64),
+        },
+    )
+    return AugmentedProvenanceTable(
+        join_graph=None,
+        relation=relation,
+        attributes=[
+            APTAttribute("cat", is_numeric=False, from_provenance=True),
+            APTAttribute("num", is_numeric=True, from_provenance=True),
+            APTAttribute("cnt", is_numeric=True, from_provenance=False),
+        ],
+        excluded_attributes=[],
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),  # pt_row_id (with fanout)
+        st.sampled_from(CATEGORIES),
+        st.one_of(st.none(), st.integers(min_value=-3, max_value=8)),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+predicate_strategy = st.one_of(
+    st.builds(
+        PatternPredicate,
+        st.just("cat"),
+        st.just(OP_EQ),
+        st.sampled_from(("red", "blue", "green", "absent")),
+    ),
+    st.builds(
+        PatternPredicate,
+        st.just("num"),
+        st.sampled_from((OP_LE, OP_GE, OP_EQ)),
+        st.integers(min_value=-3, max_value=8),
+    ),
+    st.builds(
+        PatternPredicate,
+        st.just("cnt"),
+        st.sampled_from((OP_LE, OP_GE)),
+        st.integers(min_value=0, max_value=5),
+    ),
+)
+
+patterns_strategy = st.lists(
+    st.lists(predicate_strategy, min_size=0, max_size=3),
+    min_size=1,
+    max_size=6,
+)
+
+
+def safe_pattern(predicates: list[PatternPredicate]) -> Pattern:
+    """Drop duplicate (attribute, op) conjuncts instead of raising."""
+    unique: dict[tuple[str, str], PatternPredicate] = {}
+    for predicate in predicates:
+        unique.setdefault((predicate.attribute, predicate.op), predicate)
+    return Pattern(unique.values())
+
+
+def split_ids(rows, sides_seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministically partition the provenance universe (plus some
+    ids whose rows the join 'dropped') into the two question sides."""
+    ids = sorted({r[0] for r in rows} | {97, 98})
+    rng = np.random.default_rng(sides_seed)
+    mask = rng.random(len(ids)) < 0.5
+    ids1 = np.array([i for i, m in zip(ids, mask) if m], dtype=np.int64)
+    ids2 = np.array([i for i, m in zip(ids, mask) if not m], dtype=np.int64)
+    return ids1, ids2
+
+
+class TestKernelMatchesReference:
+    @given(rows=rows_strategy, raw_patterns=patterns_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=120, deadline=None)
+    def test_coverage_equals_reference(
+        self, rows, raw_patterns, sides_seed
+    ):
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        evaluator = QualityEvaluator(apt, ids1, ids2)
+        for raw in raw_patterns:
+            pattern = safe_pattern(raw)
+            assert evaluator.coverage_counts(pattern) == (
+                evaluator.coverage_counts_reference(pattern)
+            )
+
+    @given(rows=rows_strategy, raw_patterns=patterns_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_masks_equal_match_mask(self, rows, raw_patterns, sides_seed):
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        evaluator = QualityEvaluator(apt, ids1, ids2)
+        kernel = evaluator.kernel
+        columns = evaluator.columns()
+        for raw in raw_patterns:
+            pattern = safe_pattern(raw)
+            np.testing.assert_array_equal(
+                kernel.pattern_mask(pattern),
+                pattern.match_mask(columns),
+            )
+
+    @given(rows=rows_strategy, raw_patterns=patterns_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7),
+           rate=st.sampled_from((0.3, 0.5, 0.8)))
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_evaluator_equals_reference(
+        self, rows, raw_patterns, sides_seed, rate
+    ):
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        evaluator = QualityEvaluator(
+            apt, ids1, ids2, sample_rate=rate,
+            rng=np.random.default_rng(13),
+        )
+        for raw in raw_patterns:
+            pattern = safe_pattern(raw)
+            assert evaluator.coverage_counts(pattern) == (
+                evaluator.coverage_counts_reference(pattern)
+            )
+
+    @given(rows=rows_strategy, base=predicate_strategy,
+           extra=predicate_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=80, deadline=None)
+    def test_incremental_equals_full(
+        self, rows, base, extra, sides_seed
+    ):
+        """parent & predicate must equal evaluating the child outright."""
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        parent = safe_pattern([base])
+        child = safe_pattern([base, extra])
+
+        incremental = QualityEvaluator(apt, ids1, ids2)
+        incremental.coverage_counts(parent)  # warm the parent's mask
+        with_hint = incremental.coverage_counts(child, parent=parent)
+
+        outright = QualityEvaluator(apt, ids1, ids2)
+        assert with_hint == outright.coverage_counts(child)
+        assert with_hint == outright.coverage_counts_reference(child)
+
+    @given(rows=rows_strategy, raw_patterns=patterns_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_derived_kernel_equals_fresh(
+        self, rows, raw_patterns, sides_seed
+    ):
+        """A sampled evaluator slicing the exact evaluator's encodings
+        must score exactly like one that encoded from scratch."""
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        full = QualityEvaluator(apt, ids1, ids2)
+        assert full.kernel is not None  # force the source encoding
+        derived = QualityEvaluator(
+            apt, ids1, ids2, sample_rate=0.5,
+            rng=np.random.default_rng(5), encoding_source=full,
+        )
+        fresh = QualityEvaluator(
+            apt, ids1, ids2, sample_rate=0.5,
+            rng=np.random.default_rng(5),
+        )
+        for raw in raw_patterns:
+            pattern = safe_pattern(raw)
+            assert derived.coverage_counts(pattern) == (
+                fresh.coverage_counts(pattern)
+            )
+            assert derived.coverage_counts(pattern) == (
+                derived.coverage_counts_reference(pattern)
+            )
+
+    @given(rows=rows_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_empty_pattern_and_side_labels(self, rows, sides_seed):
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        evaluator = QualityEvaluator(apt, ids1, ids2)
+        empty = Pattern()
+        assert evaluator.coverage_counts(empty) == (
+            evaluator.coverage_counts_reference(empty)
+        )
+        # side_labels must agree with a per-row dict lookup.
+        side = {int(pid): 1 for pid in ids1.tolist()}
+        side.update({int(pid): 2 for pid in ids2.tolist()})
+        expected = [side[int(pid)] for pid in evaluator._pt_ids.tolist()]
+        assert evaluator.side_labels().tolist() == expected
+
+
+class TestEvictionAndCacheModes:
+    @given(rows=rows_strategy, raw_patterns=patterns_strategy,
+           sides_seed=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_tiny_cache_still_exact(self, rows, raw_patterns, sides_seed):
+        """Evictions force full-evaluation fallbacks, never wrong counts."""
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, sides_seed)
+        tiny = QualityEvaluator(
+            apt, ids1, ids2, kernel_cache_mb=2e-5  # ~20 bytes
+        )
+        for raw in raw_patterns:
+            pattern = safe_pattern(raw)
+            assert tiny.coverage_counts(pattern) == (
+                tiny.coverage_counts_reference(pattern)
+            )
+
+    def test_zero_budget_disables_memoization(self):
+        rows = [(i, "red" if i % 2 else "blue", i, i % 3) for i in range(8)]
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, 0)
+        evaluator = QualityEvaluator(apt, ids1, ids2, kernel_cache_mb=0.0)
+        pattern = safe_pattern([PatternPredicate("cat", OP_EQ, "red")])
+        first = evaluator.coverage_counts(pattern)
+        second = evaluator.coverage_counts(pattern)
+        assert first == second
+        kernel = evaluator.kernel
+        assert kernel.mask_hits == 0
+        assert kernel.mask_misses >= 2
+        assert len(kernel.cache) == 0
+
+    def test_mask_cache_lru_eviction_order(self):
+        cache = MaskCache(budget_bytes=20)
+        a = np.ones(8, dtype=bool)
+        b = np.zeros(8, dtype=bool)
+        c = np.ones(8, dtype=bool)
+        cache.put("a", a)
+        cache.put("b", b)
+        assert cache.get("a") is a  # refresh a's recency
+        cache.put("c", c)  # evicts b (LRU), not a
+        assert cache.get("b") is None
+        assert cache.get("a") is a
+        assert cache.get("c") is c
+        assert cache.evictions == 1
+
+    def test_oversized_entry_not_stored(self):
+        cache = MaskCache(budget_bytes=4)
+        cache.put("big", np.ones(64, dtype=bool))
+        assert cache.get("big") is None
+        assert cache.evictions == 0
+
+
+class TestKernelDirect:
+    def test_null_codes_never_match(self):
+        columns = {
+            "cat": np.array(["x", None, "y", np.nan, "x"], dtype=object)
+        }
+        kernel = MiningKernel(
+            columns, np.arange(5), m1=3, m2=2, cache_mb=1.0
+        )
+        np.testing.assert_array_equal(
+            kernel.predicate_mask("cat", OP_EQ, "x"),
+            np.array([True, False, False, False, True]),
+        )
+        # NaN query values match nothing (NaN != NaN) even though the
+        # cell's NaN object is dict-encoded.
+        assert not kernel.predicate_mask("cat", OP_EQ, np.nan).any()
+        assert not kernel.predicate_mask("cat", OP_EQ, None).any()
+        assert not kernel.predicate_mask("cat", OP_EQ, "absent").any()
+
+    def test_categorical_rejects_inequality(self):
+        columns = {"cat": np.array(["x", "y"], dtype=object)}
+        kernel = MiningKernel(columns, np.arange(2), m1=1, m2=1)
+        with pytest.raises(ValueError, match="not allowed on categorical"):
+            kernel.predicate_mask("cat", OP_LE, "x")
+
+    def test_missing_attribute_raises(self):
+        kernel = MiningKernel({}, np.empty(0, dtype=np.int64), m1=0, m2=0)
+        with pytest.raises(KeyError):
+            kernel.predicate_mask("nope", OP_EQ, 1)
+
+    def test_ml_codes_match_varclus_encoding(self):
+        from repro.ml.varclus import encode_columns
+
+        arr = np.array(["b", None, "a", "b", "c", None], dtype=object)
+        kernel = MiningKernel(
+            {"cat": arr}, np.arange(6), m1=3, m2=3
+        )
+        expected = encode_columns({"cat": arr})[:, 0]
+        np.testing.assert_array_equal(
+            kernel.ml_codes("cat").astype(np.float64), expected
+        )
+        # counting codes: None -> -1, everything else keeps its code.
+        counting = kernel.counting_codes("cat")
+        assert counting.tolist() == [0, -1, 2, 0, 3, -1]
+
+    def test_derived_kernel_hides_ml_codes(self):
+        """Sliced codes are not first-occurrence-numbered, so derived
+        kernels must not offer them as varclus-compatible encodings."""
+        arr = np.array(["b", "a", "b", "c"], dtype=object)
+        source = MiningKernel({"cat": arr}, np.arange(4), m1=2, m2=2)
+        derived = MiningKernel.derived(
+            source, np.array([False, True, True, True]),
+            np.arange(3), m1=1, m2=2,
+        )
+        assert source.ml_codes("cat") is not None
+        assert derived.ml_codes("cat") is None
+        # Matching and counting stay exact (numbering-independent).
+        np.testing.assert_array_equal(
+            derived.predicate_mask("cat", OP_EQ, "b"),
+            np.array([False, True, False]),
+        )
+        assert derived.counting_codes("cat") is not None
+
+    def test_counters_exposed(self):
+        columns = {"cat": np.array(["x", "y"], dtype=object)}
+        kernel = MiningKernel(columns, np.arange(2), m1=1, m2=1)
+        kernel.predicate_mask("cat", OP_EQ, "x")
+        kernel.predicate_mask("cat", OP_EQ, "x")
+        counters = kernel.counters()
+        assert counters[KERNEL_MASK_HITS] == 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end: kernel on/off is byte-identical through mine_apt
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def mined_setup(mini_db):
+    pt = ProvenanceTable.compute(parse_sql(GSW_WINS_SQL), mini_db)
+    question = ComparisonQuestion(
+        {"season": "2015-16"}, {"season": "2012-13"}
+    )
+    resolved = question.resolve(pt)
+    apt = materialize_apt(star_join_graph(), pt, mini_db)
+    return apt, resolved
+
+
+def _mine(apt, resolved, **overrides):
+    defaults = dict(
+        top_k=5, f1_sample_rate=1.0, lca_sample_rate=1.0,
+        num_selected_attrs=4, seed=3,
+    )
+    defaults.update(overrides)
+    config = CajadeConfig(**defaults)
+    return mine_apt(apt, resolved, config, np.random.default_rng(3))
+
+
+def _fingerprint(result):
+    return [
+        (mp.pattern, mp.primary, mp.stats.tp, mp.stats.fp, mp.stats.fn)
+        for mp in result.patterns
+    ]
+
+
+class TestMineAptKernelEquivalence:
+    def test_kernel_on_off_identical(self, mined_setup):
+        apt, resolved = mined_setup
+        on = _mine(apt, resolved, use_kernel=True)
+        off = _mine(apt, resolved, use_kernel=False)
+        assert _fingerprint(on) == _fingerprint(off)
+        assert on.candidates_examined == off.candidates_examined
+
+    def test_kernel_on_off_identical_with_sampling(self, mined_setup):
+        apt, resolved = mined_setup
+        on = _mine(apt, resolved, use_kernel=True, f1_sample_rate=0.6)
+        off = _mine(apt, resolved, use_kernel=False, f1_sample_rate=0.6)
+        assert _fingerprint(on) == _fingerprint(off)
+
+    def test_kernel_verify_passes(self, mined_setup):
+        apt, resolved = mined_setup
+        verified = _mine(apt, resolved, kernel_verify=True)
+        plain = _mine(apt, resolved)
+        assert _fingerprint(verified) == _fingerprint(plain)
+
+    def test_tiny_mask_cache_identical(self, mined_setup):
+        apt, resolved = mined_setup
+        tiny = _mine(apt, resolved, kernel_cache_mb=2e-5)
+        full = _mine(apt, resolved)
+        assert _fingerprint(tiny) == _fingerprint(full)
+
+    def test_kernel_counters_in_timer(self, mined_setup):
+        apt, resolved = mined_setup
+        timer = StepTimer()
+        config = CajadeConfig(
+            top_k=3, f1_sample_rate=1.0, lca_sample_rate=1.0,
+            num_selected_attrs=4,
+        )
+        mine_apt(apt, resolved, config, np.random.default_rng(0), timer=timer)
+        counters = timer.counters()
+        assert (
+            counters.get(KERNEL_INCREMENTAL_EVALS, 0)
+            + counters.get(KERNEL_FULL_EVALS, 0)
+        ) > 0
+
+
+class TestConfigAndCli:
+    def test_negative_kernel_cache_rejected(self):
+        with pytest.raises(ValueError, match="kernel_cache_mb"):
+            CajadeConfig(kernel_cache_mb=-1.0)
+
+    def test_cli_kernel_flags(self):
+        from repro.cli import build_parser, _config_from
+
+        args = build_parser().parse_args(
+            ["workload", "Qnba1", "--no-kernel", "--kernel-cache-mb", "8"]
+        )
+        config = _config_from(args)
+        assert config.use_kernel is False
+        assert config.kernel_cache_mb == 8.0
