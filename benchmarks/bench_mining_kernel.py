@@ -1,29 +1,34 @@
-"""Benchmark: dictionary-encoded columnar mining kernel, on vs off.
+"""Benchmark: columnar mining kernel and code-based LCA, on vs off.
 
 Runs the Qnba scaling workload of the paper's Figure 9 (the user-study
-query UQ1 over a generated NBA instance) end to end with the scoring
-kernel disabled (the retained naive per-row reference path — the
-pre-kernel behaviour) and enabled, and compares the *F-score Calc.* +
-*Refine Patterns* step seconds from the StepTimer — the two steps the
-paper's own timing breakdowns put on top for large join graphs, and the
-ones the kernel targets.
+query UQ1 over a generated NBA instance) end to end and compares step
+seconds from the StepTimer: *F-score Calc.* + *Refine Patterns* for the
+scoring kernel, and *Gen. Pat. Cand.* for the code-based LCA candidate
+generation that runs on the kernel's dictionary codes.
 
 Modes:
 
 - *kernel-off*: ``use_kernel=False``; every candidate pattern re-scans
-  the APT through per-row Python matching and coverage finishes with a
-  dict loop;
-- *kernel-on*: dictionary-encoded int32 codes, dense-slot scatter
-  coverage, byte-bounded mask LRU with incremental ``parent & predicate``
-  reuse;
+  the APT through per-row Python matching, coverage finishes with a
+  dict loop, and LCA generation builds a Pattern per agreeing row pair;
+- *code-lca-off*: kernel scoring on, ``use_code_lca=False`` — LCA
+  candidates still come from the object-based reference loop (isolates
+  the LCA rewrite from the scoring kernel);
+- *kernel-on*: dictionary-encoded int32 codes end to end — dense-slot
+  scatter coverage, byte-bounded mask LRU with incremental
+  ``parent & predicate`` reuse, and vectorized code-based LCA
+  (broadcast pairwise agreement, int-row-key dedup, Patterns built only
+  for deduplicated survivors);
 - *kernel-on --workers N*: the same, mined with a worker pool.
 
-Every mode's ranked explanations must be byte-identical (the kernel is
-an execution strategy, never a semantics change); the run fails
-otherwise.  The full run additionally asserts a >= 3x median speedup on
-the targeted steps; ``--smoke`` keeps the identity checks (and enables
-``kernel_verify`` cross-checking on the kernel run) but skips the
-speedup assertion.  Both modes write machine-readable medians to
+Every mode's ranked explanations must be byte-identical (kernel and
+code-LCA are execution strategies, never a semantics change); the run
+fails otherwise.  The full run additionally asserts a >= 3x median
+speedup on the scoring steps (kernel-on vs kernel-off) and a >= 2x
+median speedup on *Gen. Pat. Cand.* (kernel-on vs code-lca-off);
+``--smoke`` keeps the identity checks (and enables ``kernel_verify``
+cross-checking on the kernel run) but skips the speedup assertions.
+Machine-readable medians go to
 ``benchmarks/results/BENCH_mining.json`` (the smoke payload carries
 ``"smoke": true`` — the committed copy of the file must come from a
 full run; regenerate it with no flags before committing it).
@@ -47,11 +52,14 @@ from repro.api import CajadeSession
 from repro.core.config import CajadeConfig
 from repro.core.timing import (
     F_SCORE_CALC,
+    GEN_PATTERN_CANDIDATES,
     KERNEL_FULL_EVALS,
     KERNEL_INCREMENTAL_EVALS,
     KERNEL_MASK_EVICTIONS,
     KERNEL_MASK_HITS,
     KERNEL_MASK_MISSES,
+    LCA_PAIRS_EXAMINED,
+    LCA_PATTERNS_BUILT,
     REFINE_PATTERNS,
     StepTimer,
 )
@@ -70,9 +78,11 @@ def ranked_payload(result) -> str:
 
 
 def run_mode(db, schema_graph, workload, config, repeats):
-    """Fresh-session runs of one mode; returns per-repeat step seconds,
-    the ranked payload, and the last run's kernel counters."""
+    """Fresh-session runs of one mode; returns per-repeat scoring-step
+    seconds, per-repeat LCA-step seconds, totals, the ranked payload,
+    and the last run's kernel/LCA counters."""
     step_seconds = []
+    lca_seconds = []
     totals = []
     payload = None
     counters: dict[str, int] = {}
@@ -85,6 +95,7 @@ def run_mode(db, schema_graph, workload, config, repeats):
         step_seconds.append(
             timer.seconds(F_SCORE_CALC) + timer.seconds(REFINE_PATTERNS)
         )
+        lca_seconds.append(timer.seconds(GEN_PATTERN_CANDIDATES))
         payload = ranked_payload(result)
         counters = {
             name: timer.counter(name)
@@ -94,10 +105,12 @@ def run_mode(db, schema_graph, workload, config, repeats):
                 KERNEL_MASK_EVICTIONS,
                 KERNEL_INCREMENTAL_EVALS,
                 KERNEL_FULL_EVALS,
+                LCA_PAIRS_EXAMINED,
+                LCA_PATTERNS_BUILT,
             )
             if timer.counter(name)
         }
-    return step_seconds, totals, payload, counters
+    return step_seconds, lca_seconds, totals, payload, counters
 
 
 def run(args: argparse.Namespace) -> int:
@@ -115,6 +128,7 @@ def run(args: argparse.Namespace) -> int:
     )
     modes = {
         "kernel-off": base.with_overrides(use_kernel=False),
+        "code-lca-off": base.with_overrides(use_code_lca=False),
         "kernel-on": base.with_overrides(kernel_verify=args.smoke),
         f"kernel-on workers={args.workers}": base.with_overrides(
             workers=args.workers
@@ -127,21 +141,27 @@ def run(args: argparse.Namespace) -> int:
 
     results = {}
     for label, config in modes.items():
-        steps, totals, payload, counters = run_mode(
+        steps, lca, totals, payload, counters = run_mode(
             db, schema_graph, workload, config, args.repeats
         )
-        results[label] = (steps, totals, payload, counters)
+        results[label] = (steps, lca, totals, payload, counters)
         shown = " ".join(f"{s:.2f}" for s in steps)
+        shown_lca = " ".join(f"{s:.2f}" for s in lca)
         print(
             f"{label:>24s}: F-score Calc.+Refine {shown}s "
-            f"(median {statistics.median(steps):.2f}s, "
+            f"(median {statistics.median(steps):.2f}s), "
+            f"Gen. Pat. Cand. {shown_lca}s "
+            f"(median {statistics.median(lca):.2f}s, "
             f"total median {statistics.median(totals):.2f}s)"
         )
         if counters:
             print(f"{'':>24s}  {counters}")
 
-    off_steps, off_totals, off_payload, _ = results["kernel-off"]
-    on_steps, on_totals, on_payload, on_counters = results["kernel-on"]
+    off_steps, _, off_totals, off_payload, _ = results["kernel-off"]
+    on_steps, on_lca, on_totals, on_payload, on_counters = results[
+        "kernel-on"
+    ]
+    _, ref_lca, _, _, _ = results["code-lca-off"]
     median_off = statistics.median(off_steps)
     median_on = statistics.median(on_steps)
     speedup = median_off / median_on if median_on > 0 else float("inf")
@@ -149,9 +169,18 @@ def run(args: argparse.Namespace) -> int:
         f"F-score Calc. + Refine Patterns: {median_off:.2f}s -> "
         f"{median_on:.2f}s  = {speedup:.2f}x"
     )
+    median_lca_ref = statistics.median(ref_lca)
+    median_lca_on = statistics.median(on_lca)
+    lca_speedup = (
+        median_lca_ref / median_lca_on if median_lca_on > 0 else float("inf")
+    )
+    print(
+        f"Gen. Pat. Cand. (code-based LCA): {median_lca_ref:.2f}s -> "
+        f"{median_lca_on:.2f}s  = {lca_speedup:.2f}x"
+    )
 
     byte_identical = all(
-        payload == off_payload for _, _, payload, _ in results.values()
+        payload == off_payload for _, _, _, payload, _ in results.values()
     )
     report = {
         "benchmark": "bench_mining_kernel",
@@ -172,6 +201,10 @@ def run(args: argparse.Namespace) -> int:
             statistics.median(on_totals), 4
         ),
         "speedup": round(speedup, 2),
+        "lca_step_measured": GEN_PATTERN_CANDIDATES,
+        "median_lca_seconds_code_off": round(median_lca_ref, 4),
+        "median_lca_seconds_code_on": round(median_lca_on, 4),
+        "lca_speedup": round(lca_speedup, 2),
         "byte_identical": byte_identical,
         "kernel_counters": on_counters,
     }
@@ -190,17 +223,20 @@ def run(args: argparse.Namespace) -> int:
     print(f"wrote {target}")
 
     if not byte_identical:
-        for label, (_, _, payload, _) in results.items():
+        for label, (_, _, _, payload, _) in results.items():
             if payload != off_payload:
                 print(f"FAIL: {label} explanations differ from kernel-off")
         return 1
     print(
         "ranked explanations byte-identical across kernel on/off, "
-        f"serial and workers={args.workers}"
+        f"code-LCA on/off, serial and workers={args.workers}"
     )
 
     if not args.smoke and speedup < 3.0:
         print(f"FAIL: kernel speedup {speedup:.2f}x < 3x")
+        return 1
+    if not args.smoke and lca_speedup < 2.0:
+        print(f"FAIL: code-LCA speedup {lca_speedup:.2f}x < 2x")
         return 1
     print("OK")
     return 0

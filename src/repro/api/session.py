@@ -96,6 +96,7 @@ _MINING_NEUTRAL_FIELDS = frozenset(
         "use_kernel",
         "kernel_cache_mb",
         "kernel_verify",
+        "use_code_lca",
     }
 )
 

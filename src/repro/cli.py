@@ -91,6 +91,11 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                         help="score patterns on the naive per-row "
                              "reference path instead of the columnar "
                              "kernel (identical results, slower)")
+    parser.add_argument("--no-code-lca", action="store_true",
+                        help="generate LCA candidates on the object-"
+                             "based reference path instead of the "
+                             "kernel's dictionary codes (identical "
+                             "results, slower)")
     parser.add_argument("--sentences", action="store_true",
                         help="also print natural-language renderings")
 
@@ -107,6 +112,7 @@ def _config_from(args: argparse.Namespace) -> CajadeConfig:
             apt_cache_mb=args.apt_cache_mb,
             kernel_cache_mb=args.kernel_cache_mb,
             use_kernel=not args.no_kernel,
+            use_code_lca=not args.no_code_lca,
         )
     except ValueError as exc:
         raise SystemExit(f"repro: invalid configuration: {exc}")

@@ -20,7 +20,7 @@ from .join_discovery import (
 )
 from .join_graph import PT_LABEL, JGEdge, JGNode, JoinGraph
 from .kernel import MaskCache, MiningKernel
-from .lca import lca_candidates, pick_top_candidates
+from .lca import lca_candidates, lca_candidates_codes, pick_top_candidates
 from .mining import MinedPattern, MiningResult, mine_apt
 from .narrative import explanation_sentence, pattern_phrase, predicate_phrase
 from .pattern import OP_EQ, OP_GE, OP_LE, Pattern, PatternPredicate
@@ -56,6 +56,7 @@ __all__ = [
     "JoinConditionSpec",
     "JoinGraph",
     "lca_candidates",
+    "lca_candidates_codes",
     "MaskCache",
     "match_score",
     "MiningKernel",

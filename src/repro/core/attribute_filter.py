@@ -93,22 +93,32 @@ def filter_attributes(
         if not names:
             return _passthrough(apt, [])
 
+    # One first-occurrence code map (the kernel's varclus-compatible
+    # encoding) feeds both the Cramér's V association matrix and the
+    # random-forest feature matrix — no column is re-encoded.
+    ml_codes = None
+    if kernel is not None:
+        ml_codes = {
+            n: code_arr
+            for n in names
+            if (code_arr := kernel.ml_codes(n)) is not None
+        }
+
     # -- cluster correlated attributes, keep representatives -----------
     clusters = cluster_attributes(
         {n: columns[n] for n in names},
         threshold=config.correlation_threshold,
         same_type_only=True,
+        codes=ml_codes,
     )
     representatives = sorted(c.representative for c in clusters)
 
     # -- random-forest relevance over cluster representatives ----------
     rep_columns = {n: columns[n] for n in representatives}
     rep_codes = None
-    if kernel is not None:
+    if ml_codes is not None:
         rep_codes = {
-            n: code_arr
-            for n in representatives
-            if (code_arr := kernel.ml_codes(n)) is not None
+            n: ml_codes[n] for n in representatives if n in ml_codes
         }
     matrix = encode_columns(rep_columns, codes=rep_codes)
     y = (labels[informative] == 1).astype(np.float64)

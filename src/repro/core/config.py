@@ -148,6 +148,16 @@ class CajadeConfig:
     """Cross-check every kernel coverage computation against the naive
     reference and raise on any mismatch (tests / CI; slow)."""
 
+    use_code_lca: bool = True
+    """Generate §3.2 LCA candidates on the kernel's int32 dictionary
+    codes (:func:`repro.core.lca.lca_candidates_codes`): vectorized
+    pairwise agreement, int-tuple dedup, Pattern construction only for
+    deduplicated survivors.  Off runs the retained object-based
+    reference path; the candidate set — and therefore ranked output —
+    is byte-identical either way.  Requires ``use_kernel`` (falls back
+    to the reference path when the kernel is off or a column defeated
+    dictionary encoding)."""
+
     # -- determinism ------------------------------------------------------
     seed: int = 7
     """Seed for every sampling step (LCA sample, F1 sample, forest)."""

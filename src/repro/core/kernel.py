@@ -141,6 +141,7 @@ class MiningKernel:
         self._numeric: dict[str, np.ndarray] = {}
         self._numeric_valid: dict[str, np.ndarray | None] = {}
         self._fallback: dict[str, np.ndarray] = {}
+        self._code_values_cache: dict[str, list] = {}
         self._derived = False
 
         self.mask_hits = 0
@@ -203,6 +204,7 @@ class MiningKernel:
         self._fallback = {
             k: v[selector] for k, v in source._fallback.items()
         }
+        self._code_values_cache = {}
         self._derived = True
         self.mask_hits = 0
         self.mask_misses = 0
@@ -258,6 +260,60 @@ class MiningKernel:
         if self._derived:
             return None
         return self._ml_codes.get(attr)
+
+    def code_values(self, attr: str) -> list | None:
+        """The inverse dictionary of a categorical column: a list whose
+        index ``code`` holds the value that encoded to ``code``.
+
+        Decoded values are the exact objects stored at first occurrence
+        (NULL cells included — each distinct NaN object keeps its own
+        code, matching Python identity-then-equality dict semantics), so
+        patterns reconstructed from codes compare equal to patterns
+        built from the raw column.  ``None`` when the attribute is
+        numeric or not dict-encodable.
+        """
+        code_of = self._dicts.get(attr)
+        if code_of is None:
+            return None
+        cached = self._code_values_cache.get(attr)
+        if cached is not None:
+            return cached
+        inverse: list = [None] * len(code_of)
+        for value, code in code_of.items():
+            inverse[code] = value
+        self._code_values_cache[attr] = inverse
+        return inverse
+
+    def code_matrix(
+        self,
+        attrs: list[str],
+        kind: str = "match",
+        indices: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """A ``(num_rows, len(attrs))`` int32 code-matrix view.
+
+        ``kind="match"`` stacks :meth:`match_codes` (NULLs are ``-1``
+        and never agree — the pairwise-LCA encoding); ``kind="counting"``
+        stacks :meth:`counting_codes` (only ``None`` is ``-1``; NaN
+        cells keep their identity-distinct codes — the singleton-LCA
+        encoding, mirroring the object path's ``is not None`` test).
+        ``indices`` selects a row subset *before* stacking, so a small
+        λpat-samp sample over a large APT never materializes the full
+        matrix.  Returns ``None`` if any attribute lacks dictionary
+        codes, so callers can fall back to the object-based path
+        wholesale.
+        """
+        getter = self.match_codes if kind == "match" else self.counting_codes
+        columns = []
+        for attr in attrs:
+            codes = getter(attr)
+            if codes is None:
+                return None
+            columns.append(codes if indices is None else codes[indices])
+        if not columns:
+            rows = self._num_rows if indices is None else len(indices)
+            return np.empty((rows, 0), dtype=np.int32)
+        return np.stack(columns, axis=1)
 
     def counting_codes(self, attr: str) -> np.ndarray | None:
         """Codes for value-frequency counting: ``None`` cells are ``-1``
@@ -434,6 +490,10 @@ class MiningKernel:
     @property
     def cache(self) -> MaskCache:
         return self._cache
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
 
     def counters(self) -> dict[str, int]:
         """Canonical StepTimer counter labels -> values."""

@@ -7,6 +7,29 @@ rest — the "lowest common ancestor" of the two rows in the pattern
 lattice.  Constants that co-occur frequently therefore surface as
 candidates.  Numeric attributes stay ``*`` at this stage.
 
+Two execution strategies produce the same deduplicated pattern set:
+
+- :func:`lca_candidates_codes` — the default *code-based* LCA.  It runs
+  on the mining kernel's int32 dictionary codes end to end: the sample
+  is a ``(m, n_attrs)`` code matrix, pairwise agreement is one broadcast
+  integer comparison over the sampled pair index arrays (the NULL
+  sentinel ``-1`` never agrees), surviving LCAs are deduplicated as int
+  row keys with ``np.unique``, and :class:`Pattern` objects are
+  constructed **only** for the deduplicated survivors.  The pre-kernel
+  path built a Pattern per agreeing pair (~millions of
+  ``Pattern.__init__`` calls per question on the Fig-9 workload); the
+  code path builds a few hundred.
+- :func:`lca_candidates` — the retained *object-based* reference: a
+  Python loop over row pairs comparing raw cell objects.  It is the
+  byte-identity baseline the code path is verified against (tests and
+  the ``bench_mining_kernel`` CI smoke) and the fallback when no kernel
+  is available (``use_kernel=False`` / ``use_code_lca=False``) or a
+  column defeated dictionary encoding.
+
+Both paths consume randomness identically (same ``rng.choice`` /
+``rng.integers`` calls via the shared sampling helpers), so a run is
+byte-identical whichever path generated its candidates.
+
 The sample is governed by λpat-samp with an absolute cap (1000 rows in the
 paper's experiments); the number of examined pairs is additionally capped
 to keep the quadratic step bounded.
@@ -18,6 +41,71 @@ import numpy as np
 
 from .config import CajadeConfig
 from .pattern import OP_EQ, Pattern, PatternPredicate
+from .timing import LCA_PAIRS_EXAMINED, LCA_PATTERNS_BUILT, StepTimer
+
+# Pairwise agreement matrices are materialized in bounded chunks
+# (~16 MB of int32 per gathered side at this cell count) so the
+# λpat-samp cross product's peak allocation stays flat even on the
+# no-feature-selection arm where n_attrs can be large.
+_PAIR_CHUNK_CELLS = 4_000_000
+
+
+def _sample_row_indices(
+    n_rows: int, config: CajadeConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """The λpat-samp row sample (shared by both LCA paths: one
+    ``rng.choice`` call with identical arguments, or none at all)."""
+    sample_size = max(1, int(round(n_rows * config.lca_sample_rate)))
+    sample_size = min(sample_size, config.lca_sample_cap, n_rows)
+    if sample_size < n_rows:
+        return rng.choice(n_rows, size=sample_size, replace=False)
+    return np.arange(n_rows)
+
+
+def _candidate_order(patterns: set[Pattern]) -> list[Pattern]:
+    """Deterministic, path-independent ordering of a candidate set.
+
+    ``(size, describe)`` is the historical (and user-visible) order; the
+    type-name/str tiebreak totalizes it over distinct patterns whose
+    describes collide (possible only in columns mixing equal-rendering
+    values of different types, which the db layer's TEXT columns never
+    produce), so iteration/insertion order of the set never leaks into
+    the result.  Identity-distinct NaN constants remain mutually
+    unordered — such patterns are behaviourally indistinguishable
+    (identical rendering, match nothing), so their relative order
+    cannot affect output.
+    """
+    return sorted(
+        patterns,
+        key=lambda p: (
+            p.size,
+            p.describe(),
+            tuple(
+                (q.attribute, q.op, type(q.value).__name__, str(q.value))
+                for q in p.predicates
+            ),
+        ),
+    )
+
+
+def _pair_indices(
+    m: int, config: CajadeConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index arrays (i, j) of the examined row pairs.
+
+    All i < j pairs when they fit under the cap; otherwise
+    ``lca_pair_cap`` pairs drawn with two ``rng.integers`` calls (self
+    pairs dropped) — exactly the draws the object-based path has always
+    made, so both paths stay on one rng trajectory.
+    """
+    total_pairs = m * (m - 1) // 2
+    if total_pairs <= config.lca_pair_cap:
+        i, j = np.triu_indices(m, k=1)
+        return i, j
+    firsts = rng.integers(0, m, size=config.lca_pair_cap)
+    seconds = rng.integers(0, m, size=config.lca_pair_cap)
+    keep = firsts != seconds
+    return firsts[keep], seconds[keep]
 
 
 def lca_candidates(
@@ -25,8 +113,9 @@ def lca_candidates(
     categorical_attrs: list[str],
     config: CajadeConfig,
     rng: np.random.Generator,
+    timer: StepTimer | None = None,
 ) -> list[Pattern]:
-    """Generate candidate categorical patterns from a row-pair sample.
+    """Object-based reference LCA generation (the byte-identity baseline).
 
     ``columns`` are row-aligned APT columns (typically already restricted
     to the question's provenance rows).  Returns deduplicated non-empty
@@ -44,17 +133,12 @@ def lca_candidates(
     if n_rows == 0:
         return []
 
-    sample_size = max(1, int(round(n_rows * config.lca_sample_rate)))
-    sample_size = min(sample_size, config.lca_sample_cap, n_rows)
-    if sample_size < n_rows:
-        indices = rng.choice(n_rows, size=sample_size, replace=False)
-    else:
-        indices = np.arange(n_rows)
-
+    indices = _sample_row_indices(n_rows, config, rng)
     arrays = [columns[a][indices] for a in attrs]
     m = len(indices)
 
     patterns: set[Pattern] = set()
+    built = 0
 
     # Singleton patterns from single rows (the LCA of a row with itself);
     # these capture individually frequent constants.
@@ -66,21 +150,11 @@ def lca_candidates(
         ]
         if predicates:
             patterns.add(Pattern(predicates))
+            built += 1
 
     # Pairwise LCAs, capped.
-    total_pairs = m * (m - 1) // 2
-    if total_pairs <= config.lca_pair_cap:
-        pair_iter = (
-            (i, j) for i in range(m) for j in range(i + 1, m)
-        )
-    else:
-        firsts = rng.integers(0, m, size=config.lca_pair_cap)
-        seconds = rng.integers(0, m, size=config.lca_pair_cap)
-        pair_iter = (
-            (int(a), int(b)) for a, b in zip(firsts, seconds) if a != b
-        )
-
-    for i, j in pair_iter:
+    pair_i, pair_j = _pair_indices(m, config, rng)
+    for i, j in zip(pair_i.tolist(), pair_j.tolist()):
         predicates = []
         for attr, arr in zip(attrs, arrays):
             vi, vj = arr[i], arr[j]
@@ -88,8 +162,94 @@ def lca_candidates(
                 predicates.append(PatternPredicate(attr, OP_EQ, vi))
         if predicates:
             patterns.add(Pattern(predicates))
+            built += 1
 
-    return sorted(patterns, key=lambda p: (p.size, p.describe()))
+    if timer is not None:
+        timer.count(LCA_PAIRS_EXAMINED, len(pair_i))
+        timer.count(LCA_PATTERNS_BUILT, built)
+    return _candidate_order(patterns)
+
+
+def lca_candidates_codes(
+    kernel,
+    categorical_attrs: list[str],
+    config: CajadeConfig,
+    rng: np.random.Generator,
+    timer: StepTimer | None = None,
+) -> list[Pattern]:
+    """Code-based LCA generation on a :class:`~repro.core.kernel.MiningKernel`.
+
+    Same deduplicated pattern set as :func:`lca_candidates` over the
+    kernel's columns, computed on int32 dictionary codes:
+
+    - the row sample becomes two ``(m, n_attrs)`` code matrices — the
+      *match* view (NULLs ``-1``, drives pairwise agreement) and the
+      *counting* view (only ``None`` is ``-1``, drives singleton rows,
+      matching the object path's ``is not None`` test);
+    - pairwise agreement is ``(left == right) & (left != -1)`` broadcast
+      over the pair index arrays; an agreeing attribute keeps its code,
+      a disagreeing one becomes the wildcard ``-1`` — NULL codes never
+      agree, so ``-1`` is unambiguous as the wildcard marker;
+    - survivors (pair keys + singleton rows) deduplicate as int row keys
+      in one ``np.unique(axis=0)``;
+    - :class:`Pattern` objects are constructed only for the survivors,
+      decoding codes back to the original value objects through the
+      kernel's inverse dictionaries.
+
+    Callers must ensure every object-dtype attribute reaching this
+    function has kernel codes (``kernel.match_codes(a) is not None``) —
+    :func:`repro.core.mining.mine_apt` falls back to the reference path
+    wholesale otherwise.
+    """
+    attrs = [
+        a for a in categorical_attrs if kernel.match_codes(a) is not None
+    ]
+    if not attrs:
+        return []
+    n_rows = kernel.num_rows
+    if n_rows == 0:
+        return []
+
+    indices = _sample_row_indices(n_rows, config, rng)
+    m = len(indices)
+    match = kernel.code_matrix(attrs, kind="match", indices=indices)
+    counting = kernel.code_matrix(attrs, kind="counting", indices=indices)
+
+    key_chunks = [np.unique(counting, axis=0)]
+
+    pair_i, pair_j = _pair_indices(m, config, rng)
+    n_attrs = len(attrs)
+    chunk = max(1, _PAIR_CHUNK_CELLS // max(1, n_attrs))
+    for start in range(0, len(pair_i), chunk):
+        left = match[pair_i[start : start + chunk]]
+        right = match[pair_j[start : start + chunk]]
+        agree = left == right
+        agree &= left != -1
+        keys = np.where(agree, left, np.int32(-1))
+        key_chunks.append(np.unique(keys, axis=0))
+
+    all_keys = np.unique(np.concatenate(key_chunks, axis=0), axis=0)
+    nonempty = (all_keys != -1).any(axis=1)
+    all_keys = all_keys[nonempty]
+
+    values = [kernel.code_values(a) for a in attrs]
+    # A set, not a list: two distinct code rows can decode to patterns
+    # that compare equal (values equal under ``==`` with different
+    # representations), exactly as the object path deduplicates them.
+    patterns: set[Pattern] = set()
+    for row in all_keys.tolist():
+        patterns.add(
+            Pattern(
+                PatternPredicate(attr, OP_EQ, inverse[code])
+                for attr, inverse, code in zip(attrs, values, row)
+                if code != -1
+            )
+        )
+
+    if timer is not None:
+        timer.count(LCA_PAIRS_EXAMINED, len(pair_i))
+        timer.count(LCA_PATTERNS_BUILT, len(all_keys))
+    return _candidate_order(patterns)
 
 
 def pick_top_candidates(
@@ -103,7 +263,10 @@ def pick_top_candidates(
 
     ``recall_of`` maps a pattern to its (possibly sampled) recall w.r.t.
     the question's primary tuple(s); callers pass the max over t1/t2 so a
-    pattern strong for either side survives.
+    pattern strong for either side survives.  When scoring runs on the
+    kernel, each candidate's recall reuses the memoized single-predicate
+    masks in the evaluator's :class:`~repro.core.kernel.MaskCache`
+    instead of re-matching the APT per candidate.
     """
     scored = []
     for pattern in patterns:

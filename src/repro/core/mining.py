@@ -22,7 +22,7 @@ from .apt import AugmentedProvenanceTable
 from .attribute_filter import FilteredAttributes, filter_attributes
 from .config import CajadeConfig
 from .diversity import select_diverse_top_k
-from .lca import lca_candidates, pick_top_candidates
+from .lca import lca_candidates, lca_candidates_codes, pick_top_candidates
 from .pattern import Pattern
 from .quality import QualityEvaluator, QualityStats
 from .question import ResolvedQuestion
@@ -115,9 +115,25 @@ def mine_apt(
         filtered = filter_attributes(apt, full_evaluator, config, rng)
 
     with timer.step(GEN_PATTERN_CANDIDATES):
-        candidates = lca_candidates(
-            full_evaluator.columns(), filtered.categorical, config, rng
-        )
+        # Code-based LCA (§3.2 on int32 dictionary codes) whenever the
+        # kernel can encode every categorical candidate attribute; the
+        # object-based reference path otherwise.  Both consume the rng
+        # identically and yield the same deduplicated pattern set, so
+        # the choice never changes ranked output.
+        columns = full_evaluator.columns()
+        kernel = full_evaluator.kernel if config.use_code_lca else None
+        if kernel is not None and all(
+            kernel.match_codes(attr) is not None
+            for attr in filtered.categorical
+            if attr in columns and columns[attr].dtype == object
+        ):
+            candidates = lca_candidates_codes(
+                kernel, filtered.categorical, config, rng, timer=timer
+            )
+        else:
+            candidates = lca_candidates(
+                columns, filtered.categorical, config, rng, timer=timer
+            )
 
     with timer.step(F_SCORE_CALC):
         recall_cache: dict[Pattern, tuple[int, int]] = {}

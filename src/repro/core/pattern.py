@@ -61,7 +61,9 @@ class PatternPredicate:
     def describe(self) -> str:
         value = self.value
         if isinstance(value, float):
-            if value == int(value):
+            # is_integer (not int(value) equality): NaN and ±inf render
+            # via the general format instead of raising.
+            if value.is_integer():
                 value = int(value)
             else:
                 value = f"{value:.6g}"

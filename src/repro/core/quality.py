@@ -200,11 +200,14 @@ class QualityEvaluator:
     def kernel(self) -> MiningKernel | None:
         """The (lazily built) columnar kernel, or None when disabled.
 
-        When an ``encoding_source`` evaluator over the same APT already
-        built its kernel (e.g. the exact evaluator feeding feature
-        selection while this one is the λF1-samp sample), the encoding
-        dictionaries are shared and its code arrays sliced instead of
-        re-running the per-row encoding pass.
+        With an ``encoding_source`` evaluator over the same APT (e.g.
+        the exact evaluator while this one is the λF1-samp sample), the
+        encoding dictionaries are shared and its code arrays sliced
+        instead of re-running the per-row encoding pass.  The source's
+        kernel is built on demand if needed — previously the sampled
+        evaluator silently re-encoded whenever nothing had touched the
+        source kernel yet (the ``use_feature_selection=False`` arm), so
+        the two arms now reuse codes identically.
         """
         if not self._use_kernel:
             return None
@@ -214,13 +217,15 @@ class QualityEvaluator:
                 source is not None
                 and source is not self
                 and source.apt is self.apt
-                and source._kernel is not None
+                and source._use_kernel
                 and len(source._keep) == len(self._keep)
             ):
                 selector = self._keep[source._keep]
                 if int(selector.sum()) == self.sampled_rows:
+                    source_kernel = source.kernel  # built on demand
+                    assert source_kernel is not None
                     self._kernel = MiningKernel.derived(
-                        source._kernel,
+                        source_kernel,
                         selector,
                         self._row_slot,
                         self._m1,

@@ -50,6 +50,14 @@ KERNEL_MASK_EVICTIONS = "Kernel mask evictions"
 KERNEL_INCREMENTAL_EVALS = "Kernel incremental evals"
 KERNEL_FULL_EVALS = "Kernel full evals"
 
+# Canonical counter labels (§3.2 LCA candidate generation).  "Pairs
+# examined" counts sampled row pairs entering the agreement computation;
+# "patterns built" counts Pattern object constructions — with the
+# code-based LCA that is only the deduplicated survivors, with the
+# object-based reference it is every agreeing pair and singleton row.
+LCA_PAIRS_EXAMINED = "LCA pairs examined"
+LCA_PATTERNS_BUILT = "LCA patterns built"
+
 ALL_COUNTERS = (
     APT_CACHE_HITS,
     APT_CACHE_MISSES,
@@ -60,6 +68,8 @@ ALL_COUNTERS = (
     KERNEL_MASK_EVICTIONS,
     KERNEL_INCREMENTAL_EVALS,
     KERNEL_FULL_EVALS,
+    LCA_PAIRS_EXAMINED,
+    LCA_PATTERNS_BUILT,
 )
 
 

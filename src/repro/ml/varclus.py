@@ -80,16 +80,28 @@ def correlation_matrix(matrix: np.ndarray) -> np.ndarray:
     return corr
 
 
-def cramers_v(a: np.ndarray, b: np.ndarray) -> float:
+def cramers_v(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_codes: np.ndarray | None = None,
+    b_codes: np.ndarray | None = None,
+) -> float:
     """Cramér's V association between two label-encoded columns.
 
     Label-encoded Pearson correlation cannot detect redundancy between,
     say, an id column and the name column it determines (the codes are a
     permutation); Cramér's V — a chi-squared-based measure on the
     contingency table — does.  Returns a value in [0, 1].
+
+    ``a_codes``/``b_codes`` may supply a precomputed first-occurrence
+    label encoding of the column (e.g. from
+    :meth:`repro.core.kernel.MiningKernel.ml_codes`, which produces
+    exactly what :func:`_codes` computes for object columns), skipping
+    the per-row re-encoding pass.  Cramér's V only reads the contingency
+    table, so any bijective relabeling yields the same value.
     """
-    a_codes, a_levels = _codes(a)
-    b_codes, b_levels = _codes(b)
+    a_codes, a_levels = _resolve_codes(a, a_codes)
+    b_codes, b_levels = _resolve_codes(b, b_codes)
     if a_levels < 2 or b_levels < 2:
         return 0.0
     n = len(a_codes)
@@ -106,6 +118,21 @@ def cramers_v(a: np.ndarray, b: np.ndarray) -> float:
     if denominator <= 0:
         return 0.0
     return float(np.sqrt(min(1.0, chi2 / denominator)))
+
+
+def _resolve_codes(
+    values: np.ndarray, precomputed: np.ndarray | None
+) -> tuple[np.ndarray, int]:
+    """``(codes, levels)`` from a precomputed encoding or from scratch.
+
+    Precomputed first-occurrence codes are contiguous ``0..K-1``, so the
+    level count is ``max + 1``.
+    """
+    if precomputed is None:
+        return _codes(values)
+    codes = precomputed.astype(np.int64, copy=False)
+    levels = int(codes.max()) + 1 if len(codes) else 0
+    return codes, levels
 
 
 def _codes(values: np.ndarray, max_bins: int = 12) -> tuple[np.ndarray, int]:
@@ -132,9 +159,18 @@ def _codes(values: np.ndarray, max_bins: int = 12) -> tuple[np.ndarray, int]:
     return codes, max_bins
 
 
-def association_matrix(columns: dict[str, np.ndarray]) -> np.ndarray:
+def association_matrix(
+    columns: dict[str, np.ndarray],
+    codes: dict[str, np.ndarray] | None = None,
+) -> np.ndarray:
     """Pairwise association: |Pearson| for numeric pairs, Cramér's V when
-    a categorical column is involved."""
+    a categorical column is involved.
+
+    ``codes`` may supply precomputed first-occurrence label encodings per
+    column name (object columns only; numeric columns are quantile-binned
+    here regardless), feeding :func:`cramers_v` without re-encoding.
+    """
+    codes = codes or {}
     names = list(columns)
     n = len(names)
     numeric_names = [m for m in names if columns[m].dtype != object]
@@ -154,7 +190,12 @@ def association_matrix(columns: dict[str, np.ndarray]) -> np.ndarray:
             if columns[a].dtype != object and columns[b].dtype != object:
                 value = pearson[i, j]
             else:
-                value = cramers_v(columns[a], columns[b])
+                value = cramers_v(
+                    columns[a],
+                    columns[b],
+                    a_codes=codes.get(a),
+                    b_codes=codes.get(b),
+                )
             out[i, j] = out[j, i] = value
     return out
 
@@ -171,6 +212,7 @@ def cluster_attributes(
     columns: dict[str, np.ndarray],
     threshold: float = 0.9,
     same_type_only: bool = False,
+    codes: dict[str, np.ndarray] | None = None,
 ) -> list[AttributeCluster]:
     """Cluster attributes whose association exceeds ``threshold``.
 
@@ -184,11 +226,14 @@ def cluster_attributes(
     feature selection uses this: merging a numeric attribute into a
     categorical representative would silently remove it from the numeric
     refinement phase.
+
+    ``codes`` passes precomputed label encodings straight through to
+    :func:`association_matrix` (identical clusters, no re-encoding).
     """
     names = list(columns)
     if not names:
         return []
-    corr = association_matrix(columns)
+    corr = association_matrix(columns, codes=codes)
     n = len(names)
     is_text = [columns[name].dtype == object for name in names]
 

@@ -242,6 +242,29 @@ class TestKernelMatchesReference:
                 derived.coverage_counts_reference(pattern)
             )
 
+    def test_source_kernel_built_on_demand(self):
+        """A sampled evaluator must derive from its encoding source even
+        when nothing has built the source's kernel yet (the
+        ``use_feature_selection=False`` arm used to re-encode here)."""
+        rows = [(i, ("red", "blue", None)[i % 3], i, i % 2)
+                for i in range(12)]
+        apt = build_apt(rows)
+        ids1, ids2 = split_ids(rows, 1)
+        full = QualityEvaluator(apt, ids1, ids2)
+        assert full._kernel is None  # source not built yet
+        sampled = QualityEvaluator(
+            apt, ids1, ids2, sample_rate=0.5,
+            rng=np.random.default_rng(2), encoding_source=full,
+        )
+        kernel = sampled.kernel
+        assert kernel is not None and kernel._derived
+        assert full._kernel is not None  # built on demand
+        assert kernel._dicts["cat"] == full._kernel._dicts["cat"]
+        pattern = Pattern([PatternPredicate("cat", OP_EQ, "red")])
+        assert sampled.coverage_counts(pattern) == (
+            sampled.coverage_counts_reference(pattern)
+        )
+
     @given(rows=rows_strategy,
            sides_seed=st.integers(min_value=0, max_value=7))
     @settings(max_examples=40, deadline=None)
@@ -374,6 +397,27 @@ class TestKernelDirect:
         )
         assert derived.counting_codes("cat") is not None
 
+    def test_code_matrix_views(self):
+        arr = np.array(["b", None, "a", np.nan, "b"], dtype=object)
+        num = np.arange(5, dtype=np.float64)
+        kernel = MiningKernel(
+            {"cat": arr, "num": num}, np.arange(5), m1=3, m2=2
+        )
+        match = kernel.code_matrix(["cat"], kind="match")
+        assert match.dtype == np.int32
+        # None and NaN are both -1 in the match view ...
+        assert match[:, 0].tolist() == [0, -1, 2, -1, 0]
+        # ... but only None is -1 in the counting (singleton) view.
+        counting = kernel.code_matrix(["cat"], kind="counting")
+        assert counting[:, 0].tolist() == [0, -1, 2, 3, 0]
+        # numeric columns have no dictionary codes -> whole view is None
+        assert kernel.code_matrix(["cat", "num"]) is None
+        # decode round-trips to the original first-occurrence objects
+        values = kernel.code_values("cat")
+        assert values[0] == "b" and values[2] == "a"
+        assert values[3] is arr[3]  # the NaN object itself
+        assert kernel.code_values("num") is None
+
     def test_counters_exposed(self):
         columns = {"cat": np.array(["x", "y"], dtype=object)}
         kernel = MiningKernel(columns, np.arange(2), m1=1, m2=1)
@@ -421,6 +465,27 @@ class TestMineAptKernelEquivalence:
         off = _mine(apt, resolved, use_kernel=False)
         assert _fingerprint(on) == _fingerprint(off)
         assert on.candidates_examined == off.candidates_examined
+
+    def test_code_lca_on_off_identical(self, mined_setup):
+        """The code-based LCA is an execution strategy: candidate set,
+        examined count and ranked patterns match the object-based path."""
+        apt, resolved = mined_setup
+        coded = _mine(apt, resolved, use_code_lca=True)
+        objected = _mine(apt, resolved, use_code_lca=False)
+        assert _fingerprint(coded) == _fingerprint(objected)
+        assert coded.candidates_examined == objected.candidates_examined
+
+    def test_code_lca_identical_with_sampling(self, mined_setup):
+        apt, resolved = mined_setup
+        coded = _mine(
+            apt, resolved, use_code_lca=True,
+            f1_sample_rate=0.6, lca_sample_rate=0.5,
+        )
+        objected = _mine(
+            apt, resolved, use_code_lca=False,
+            f1_sample_rate=0.6, lca_sample_rate=0.5,
+        )
+        assert _fingerprint(coded) == _fingerprint(objected)
 
     def test_kernel_on_off_identical_with_sampling(self, mined_setup):
         apt, resolved = mined_setup

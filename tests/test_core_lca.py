@@ -1,10 +1,30 @@
-"""Unit tests for LCA candidate generation (§3.2)."""
+"""Unit tests for LCA candidate generation (§3.2).
+
+Covers the object-based reference path, the code-based path on kernel
+dictionary codes, and their equivalence: same deduplicated pattern set
+(hypothesis property, incl. NULL/NaN columns, the sampled-pair cap path
+and singleton rows) from the same rng trajectory.
+"""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import CajadeConfig, Pattern, lca_candidates, pick_top_candidates
+from repro.core import (
+    CajadeConfig,
+    MiningKernel,
+    Pattern,
+    lca_candidates,
+    lca_candidates_codes,
+    pick_top_candidates,
+)
 from repro.core.pattern import OP_EQ
+from repro.core.timing import (
+    LCA_PAIRS_EXAMINED,
+    LCA_PATTERNS_BUILT,
+    StepTimer,
+)
 
 
 @pytest.fixture()
@@ -75,6 +95,149 @@ class TestLcaCandidates:
             columns, ["player", "home"], config(), np.random.default_rng(3)
         )
         assert r1 == r2
+
+
+def kernel_for(columns: dict) -> MiningKernel:
+    """A kernel over row-aligned columns; slot layout is irrelevant to
+    candidate generation."""
+    n = len(next(iter(columns.values()))) if columns else 0
+    return MiningKernel(columns, np.arange(n), m1=n, m2=0, cache_mb=1.0)
+
+
+def both_paths(columns, attrs, cfg, seed=9):
+    """(reference, code-based) candidate lists from identical rng state."""
+    reference = lca_candidates(
+        columns, attrs, cfg, np.random.default_rng(seed)
+    )
+    coded = lca_candidates_codes(
+        kernel_for(columns), attrs, cfg, np.random.default_rng(seed)
+    )
+    return reference, coded
+
+
+# Two identity-distinct NaN objects: under pattern-match semantics each
+# is its own dictionary entry (NaN != NaN), exactly like the object path.
+NAN_A = float("nan")
+NAN_B = float("nan")
+CELLS = ("x", "y", "z", None, NAN_A, NAN_B)
+
+columns_strategy = st.integers(min_value=1, max_value=3).flatmap(
+    lambda n_attrs: st.lists(
+        st.tuples(*[st.sampled_from(CELLS)] * n_attrs),
+        min_size=1,
+        max_size=40,
+    )
+)
+
+
+def columns_from(rows: list[tuple]) -> dict:
+    n_attrs = len(rows[0])
+    return {
+        f"a{k}": np.array([r[k] for r in rows], dtype=object)
+        for k in range(n_attrs)
+    }
+
+
+class TestCodeLcaEquivalence:
+    def test_fixture_identical(self, columns):
+        reference, coded = both_paths(
+            columns, ["player", "home"], config()
+        )
+        assert reference == coded
+
+    @given(rows=columns_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_property_full_pairs(self, rows):
+        cols = columns_from(rows)
+        reference, coded = both_paths(cols, sorted(cols), config())
+        assert len(reference) == len(coded)
+        assert set(reference) == set(coded)
+
+    @given(rows=columns_strategy, seed=st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sampled_pair_cap(self, rows, seed):
+        """The rng-driven pair sample path: both paths must draw the
+        same pairs from the same generator state."""
+        cfg = config(lca_sample_rate=0.7, lca_pair_cap=5)
+        cols = columns_from(rows)
+        reference, coded = both_paths(cols, sorted(cols), cfg, seed=seed)
+        assert len(reference) == len(coded)
+        assert set(reference) == set(coded)
+
+    def test_singleton_row(self):
+        cols = {
+            "a": np.array(["only"], dtype=object),
+            "b": np.array([None], dtype=object),
+        }
+        reference, coded = both_paths(cols, ["a", "b"], config())
+        assert reference == coded
+        assert {p.describe() for p in coded} == {"a=only"}
+
+    def test_nan_cells_match_object_semantics(self):
+        """NaN is a legal singleton constant (``is not None``) but never
+        agrees pairwise (NaN != NaN) — both paths replicate that."""
+        cols = {"a": np.array([NAN_A, NAN_A, "v", "v"], dtype=object)}
+        reference, coded = both_paths(cols, ["a"], config())
+        assert len(reference) == len(coded) == 2
+        assert set(reference) == set(coded)
+        describes = sorted(p.describe() for p in coded)
+        assert describes == ["a=nan", "a=v"]
+
+    def test_sample_cap_rng_trajectory(self):
+        """Row sampling consumes the rng identically in both paths."""
+        n = 200
+        values = np.array(
+            [f"v{i % 7}" for i in range(n)], dtype=object
+        )
+        cols = {"a": values}
+        cfg = config(lca_sample_rate=1.0, lca_sample_cap=20)
+        r1, r2 = np.random.default_rng(4), np.random.default_rng(4)
+        reference = lca_candidates(cols, ["a"], cfg, r1)
+        coded = lca_candidates_codes(kernel_for(cols), ["a"], cfg, r2)
+        assert reference == coded
+        # identical post-call generator state
+        assert r1.integers(0, 10**9) == r2.integers(0, 10**9)
+
+    def test_numeric_attrs_ignored(self, columns, rng):
+        coded = lca_candidates_codes(
+            kernel_for(columns), ["player", "home", "pts"], config(), rng
+        )
+        assert all("pts" not in p.attributes for p in coded)
+
+    def test_counters_recorded(self, columns):
+        timer = StepTimer()
+        coded = lca_candidates_codes(
+            kernel_for(columns),
+            ["player", "home"],
+            config(),
+            np.random.default_rng(0),
+            timer=timer,
+        )
+        assert timer.counter(LCA_PAIRS_EXAMINED) == 10 * 9 // 2
+        # code path constructs Patterns only for deduplicated survivors
+        assert timer.counter(LCA_PATTERNS_BUILT) == len(coded)
+        ref_timer = StepTimer()
+        lca_candidates(
+            columns,
+            ["player", "home"],
+            config(),
+            np.random.default_rng(0),
+            timer=ref_timer,
+        )
+        assert ref_timer.counter(LCA_PAIRS_EXAMINED) == 10 * 9 // 2
+        assert ref_timer.counter(LCA_PATTERNS_BUILT) >= len(coded)
+
+
+class TestCodeLcaConfig:
+    def test_cli_flag(self):
+        from repro.cli import _config_from, build_parser
+
+        args = build_parser().parse_args(
+            ["workload", "Qnba1", "--no-code-lca"]
+        )
+        assert _config_from(args).use_code_lca is False
+        args = build_parser().parse_args(["workload", "Qnba1"])
+        assert _config_from(args).use_code_lca is True
 
 
 class TestPickTopCandidates:

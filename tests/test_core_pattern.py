@@ -53,6 +53,16 @@ class TestPredicate:
         pred = PatternPredicate("pts", OP_GE, 23.000000001)
         assert pred.describe() == "pts>=23"
 
+    def test_describe_handles_nan_and_inf(self):
+        """NaN constants surface through LCA singletons on object
+        columns; describe must render them instead of raising."""
+        assert (
+            PatternPredicate("a", OP_EQ, float("nan")).describe() == "a=nan"
+        )
+        assert (
+            PatternPredicate("a", OP_GE, float("inf")).describe() == "a>=inf"
+        )
+
 
 class TestPattern:
     def test_empty_pattern_matches_all(self, columns):

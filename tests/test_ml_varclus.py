@@ -107,3 +107,66 @@ class TestClustering:
         cols = {"player_id": ids.astype(float), "player_name": names}
         clusters = cluster_attributes(cols, threshold=0.9)
         assert len(clusters) == 1
+
+
+class TestKernelCodeReuse:
+    """Kernel-supplied first-occurrence codes must yield the same
+    Cramér's V values and the same clusters as from-scratch encoding."""
+
+    def make_columns(self, rng, with_nulls=True):
+        cats = ["red", "green", "blue"]
+        if with_nulls:
+            cats.append(None)
+        a = np.array(
+            [cats[i] for i in rng.integers(0, len(cats), size=300)],
+            dtype=object,
+        )
+        # b is determined by a (an alias), c is independent
+        b = np.array(
+            [None if v is None else f"code-{v}" for v in a], dtype=object
+        )
+        c = np.array(
+            [f"t{i}" for i in rng.integers(0, 4, size=300)], dtype=object
+        )
+        return {"a": a, "b": b, "c": c, "n": rng.normal(size=300)}
+
+    def kernel_codes(self, cols):
+        from repro.core.kernel import MiningKernel
+
+        n = len(next(iter(cols.values())))
+        kernel = MiningKernel(cols, np.arange(n), m1=n, m2=0)
+        return {
+            name: codes
+            for name in cols
+            if (codes := kernel.ml_codes(name)) is not None
+        }
+
+    def test_cramers_v_identical(self, rng):
+        from repro.ml import cramers_v
+
+        cols = self.make_columns(rng)
+        codes = self.kernel_codes(cols)
+        for x, y in (("a", "b"), ("a", "c"), ("b", "c")):
+            assert cramers_v(cols[x], cols[y]) == cramers_v(
+                cols[x], cols[y], a_codes=codes[x], b_codes=codes[y]
+            )
+
+    def test_clusters_identical(self, rng):
+        cols = self.make_columns(rng)
+        codes = self.kernel_codes(cols)
+        without = cluster_attributes(cols, threshold=0.9, same_type_only=True)
+        with_codes = cluster_attributes(
+            cols, threshold=0.9, same_type_only=True, codes=codes
+        )
+        assert without == with_codes
+        grouped = {frozenset(c.members) for c in with_codes}
+        assert frozenset({"a", "b"}) in grouped
+
+    def test_association_matrix_identical(self, rng):
+        from repro.ml import association_matrix
+
+        cols = self.make_columns(rng, with_nulls=False)
+        codes = self.kernel_codes(cols)
+        np.testing.assert_array_equal(
+            association_matrix(cols), association_matrix(cols, codes=codes)
+        )

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo docs (stdlib only).
+
+Checks every ``[text](target)`` link and ``<http(s)://...>`` autolink
+in the given markdown files:
+
+- relative targets must resolve to an existing file or directory
+  (anchors are stripped; an anchor into another file is checked against
+  that file's headings, with GitHub's ``-1``/``-2`` duplicate-heading
+  suffixes);
+- same-file ``#anchor`` targets must match a heading slug;
+- ``http(s)`` targets are validated syntactically only (CI must not
+  depend on third-party uptime).
+
+Exit code 0 when every link resolves, 1 otherwise (each failure is
+printed as ``file:line: message``).
+
+Usage:
+    python tools/check_links.py README.md ROADMAP.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from functools import lru_cache
+from pathlib import Path
+from urllib.parse import urlparse
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)|<(https?://[^>\s]+)>")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_slug(text: str) -> str:
+    """GitHub-style anchor slug of a heading line."""
+    text = re.sub(r"[`*_]", "", text.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@lru_cache(maxsize=None)
+def heading_slugs(path: Path) -> frozenset[str]:
+    """All anchor slugs of a file, with GitHub's ``-N`` suffixes for
+    duplicate headings (the second ``## Example`` is ``#example-1``)."""
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = heading_slug(match.group(1))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return frozenset(slugs)
+
+
+def check_file(path: Path) -> list[str]:
+    failures: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1) or match.group(2)
+            problem = check_target(path, target)
+            if problem:
+                failures.append(f"{path}:{lineno}: {problem}")
+    return failures
+
+
+def check_target(source: Path, target: str) -> str | None:
+    parsed = urlparse(target)
+    if parsed.scheme in ("http", "https"):
+        if not parsed.netloc:
+            return f"malformed URL {target!r}"
+        return None
+    if parsed.scheme:  # mailto:, etc. — out of scope
+        return None
+    base, _, anchor = target.partition("#")
+    if not base:  # same-file anchor
+        if anchor and heading_slug(anchor) not in heading_slugs(source):
+            return f"anchor #{anchor} not found in {source.name}"
+        return None
+    resolved = (source.parent / base).resolve()
+    if not resolved.exists():
+        return f"broken relative link {target!r} -> {resolved}"
+    if anchor and resolved.is_file() and resolved.suffix == ".md":
+        if heading_slug(anchor) not in heading_slugs(resolved):
+            return f"anchor #{anchor} not found in {base}"
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]")
+        return 2
+    failures: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        checked += 1
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(failure)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
