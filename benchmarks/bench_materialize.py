@@ -1,0 +1,252 @@
+"""Benchmark: late-materialized storage engine, on vs off.
+
+Runs the Qnba scaling workload of the paper's Figure 9 (the user-study
+query UQ1 over a generated NBA instance) end to end and compares the
+*Materialize APTs* StepTimer box between storage-engine modes:
+
+- *late-off*: the eager pipeline — every join step zips full column
+  copies, the shared-prefix trie caches complete intermediate
+  relations;
+- *late-on*: index-vector joins — a join produces per-base-table
+  row-index arrays, the trie caches compact
+  :class:`~repro.db.frame.IndexFrame` entries, APT columns gather on
+  demand at the mining edge, and the mining kernel gathers load-time
+  dictionary codes instead of re-encoding objects per APT;
+- *late-on workers=N*: the same, mined with a worker pool.
+
+Every mode's ranked explanations must be byte-identical (late
+materialization changes where bytes come from, never what they are);
+the run fails otherwise.  The full run additionally asserts a >= 2x
+median speedup on *Materialize APTs* (late-on vs late-off) and that the
+trie's median entry size shrinks at the unchanged ``apt_cache_mb``
+budget; ``--smoke`` keeps the identity checks (and enables
+``kernel_verify`` cross-checking of the gathered-code kernel) but skips
+the speedup assertion.  Machine-readable medians go to
+``benchmarks/results/BENCH_materialize.json`` (the smoke payload
+carries ``"smoke": true`` — the committed copy of the file must come
+from a full run; regenerate it with no flags before committing it).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_materialize.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import CajadeSession
+from repro.core.config import CajadeConfig
+from repro.core.timing import MATERIALIZE_APTS, StepTimer
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent / "results" / "BENCH_materialize.json"
+)
+
+
+def ranked_payload(result) -> str:
+    """Everything the user sees, minus cache counters (which legitimately
+    differ between execution strategies)."""
+    payload = json.loads(result.to_json())
+    payload.pop("apt_cache", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_mode(db, schema_graph, workload, config, repeats):
+    """Fresh-session runs of one mode.
+
+    Returns per-repeat *Materialize APTs* seconds (each repeat is a cold
+    session, so the box includes provenance computation and the full
+    first materialization of every enumerated join graph), totals, the
+    ranked payload, and the last session's trie gauges.
+    """
+    mat_seconds = []
+    totals = []
+    payload = None
+    cache = {}
+    for _ in range(repeats):
+        timer = StepTimer()
+        session = CajadeSession(db, schema_graph, config)
+        start = time.perf_counter()
+        result = session.explain(workload.sql, workload.question, timer=timer)
+        totals.append(time.perf_counter() - start)
+        mat_seconds.append(timer.seconds(MATERIALIZE_APTS))
+        payload = ranked_payload(result)
+        stats = session.engine_stats(workload.sql)
+        assert stats is not None and stats.cache is not None
+        cache = {
+            "entries": stats.cache.entries,
+            "median_entry_bytes": stats.cache.median_entry_bytes,
+            "current_bytes": stats.cache.current_bytes,
+            "evictions": stats.cache.evictions,
+            "hit_rate": round(stats.cache.hit_rate, 4),
+            "steps_reused": stats.steps_reused,
+            "steps_computed": stats.steps_computed,
+        }
+    return mat_seconds, totals, payload, cache
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.datasets import load_nba, user_study_query
+
+    print(f"loading NBA (scale={args.scale}) ...", flush=True)
+    db, schema_graph = load_nba(scale=args.scale, seed=5)
+    workload = user_study_query()
+    base = CajadeConfig(
+        max_join_edges=args.edges,
+        num_selected_attrs=3,
+        top_k=10,
+        seed=2,
+        apt_cache_mb=args.apt_cache_mb,
+    )
+    modes = {
+        "late-off": base.with_overrides(late_materialization=False),
+        "late-on": base.with_overrides(kernel_verify=args.smoke),
+        f"late-on workers={args.workers}": base.with_overrides(
+            workers=args.workers
+        ),
+    }
+    print(
+        f"{workload.name}: Fig-9 scaling workload, λ#edges={args.edges}, "
+        f"apt_cache_mb={args.apt_cache_mb:g}, "
+        f"{args.repeats} repeat(s) per mode"
+    )
+
+    results = {}
+    for label, config in modes.items():
+        mats, totals, payload, cache = run_mode(
+            db, schema_graph, workload, config, args.repeats
+        )
+        results[label] = (mats, totals, payload, cache)
+        shown = " ".join(f"{s:.2f}" for s in mats)
+        print(
+            f"{label:>22s}: Materialize APTs {shown}s "
+            f"(median {statistics.median(mats):.2f}s, "
+            f"total median {statistics.median(totals):.2f}s)"
+        )
+        print(f"{'':>22s}  trie {cache}")
+
+    off_mats, off_totals, off_payload, off_cache = results["late-off"]
+    on_mats, on_totals, on_payload, on_cache = results["late-on"]
+    median_off = statistics.median(off_mats)
+    median_on = statistics.median(on_mats)
+    speedup = median_off / median_on if median_on > 0 else float("inf")
+    print(
+        f"Materialize APTs: {median_off:.2f}s -> {median_on:.2f}s "
+        f"= {speedup:.2f}x"
+    )
+    entry_shrink = (
+        off_cache["median_entry_bytes"] / on_cache["median_entry_bytes"]
+        if on_cache["median_entry_bytes"]
+        else float("inf")
+    )
+    print(
+        f"trie median entry: {off_cache['median_entry_bytes']} B -> "
+        f"{on_cache['median_entry_bytes']} B = {entry_shrink:.2f}x smaller"
+    )
+
+    byte_identical = all(
+        payload == off_payload for _, _, payload, _ in results.values()
+    )
+    report = {
+        "benchmark": "bench_materialize",
+        "workload": f"{workload.name} (Fig-9 NBA scaling workload)",
+        "scale": args.scale,
+        "max_join_edges": args.edges,
+        "repeats": args.repeats,
+        "workers": args.workers,
+        "apt_cache_mb": args.apt_cache_mb,
+        "smoke": args.smoke,
+        "step_measured": MATERIALIZE_APTS,
+        "median_materialize_seconds_late_off": round(median_off, 4),
+        "median_materialize_seconds_late_on": round(median_on, 4),
+        "median_total_seconds_late_off": round(
+            statistics.median(off_totals), 4
+        ),
+        "median_total_seconds_late_on": round(
+            statistics.median(on_totals), 4
+        ),
+        "speedup": round(speedup, 2),
+        "trie_late_off": off_cache,
+        "trie_late_on": on_cache,
+        "median_entry_shrink": round(entry_shrink, 2),
+        "byte_identical": byte_identical,
+    }
+    target = RESULTS_PATH
+    if args.smoke and RESULTS_PATH.exists():
+        try:
+            committed = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            committed = {}
+        if committed.get("smoke") is False:
+            # Never clobber the committed full-run medians with smoke
+            # numbers; smoke output goes to a sibling (gitignored) file.
+            target = RESULTS_PATH.with_name("BENCH_materialize_smoke.json")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {target}")
+
+    if not byte_identical:
+        for label, (_, _, payload, _) in results.items():
+            if payload != off_payload:
+                print(f"FAIL: {label} explanations differ from late-off")
+        return 1
+    print(
+        "ranked explanations byte-identical across late-materialization "
+        f"on/off, serial and workers={args.workers}"
+    )
+    if (
+        on_cache["entries"]
+        and off_cache["median_entry_bytes"]
+        <= on_cache["median_entry_bytes"]
+    ):
+        print(
+            "FAIL: index-vector trie entries are not smaller than eager "
+            f"entries ({on_cache['median_entry_bytes']} vs "
+            f"{off_cache['median_entry_bytes']} B)"
+        )
+        return 1
+
+    if not args.smoke and speedup < 2.0:
+        print(f"FAIL: Materialize APTs speedup {speedup:.2f}x < 2x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: small workload, kernel_verify on for the "
+             "late-on run, no speedup assertion (byte-identity and "
+             "entry-shrink still enforced)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="NBA dataset scale (default 0.25, the "
+                             "Fig-9 top point; smoke 0.04)")
+    parser.add_argument("--edges", type=int, default=2,
+                        help="λ#edges for all runs (default 2)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per mode (default 3; smoke 1)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--apt-cache-mb", type=float, default=256.0,
+                        help="trie budget for all modes (default 256; "
+                             "the entry-shrink assertion compares modes "
+                             "at this unchanged budget)")
+    args = parser.parse_args(argv)
+    if args.scale is None:
+        args.scale = 0.04 if args.smoke else 0.25
+    if args.repeats is None:
+        args.repeats = 1 if args.smoke else 3
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

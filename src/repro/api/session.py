@@ -62,8 +62,10 @@ from ..core.question import (
 )
 from ..core.schema_graph import SchemaGraph
 from ..core.timing import (
+    APT_CACHE_ENTRIES,
     APT_CACHE_EVICTIONS,
     APT_CACHE_HITS,
+    APT_CACHE_MEDIAN_ENTRY_BYTES,
     APT_CACHE_MISSES,
     JG_ENUMERATION,
     JOIN_MEMO_HITS,
@@ -85,9 +87,10 @@ from .types import ExplanationRequest, ExplanationResponse, query_fingerprint
 
 # Config fields that provably do not change mining output: ``workers``
 # preserves results exactly (per-graph generators), the engine-level
-# cache knobs only move bytes around, and the scoring-kernel knobs are
-# byte-identical by construction (asserted by tests).  Everything else
-# keys the session's per-graph mining memo.
+# cache knobs only move bytes around, and the scoring-kernel /
+# late-materialization knobs are byte-identical by construction
+# (asserted by tests).  Everything else keys the session's per-graph
+# mining memo.
 _MINING_NEUTRAL_FIELDS = frozenset(
     {
         "workers",
@@ -97,6 +100,7 @@ _MINING_NEUTRAL_FIELDS = frozenset(
         "kernel_cache_mb",
         "kernel_verify",
         "use_code_lca",
+        "late_materialization",
     }
 )
 
@@ -235,12 +239,17 @@ class CajadeSession:
         query = sql if isinstance(sql, Query) else parse_sql(sql)
         timer = timer or StepTimer()
         with timer.step(MATERIALIZE_APTS):
-            pt = ProvenanceTable.compute(query, self.db)
+            pt = ProvenanceTable.compute(
+                query,
+                self.db,
+                late_materialization=self.config.late_materialization,
+            )
         engine = MaterializationEngine(
             pt,
             self.db,
             cache_mb=self.config.apt_cache_mb,
             join_memo_entries=self.config.join_memo_entries,
+            late_materialization=self.config.late_materialization,
         )
         state = _QueryState(fingerprint, query, pt, engine)
         self._queries[fingerprint] = state
@@ -481,6 +490,14 @@ class CajadeSession:
         timer.count(APT_CACHE_MISSES, engine_delta.steps_computed)
         if engine_delta.cache is not None:
             timer.count(APT_CACHE_EVICTIONS, engine_delta.cache.evictions)
+            # End-of-request gauges over the trie's live population —
+            # snapshots, not increments, so a timer shared across a
+            # batch reports the latest state instead of a sum.
+            timer.set_gauge(APT_CACHE_ENTRIES, engine_delta.cache.entries)
+            timer.set_gauge(
+                APT_CACHE_MEDIAN_ENTRY_BYTES,
+                engine_delta.cache.median_entry_bytes,
+            )
         if config.join_memo_entries > 0:
             timer.count(JOIN_MEMO_HITS, engine_delta.join_memo_hits)
 

@@ -96,6 +96,11 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                              "based reference path instead of the "
                              "kernel's dictionary codes (identical "
                              "results, slower)")
+    parser.add_argument("--no-late-mat", action="store_true",
+                        help="run joins and APT materialization on the "
+                             "eager column-copying pipeline instead of "
+                             "index vectors with gather-on-demand "
+                             "columns (identical results, slower)")
     parser.add_argument("--sentences", action="store_true",
                         help="also print natural-language renderings")
 
@@ -113,6 +118,7 @@ def _config_from(args: argparse.Namespace) -> CajadeConfig:
             kernel_cache_mb=args.kernel_cache_mb,
             use_kernel=not args.no_kernel,
             use_code_lca=not args.no_code_lca,
+            late_materialization=not args.no_late_mat,
         )
     except ValueError as exc:
         raise SystemExit(f"repro: invalid configuration: {exc}")

@@ -31,8 +31,9 @@ import numpy as np
 from ..db.database import Database
 from ..db.errors import ExecutionError
 from ..db.executor import JoinCache, hash_join
+from ..db.frame import IndexFrame
 from ..db.provenance import PT_ROW_ID, ProvenanceTable
-from ..db.relation import Relation
+from ..db.relation import ColumnEncoding, Relation
 from ..db.types import ColumnType
 from .join_graph import JoinGraph
 
@@ -54,28 +55,109 @@ class APTAttribute:
         return self.name
 
 
-@dataclass
 class AugmentedProvenanceTable:
-    """A materialized APT plus attribute metadata for pattern mining."""
+    """A materialized APT plus attribute metadata for pattern mining.
 
-    join_graph: JoinGraph
-    relation: Relation
-    attributes: list[APTAttribute]
-    excluded_attributes: list[str]
+    An APT is backed either by an eager :class:`Relation` (the classic
+    path) or by a late-materialized :class:`~repro.db.frame.IndexFrame`
+    of per-base-table row-index vectors.  Frame-backed APTs gather
+    column values only when a consumer asks for them: the mining kernel
+    gathers int32 dictionary codes instead of object values, numeric
+    columns gather as cheap float slices, and the full :attr:`relation`
+    is materialized lazily (byte-identical to the eager result) only if
+    something still needs the whole table.
+    """
+
+    def __init__(
+        self,
+        join_graph: JoinGraph,
+        relation: Relation | None = None,
+        attributes: list[APTAttribute] | None = None,
+        excluded_attributes: list[str] | None = None,
+        frame: IndexFrame | None = None,
+    ):
+        if relation is None and frame is None:
+            raise ValueError("an APT needs a relation or an index frame")
+        self.join_graph = join_graph
+        self._relation = relation
+        self._frame = frame
+        self.attributes = list(attributes or [])
+        self.excluded_attributes = list(excluded_attributes or [])
+        self._pt_ids: np.ndarray | None = None
+
+    @property
+    def frame(self) -> IndexFrame | None:
+        """The backing index frame, or ``None`` for eager APTs."""
+        return self._frame
+
+    @property
+    def is_late(self) -> bool:
+        return self._frame is not None and self._relation is None
+
+    @property
+    def relation(self) -> Relation:
+        """The fully-gathered APT relation (materialized on demand)."""
+        if self._relation is None:
+            assert self._frame is not None
+            self._relation = self._frame.to_relation()
+        return self._relation
 
     @property
     def num_rows(self) -> int:
-        return self.relation.num_rows
+        if self._relation is not None:
+            return self._relation.num_rows
+        assert self._frame is not None
+        return self._frame.num_rows
 
     @property
     def pt_row_ids(self) -> np.ndarray:
-        return self.relation.column(PT_ROW_ID)
+        if self._pt_ids is None:
+            if self._relation is not None:
+                self._pt_ids = self._relation.column(PT_ROW_ID)
+            else:
+                assert self._frame is not None
+                self._pt_ids = self._frame.column(PT_ROW_ID)
+        return self._pt_ids
+
+    def column_values(
+        self, name: str, subset: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Gather one column (optionally only ``subset`` row indices).
+
+        Frame-backed APTs compose ``subset`` with the frame's index
+        vectors before touching the source array, so a sampled evaluator
+        never gathers rows it will not score.
+        """
+        if self._relation is not None:
+            arr = self._relation.column(name)
+            return arr if subset is None else arr[subset]
+        assert self._frame is not None
+        return self._frame.gather_column(name, subset)
+
+    def column_dtype(self, name: str) -> np.dtype:
+        """The storage dtype of a column, without gathering any values."""
+        if self._relation is not None:
+            return self._relation.column(name).dtype
+        assert self._frame is not None
+        return self._frame.column_dtype(name)
+
+    def column_encoding(
+        self, name: str, subset: np.ndarray | None = None
+    ) -> tuple[ColumnEncoding, np.ndarray | None] | None:
+        """Base-table dictionary codes behind a frame column, if any.
+
+        ``(encoding, rows)`` lets the mining kernel build its code
+        matrices by gathering ``encoding.codes[rows]`` instead of
+        re-encoding object values per APT.  ``None`` for eager APTs and
+        for columns without a usable table-level encoding.
+        """
+        if self._frame is None:
+            return None
+        return self._frame.column_encoding(name, subset)
 
     def minable_columns(self) -> dict[str, np.ndarray]:
         """Attribute name → column array for every minable attribute."""
-        return {
-            a.name: self.relation.column(a.name) for a in self.attributes
-        }
+        return {a.name: self.column_values(a.name) for a in self.attributes}
 
     def attribute(self, name: str) -> APTAttribute:
         for attr in self.attributes:
@@ -236,40 +318,55 @@ def build_plan(join_graph: JoinGraph, pt: ProvenanceTable) -> MaterializationPla
 
 
 def execute_join_step(
-    current: Relation,
+    current: Relation | IndexFrame,
     step: JoinStep,
     db: Database,
     join_cache: JoinCache | None = None,
     context: Relation | None = None,
-) -> Relation:
+) -> Relation | IndexFrame:
     """Run one plan join step against the running intermediate.
 
     ``context`` may supply a pre-prefixed context relation (the engine
     memoizes these so the memoized hash-join path sees stable
-    fingerprints); otherwise it is derived from the database.
+    fingerprints); otherwise it is derived from the database.  When
+    ``current`` is an :class:`~repro.db.frame.IndexFrame` the join runs
+    on index vectors (same join core, identical row order) and returns a
+    frame.
     """
     if context is None:
         context = db.table(step.table).prefix_columns(f"{step.alias}.")
+    if isinstance(current, IndexFrame):
+        return current.join(context, list(step.conditions))
     return hash_join(current, context, list(step.conditions), cache=join_cache)
 
 
-def apply_filter_step(current: Relation, step: FilterStep) -> Relation:
-    """Apply one cycle-closing equality filter to the intermediate."""
+def _filter_pair_mask(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Equality mask of one cycle-closing column pair (NULLs drop)."""
+    if left.dtype == object or right.dtype == object:
+        return np.array(
+            [
+                l is not None and r is not None and l == r
+                for l, r in zip(left, right)
+            ],
+            dtype=bool,
+        )
+    with np.errstate(invalid="ignore"):
+        return np.asarray(left == right)
+
+
+def apply_filter_step(
+    current: Relation | IndexFrame, step: FilterStep
+) -> Relation | IndexFrame:
+    """Apply one cycle-closing equality filter to the intermediate.
+
+    On index frames only the two compared columns are gathered; the
+    surviving rows compose as index selections.
+    """
     mask = np.ones(current.num_rows, dtype=bool)
     for left_name, right_name in step.pairs:
-        left = current.column(left_name)
-        right = current.column(right_name)
-        if left.dtype == object or right.dtype == object:
-            mask &= np.array(
-                [
-                    l is not None and r is not None and l == r
-                    for l, r in zip(left, right)
-                ],
-                dtype=bool,
-            )
-        else:
-            with np.errstate(invalid="ignore"):
-                mask &= np.asarray(left == right)
+        mask &= _filter_pair_mask(
+            current.column(left_name), current.column(right_name)
+        )
     return current.filter_mask(mask)
 
 
@@ -284,11 +381,29 @@ def restrict_base(
     return base
 
 
+def restrict_base_frame(
+    pt: ProvenanceTable, restrict_row_ids: np.ndarray | None
+) -> IndexFrame:
+    """The PT-side base as an index frame over the *full* PT relation.
+
+    The restriction becomes a row-index vector instead of a filtered
+    copy, so every question shares the one provenance relation (and its
+    lazily-built column encodings) and the frame costs only the index
+    array.  Row order matches :func:`restrict_base` exactly.
+    """
+    frame = IndexFrame.from_relation(pt.relation)
+    if restrict_row_ids is None:
+        return frame
+    wanted = np.isin(pt.relation.column(PT_ROW_ID), restrict_row_ids)
+    return frame.filter_mask(wanted)
+
+
 def materialize_apt(
     join_graph: JoinGraph,
     pt: ProvenanceTable,
     db: Database,
     restrict_row_ids: np.ndarray | None = None,
+    late_materialization: bool = False,
 ) -> AugmentedProvenanceTable:
     """Materialize APT(Q, D, Ω) directly (no cross-graph caching).
 
@@ -298,8 +413,16 @@ def materialize_apt(
     mining pipeline consumes.  :class:`repro.engine.MaterializationEngine`
     produces identical results while sharing intermediate joins across
     graphs; both execute the same :func:`build_plan` output.
+
+    ``late_materialization`` runs the plan on index vectors and returns
+    a gather-on-demand APT; the default stays eager because this
+    function doubles as the byte-identity reference in tests.
     """
-    current = restrict_base(pt, restrict_row_ids)
+    current: Relation | IndexFrame
+    if late_materialization:
+        current = restrict_base_frame(pt, restrict_row_ids)
+    else:
+        current = restrict_base(pt, restrict_row_ids)
     plan = build_plan(join_graph, pt)
     for step in plan.joins:
         current = execute_join_step(current, step, db)
@@ -328,10 +451,14 @@ def _key_columns_of(db: Database, table: str) -> set[str]:
 def _wrap_apt(
     join_graph: JoinGraph,
     pt: ProvenanceTable,
-    relation: Relation,
+    relation: Relation | IndexFrame,
     db: Database,
 ) -> AugmentedProvenanceTable:
     """Attach attribute metadata; exclude non-minable columns.
+
+    ``relation`` may be an eager :class:`Relation` or a late
+    :class:`~repro.db.frame.IndexFrame`; attribute metadata needs only
+    schema information, so wrapping a frame gathers nothing.
 
     Excluded from mining (but kept in the relation):
     - the synthetic ``__pt_row_id`` lineage column;
@@ -379,6 +506,13 @@ def _wrap_apt(
                 is_numeric=ctype.is_numeric,
                 from_provenance=name in pt_cols,
             )
+        )
+    if isinstance(relation, IndexFrame):
+        return AugmentedProvenanceTable(
+            join_graph=join_graph,
+            frame=relation,
+            attributes=attributes,
+            excluded_attributes=excluded,
         )
     return AugmentedProvenanceTable(
         join_graph=join_graph,

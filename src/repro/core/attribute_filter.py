@@ -13,7 +13,9 @@
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -22,6 +24,37 @@ from ..ml.varclus import AttributeCluster, cluster_attributes, encode_columns
 from .apt import AugmentedProvenanceTable
 from .config import CajadeConfig
 from .quality import QualityEvaluator
+
+
+class _NamedView(Mapping):
+    """A name-restricted view over the evaluator's lazy column mapping.
+
+    Forwards item access and the non-gathering ``dtype_of`` probe of
+    :class:`repro.core.quality.LazyColumns`, so varclus/encode_columns
+    only gather the columns they actually read (numeric values, plus
+    categorical columns lacking kernel ml codes).
+    """
+
+    def __init__(self, columns, names: list[str]):
+        self._columns = columns
+        self._names = names
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._names:
+            raise KeyError(name)
+        return self._columns[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def dtype_of(self, name: str) -> np.dtype:
+        return self._columns.dtype_of(name)
 
 
 @dataclass
@@ -72,12 +105,16 @@ def filter_attributes(
     # already below the recall threshold the attribute is a dead end
     # (near-unique columns such as timestamps).  Dropping them here also
     # protects the random forest from its high-cardinality bias.
+    # Columns are passed as deferred accessors so the kernel-code paths
+    # below never gather object values on late-materialized APTs.
     n1, n2 = evaluator.universe_sizes
     names = [
         n
         for n in names
         if apt.attribute(n).is_numeric
-        or _best_possible_recall(columns[n], labels, n1, n2, kernel, n)
+        or _best_possible_recall(
+            lambda n=n: columns[n], labels, n1, n2, kernel, n
+        )
         >= config.recall_threshold
     ]
     if not names:
@@ -88,7 +125,9 @@ def filter_attributes(
         names = [
             n
             for n in names
-            if not _is_group_determined(columns[n], labels, kernel, n)
+            if not _is_group_determined(
+                lambda n=n: columns[n], labels, kernel, n
+            )
         ]
         if not names:
             return _passthrough(apt, [])
@@ -105,8 +144,10 @@ def filter_attributes(
         }
 
     # -- cluster correlated attributes, keep representatives -----------
+    # Name-restricted views keep the lazy column mapping lazy: varclus
+    # probes dtypes through them and only gathers columns without codes.
     clusters = cluster_attributes(
-        {n: columns[n] for n in names},
+        _NamedView(columns, names),
         threshold=config.correlation_threshold,
         same_type_only=True,
         codes=ml_codes,
@@ -114,7 +155,7 @@ def filter_attributes(
     representatives = sorted(c.representative for c in clusters)
 
     # -- random-forest relevance over cluster representatives ----------
-    rep_columns = {n: columns[n] for n in representatives}
+    rep_columns = _NamedView(columns, representatives)
     rep_codes = None
     if ml_codes is not None:
         rep_codes = {
@@ -162,7 +203,7 @@ def filter_attributes(
 
 
 def _is_group_determined(
-    values: np.ndarray,
+    values: "np.ndarray | Callable[[], np.ndarray]",
     labels: np.ndarray,
     kernel=None,
     name: str | None = None,
@@ -174,6 +215,9 @@ def _is_group_determined(
     restates which output tuple a row belongs to.  With kernel codes the
     per-side value sets reduce to ``np.unique`` over non-NULL int codes
     (codes biject to values, so set cardinality and equality carry over).
+
+    ``values`` may be a zero-argument callable producing the column
+    array; it is only invoked on the codeless fallback path.
     """
     import math
 
@@ -188,6 +232,8 @@ def _is_group_determined(
             side_codes.append(int(unique[0]))
         return side_codes[0] != side_codes[1]
 
+    if callable(values):
+        values = values()
     side_values: list[set] = []
     for side in (1, 2):
         mask = labels == side
@@ -205,7 +251,7 @@ def _is_group_determined(
 
 
 def _best_possible_recall(
-    values: np.ndarray,
+    values: "np.ndarray | Callable[[], np.ndarray]",
     labels: np.ndarray,
     n1: int,
     n2: int,
@@ -219,8 +265,13 @@ def _best_possible_recall(
     candidates on this attribute can achieve.  With kernel codes the
     per-side mode is one ``np.bincount`` over non-None int codes (NaN
     cells keep a code, exactly like the dict-counting path below).
+
+    ``values`` may be a zero-argument callable producing the column
+    array; it is only invoked on the codeless fallback path.
     """
     codes = kernel.counting_codes(name) if kernel is not None else None
+    if codes is None and callable(values):
+        values = values()
     best = 0.0
     for side, size in ((1, n1), (2, n2)):
         if size == 0:

@@ -112,6 +112,17 @@ class CajadeConfig:
     default because some legitimate paper explanations (e.g. team=MIA for
     the LeBron question) are side-constant too."""
 
+    # -- storage engine: late materialization -----------------------------
+    late_materialization: bool = True
+    """Run joins (working table and APT materialization) on index
+    vectors: a join produces per-base-table row-index arrays instead of
+    eagerly zipping copied columns, the shared-prefix trie caches those
+    compact frames (entries shrink by roughly the table width, so more
+    prefixes fit at the same ``apt_cache_mb``), and APT columns gather
+    on demand — the mining kernel gathers load-time dictionary codes
+    instead of re-encoding objects per APT.  Off restores the eager
+    pipeline end to end; ranked output is byte-identical either way."""
+
     # -- engine: caching and parallelism ---------------------------------
     workers: int = 1
     """Worker threads mining APTs across join graphs.  1 (the default)

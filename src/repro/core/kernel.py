@@ -56,6 +56,26 @@ def _is_null_value(value: Any) -> bool:
     return value is None or (isinstance(value, float) and value != value)
 
 
+def _first_occurrence_renumber(codes: np.ndarray) -> np.ndarray:
+    """Relabel int codes to first-occurrence numbering, vectorized.
+
+    Produces exactly the codes the per-row dict loop assigns when it
+    walks the rows in order: the first distinct code seen becomes 0, the
+    next 1, and so on.  Used to turn gathered *base-table* codes into
+    the varclus-compatible ml encoding without touching object values.
+    """
+    if len(codes) == 0:
+        return codes.astype(np.int32, copy=False)
+    _, first_idx, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(order), dtype=np.int32)
+    rank[order] = np.arange(len(order), dtype=np.int32)
+    return rank[inverse]
+
+
 class MaskCache:
     """A byte-bounded LRU of boolean mask arrays.
 
@@ -109,6 +129,18 @@ class MiningKernel:
         cache_mb: byte budget of the shared mask LRU; 0 keeps the kernel
             vectorized but disables memoization (and therefore
             incremental reuse).
+        encodings: optional per-attribute ``(ColumnEncoding, rows)``
+            pairs supplying *table-level* dictionary codes gathered
+            through the APT's index vectors (``rows`` maps kernel rows
+            into the encoding's code arrays; ``None`` = identity).
+            Attributes covered here skip the per-row encoding pass
+            entirely — their code arrays are int32 gathers of codes
+            built once at load time, and the value → code dictionary is
+            shared with the base table.  Masks, coverage and LCA
+            candidates are byte-identical to per-APT re-encoding (codes
+            are a bijection of the same value grouping with the same
+            ``-1`` NULL sentinel); the varclus ml encoding is recovered
+            exactly by a vectorized first-occurrence renumbering.
     """
 
     def __init__(
@@ -118,6 +150,7 @@ class MiningKernel:
         m1: int,
         m2: int,
         cache_mb: float = 64.0,
+        encodings: Mapping[str, tuple[Any, np.ndarray | None]] | None = None,
     ):
         if cache_mb < 0:
             raise ValueError("cache_mb must be >= 0 (0 disables memoization)")
@@ -131,8 +164,9 @@ class MiningKernel:
 
         # Encoded storage: match codes (-1 = NULL, never matches), the
         # value -> code dictionary, ml codes (varclus first-occurrence
-        # compatible), float64 numeric views with validity masks, and a
-        # fallback of raw columns whose values defeated dict encoding.
+        # compatible — base-table-numbered for gathered attributes, see
+        # ``_gathered``), float64 numeric views with validity masks, and
+        # a fallback of raw columns whose values defeated dict encoding.
         self._codes: dict[str, np.ndarray] = {}
         self._dicts: dict[str, dict[Any, int]] = {}
         self._ml_codes: dict[str, np.ndarray] = {}
@@ -142,6 +176,11 @@ class MiningKernel:
         self._numeric_valid: dict[str, np.ndarray | None] = {}
         self._fallback: dict[str, np.ndarray] = {}
         self._code_values_cache: dict[str, list] = {}
+        # Attributes whose codes were gathered from a table-level
+        # encoding: their _ml_codes carry base numbering and are
+        # renumbered (lazily, vectorized) when varclus asks.
+        self._gathered: set[str] = set()
+        self._ml_renumbered: dict[str, np.ndarray] = {}
         self._derived = False
 
         self.mask_hits = 0
@@ -149,7 +188,13 @@ class MiningKernel:
         self.incremental_evals = 0
         self.full_evals = 0
 
-        for name, arr in columns.items():
+        encodings = encodings or {}
+        for name in columns.keys():
+            source = encodings.get(name)
+            if source is not None:
+                self._gather_categorical(name, *source)
+                continue
+            arr = columns[name]
             if arr.dtype != object:
                 values = arr.astype(np.float64, copy=False)
                 self._numeric[name] = values
@@ -159,6 +204,23 @@ class MiningKernel:
                 )
                 continue
             self._encode_categorical(name, arr)
+
+    def _gather_categorical(
+        self, name: str, encoding: Any, rows: np.ndarray | None
+    ) -> None:
+        """Adopt a table-level encoding gathered through index vectors."""
+        base_codes = encoding.codes
+        match_codes = encoding.match_codes
+        if rows is not None:
+            base_codes = base_codes[rows]
+            match_codes = match_codes[rows]
+        self._codes[name] = match_codes
+        self._ml_codes[name] = base_codes
+        self._dicts[name] = encoding.code_of
+        none_code = encoding.none_code
+        if none_code is not None:
+            self._none_code[name] = none_code
+        self._gathered.add(name)
 
     # ------------------------------------------------------------------
     # Encoding
@@ -205,6 +267,8 @@ class MiningKernel:
             k: v[selector] for k, v in source._fallback.items()
         }
         self._code_values_cache = {}
+        self._gathered = set(source._gathered)
+        self._ml_renumbered = {}
         self._derived = True
         self.mask_hits = 0
         self.mask_misses = 0
@@ -253,13 +317,25 @@ class MiningKernel:
         :func:`repro.ml.varclus.encode_columns` produces for the column,
         so feature selection can skip re-encoding.
 
+        Attributes gathered from a table-level encoding carry base-table
+        numbering internally; they are renumbered here (vectorized,
+        memoized) to the first-occurrence ordering the per-row dict loop
+        would assign — code *numbering* matters for the random-forest
+        feature matrix, unlike for matching or counting.
+
         Returns ``None`` on :meth:`derived` kernels: their sliced codes
         are no longer first-occurrence-numbered over the subset, so
-        callers must fall back to encoding from the raw column (code
-        *numbering* matters here, unlike for matching or counting)."""
+        callers must fall back to encoding from the raw column."""
         if self._derived:
             return None
-        return self._ml_codes.get(attr)
+        codes = self._ml_codes.get(attr)
+        if codes is None or attr not in self._gathered:
+            return codes
+        renumbered = self._ml_renumbered.get(attr)
+        if renumbered is None:
+            renumbered = _first_occurrence_renumber(codes)
+            self._ml_renumbered[attr] = renumbered
+        return renumbered
 
     def code_values(self, attr: str) -> list | None:
         """The inverse dictionary of a categorical column: a list whose

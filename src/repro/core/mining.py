@@ -119,13 +119,15 @@ def mine_apt(
         # kernel can encode every categorical candidate attribute; the
         # object-based reference path otherwise.  Both consume the rng
         # identically and yield the same deduplicated pattern set, so
-        # the choice never changes ranked output.
+        # the choice never changes ranked output.  Dtypes are probed
+        # without gathering so a late-materialized APT's object columns
+        # stay unmaterialized on the code path.
         columns = full_evaluator.columns()
         kernel = full_evaluator.kernel if config.use_code_lca else None
         if kernel is not None and all(
             kernel.match_codes(attr) is not None
             for attr in filtered.categorical
-            if attr in columns and columns[attr].dtype == object
+            if attr in columns and columns.dtype_of(attr) == object
         ):
             candidates = lca_candidates_codes(
                 kernel, filtered.categorical, config, rng, timer=timer

@@ -30,14 +30,61 @@ every call via ``verify_kernel``).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
 from .apt import AugmentedProvenanceTable
 from .kernel import MiningKernel
 from .pattern import Pattern
+
+
+class LazyColumns(Mapping):
+    """Lazily-gathered minable columns of one evaluator universe.
+
+    Behaves like the historical ``{attr: array}`` dict (same keys, same
+    row-aligned arrays) but defers each column's gather to first access
+    and memoizes it.  On late-materialized APTs a gather composes the
+    evaluator's row subset with the frame's index vectors before
+    touching any base array, so columns the mining pipeline never reads
+    — and object columns the kernel serves from dictionary codes — are
+    never materialized at all.
+    """
+
+    def __init__(
+        self, apt: AugmentedProvenanceTable, subset: np.ndarray | None
+    ):
+        self._apt = apt
+        self._subset = subset
+        self._names = [a.name for a in apt.attributes]
+        self._known = frozenset(self._names)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        arr = self._cache.get(name)
+        if arr is None:
+            if name not in self._known:
+                raise KeyError(name)
+            arr = self._apt.column_values(name, self._subset)
+            self._cache[name] = arr
+        return arr
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._known
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def dtype_of(self, name: str) -> np.dtype:
+        """A column's storage dtype, without gathering its values."""
+        if name not in self._known:
+            raise KeyError(name)
+        return self._apt.column_dtype(name)
 
 
 @dataclass(frozen=True)
@@ -138,24 +185,31 @@ class QualityEvaluator:
         self._n1 = len(ids1)
         self._n2 = len(ids2)
 
-        # One sorted-array membership pass replaces the old per-id dict
-        # build plus double np.isin scan: rows are kept iff their
-        # provenance id appears in the sampled universe.
+        # The sampling universe is one vectorized union of the two
+        # sides' provenance id arrays; rows are kept iff their id
+        # appears in it (a sorted-array membership pass — no Python set
+        # accumulation anywhere on this path).
         pt_ids = apt.pt_row_ids
-        universe = np.unique(np.concatenate([ids1, ids2]))
+        universe = np.union1d(ids1, ids2)
         if len(universe):
             pos = np.searchsorted(universe, pt_ids)
             pos = np.minimum(pos, len(universe) - 1)
             keep = universe[pos] == pt_ids
         else:
             keep = np.zeros(len(pt_ids), dtype=bool)
-        kept = apt.relation.filter_mask(keep)
         self._keep = keep
-        self._pt_ids = kept.column("__pt_row_id")
-        self._columns = {
-            a.name: kept.column(a.name) for a in apt.attributes
-        }
-        self.sampled_rows = kept.num_rows
+        if keep.all():
+            subset = None
+            self._pt_ids = pt_ids
+            self.sampled_rows = len(pt_ids)
+        else:
+            subset = np.nonzero(keep)[0]
+            self._pt_ids = pt_ids[subset]
+            self.sampled_rows = len(subset)
+        self._subset = subset
+        # Minable columns gather lazily (and, on late-materialized
+        # APTs, straight from base tables through composed indices).
+        self._columns = LazyColumns(apt, subset)
 
         # Dense coverage slots: side-1 slots occupy [0, m1), side-2
         # slots [m1, m1+m2).  Ids present on both sides count as side 2
@@ -239,8 +293,33 @@ class QualityEvaluator:
                 self._m1,
                 self._m2,
                 cache_mb=self._kernel_cache_mb,
+                encodings=self._gathered_encodings(),
             )
         return self._kernel
+
+    def _gathered_encodings(self) -> dict[str, tuple[Any, np.ndarray | None]]:
+        """Table-level codes for categorical attrs of a frame-backed APT.
+
+        Maps each object-dtype minable attribute to its base-table
+        :class:`~repro.db.relation.ColumnEncoding` plus the composed
+        (frame ∘ evaluator-subset) row indices, so the kernel gathers
+        int32 codes built once at load time instead of re-encoding the
+        column's objects per APT.  Empty on eager APTs and for columns
+        without a usable encoding (those take the classic path).
+        """
+        encodings: dict[str, tuple[Any, np.ndarray | None]] = {}
+        if self.apt.frame is None:
+            return encodings
+        for attribute in self.apt.attributes:
+            name = attribute.name
+            if attribute.is_numeric:
+                continue
+            if self._columns.dtype_of(name) != object:
+                continue
+            source = self.apt.column_encoding(name, self._subset)
+            if source is not None:
+                encodings[name] = source
+        return encodings
 
     def kernel_counters(self) -> dict[str, int]:
         """The kernel's StepTimer counter labels -> values ({} if off
@@ -350,6 +429,11 @@ class QualityEvaluator:
         """
         return self._side_labels
 
-    def columns(self) -> dict[str, np.ndarray]:
-        """The (sampled) minable columns, row-aligned with side_labels."""
-        return dict(self._columns)
+    def columns(self) -> LazyColumns:
+        """The (sampled) minable columns, row-aligned with side_labels.
+
+        A lazily-gathering mapping (see :class:`LazyColumns`); reading a
+        column materializes and memoizes it, so callers can keep
+        treating the result as the historical ``{attr: array}`` dict.
+        """
+        return self._columns

@@ -37,10 +37,17 @@ ALL_STEPS = (
     JG_ENUMERATION,
 )
 
-# Canonical counter labels (engine cache behaviour).
+# Canonical counter labels (engine cache behaviour).  The entry-count /
+# median-entry-size labels are *gauges* over the trie's live entry
+# population (recorded via StepTimer.set_gauge — latest request wins,
+# never summed), so cache-footprint changes (e.g. index-vector frames
+# versus full relations) show up next to the hit/miss counters they
+# explain.
 APT_CACHE_HITS = "APT cache hits"
 APT_CACHE_MISSES = "APT cache misses"
 APT_CACHE_EVICTIONS = "APT cache evictions"
+APT_CACHE_ENTRIES = "APT cache entries"
+APT_CACHE_MEDIAN_ENTRY_BYTES = "APT cache median entry bytes"
 JOIN_MEMO_HITS = "Join memo hits"
 
 # Canonical counter labels (mining-kernel mask cache behaviour).
@@ -62,6 +69,8 @@ ALL_COUNTERS = (
     APT_CACHE_HITS,
     APT_CACHE_MISSES,
     APT_CACHE_EVICTIONS,
+    APT_CACHE_ENTRIES,
+    APT_CACHE_MEDIAN_ENTRY_BYTES,
     JOIN_MEMO_HITS,
     KERNEL_MASK_HITS,
     KERNEL_MASK_MISSES,
@@ -74,11 +83,19 @@ ALL_COUNTERS = (
 
 
 class StepTimer:
-    """Accumulates wall-clock seconds (and counters) per named step."""
+    """Accumulates wall-clock seconds (and counters) per named step.
+
+    Two kinds of integer metrics coexist: *counters* accumulate across
+    :meth:`count` calls and merges (cache hits, evictions), while
+    *gauges* (:meth:`set_gauge`) are point-in-time snapshots where the
+    latest recording wins — e.g. the trie's live entry count, which
+    must not sum across the requests of a batch sharing one timer.
+    """
 
     def __init__(self) -> None:
         self._seconds: dict[str, float] = {}
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, int] = {}
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
@@ -105,17 +122,27 @@ class StepTimer:
             raise ValueError("counter increments must be >= 0")
         self._counters[name] = self._counters.get(name, 0) + n
 
+    def set_gauge(self, name: str, value: int) -> None:
+        """Record a point-in-time gauge; the latest recording wins.
+
+        Unlike :meth:`count`, repeated recordings (e.g. one per request
+        of a batch sharing this timer) replace rather than accumulate.
+        """
+        self._gauges[name] = int(value)
+
     def counter(self, name: str) -> int:
+        if name in self._gauges:
+            return self._gauges[name]
         return self._counters.get(name, 0)
 
     def counters(self) -> dict[str, int]:
-        """Counter → value, canonical cache counters first."""
+        """Counter/gauge → value, canonical cache counters first."""
+        merged = dict(self._counters)
+        merged.update(self._gauges)
         ordered = {
-            name: self._counters[name]
-            for name in ALL_COUNTERS
-            if name in self._counters
+            name: merged[name] for name in ALL_COUNTERS if name in merged
         }
-        for name, value in self._counters.items():
+        for name, value in merged.items():
             if name not in ordered:
                 ordered[name] = value
         return ordered
@@ -141,6 +168,8 @@ class StepTimer:
             self.add(name, value)
         for name, value in other._counters.items():
             self.count(name, value)
+        # Gauges are snapshots: the merged-in (later) recording wins.
+        self._gauges.update(other._gauges)
 
     def format_table(self) -> str:
         """A printable two-column breakdown ending with a total row.

@@ -1,8 +1,10 @@
 """In-memory relational engine substrate for the CaJaDE reproduction.
 
-Provides columnar relations, a catalog with key constraints, a single-block
-SQL parser, a hash-join executor, why-provenance capture, catalog statistics
-for cost estimation, and CSV persistence.
+Provides columnar relations with load-time dictionary encoding, a
+catalog with key constraints, a single-block SQL parser, a hash-join
+executor with a late-materialized index-vector pipeline
+(:class:`~repro.db.frame.IndexFrame`), why-provenance capture, catalog
+statistics for cost estimation, and CSV persistence.
 """
 
 from .database import Database
@@ -15,7 +17,7 @@ from .errors import (
     SchemaError,
     TypeMismatchError,
 )
-from .executor import execute, hash_join, working_table
+from .executor import execute, hash_join, join_row_indices, working_table
 from .expressions import (
     And,
     Arithmetic,
@@ -32,7 +34,8 @@ from .parser import parse_sql
 from .plan import PlanStep, QueryPlan, explain_plan
 from .provenance import PT_ROW_ID, ProvenanceTable
 from .query import AggregateCall, Query, SelectItem, TableRef
-from .relation import Relation
+from .frame import IndexFrame
+from .relation import ColumnEncoding, Relation
 from .schema import Column, ForeignKey, TableSchema
 from .statistics import (
     ColumnStatistics,
@@ -76,6 +79,9 @@ __all__ = [
     "PT_ROW_ID",
     "Query",
     "Relation",
+    "ColumnEncoding",
+    "IndexFrame",
+    "join_row_indices",
     "SchemaError",
     "SelectItem",
     "TableRef",

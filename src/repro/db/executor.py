@@ -109,43 +109,31 @@ class JoinCache:
         return len(self._entries)
 
 
-def hash_join(
-    left: Relation,
-    right: Relation,
-    conditions: list[tuple[str, str]],
-    cache: JoinCache | None = None,
-) -> Relation:
-    """Equi-join two relations on ``[(left_col, right_col), ...]``.
+def join_row_indices(
+    left_arrays: list[np.ndarray],
+    right_arrays: list[np.ndarray],
+    left_n: int,
+    right_n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs of an equi-join, in ``hash_join``'s output order.
 
-    Builds a hash table on the smaller input.  NULL keys never match
-    (SQL semantics).  The output schema is the concatenation of both
-    inputs' columns; callers must ensure the names are disjoint.
-
-    Keys are encoded column-wise into dense integer codes so build and
-    probe are pure vectorized numpy (sort + searchsorted) instead of a
-    per-row Python tuple loop; single numeric columns are used directly
-    as key arrays.  ``cache`` optionally memoizes the whole join by the
-    inputs' fingerprints.
+    ``left_arrays``/``right_arrays`` are the gathered key columns of the
+    two sides; the result ``(left_idx, right_idx)`` lists matching row
+    pairs.  This is the single join core shared by the eager
+    :func:`hash_join` and the late-materialized
+    :meth:`repro.db.frame.IndexFrame.join`, so both produce identical
+    row orders: the hash table is built on the smaller side, keys encode
+    to dense integer codes, and a stable sort keeps equal-key build rows
+    in insertion order.  NULL keys never match (SQL semantics).
     """
-    if not conditions:
-        raise ExecutionError("hash_join requires at least one condition")
-    overlap = set(left.column_names) & set(right.column_names)
-    if overlap:
-        raise ExecutionError(f"join would produce duplicate columns: {overlap}")
+    swap = right_n < left_n
+    if swap:
+        build_arrays, probe_arrays = right_arrays, left_arrays
+        probe_n = left_n
+    else:
+        build_arrays, probe_arrays = left_arrays, right_arrays
+        probe_n = right_n
 
-    if cache is not None:
-        key = JoinCache.key(left, right, conditions)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-
-    swap = right.num_rows < left.num_rows
-    build, probe = (right, left) if swap else (left, right)
-    build_cols = [c[1] if swap else c[0] for c in conditions]
-    probe_cols = [c[0] if swap else c[1] for c in conditions]
-
-    build_arrays = [build.column(c) for c in build_cols]
-    probe_arrays = [probe.column(c) for c in probe_cols]
     build_codes, probe_codes, build_valid, probe_valid = _encode_join_keys(
         build_arrays, probe_arrays
     )
@@ -162,18 +150,52 @@ def hash_join(
     counts = np.where(probe_valid, hi - lo, 0)
 
     total = int(counts.sum())
-    probe_idx = np.repeat(np.arange(probe.num_rows, dtype=np.int64), counts)
+    probe_idx = np.repeat(np.arange(probe_n, dtype=np.int64), counts)
     starts = np.repeat(lo, counts)
     segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
     offsets = np.arange(total, dtype=np.int64) - segment_starts
     build_idx = (
         order[starts + offsets] if total else np.empty(0, dtype=np.int64)
     )
+    return (probe_idx, build_idx) if swap else (build_idx, probe_idx)
 
-    build_sel = build.take(build_idx)
-    probe_sel = probe.take(probe_idx)
-    left_sel, right_sel = (probe_sel, build_sel) if swap else (build_sel, probe_sel)
-    result = _zip_columns(left_sel, right_sel)
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    conditions: list[tuple[str, str]],
+    cache: JoinCache | None = None,
+) -> Relation:
+    """Equi-join two relations on ``[(left_col, right_col), ...]``.
+
+    Builds a hash table on the smaller input.  NULL keys never match
+    (SQL semantics).  The output schema is the concatenation of both
+    inputs' columns; callers must ensure the names are disjoint.
+
+    Keys are encoded column-wise into dense integer codes so build and
+    probe are pure vectorized numpy (sort + searchsorted) instead of a
+    per-row Python tuple loop; the row-pair computation is shared with
+    the index-vector join path (:func:`join_row_indices`).  ``cache``
+    optionally memoizes the whole join by the inputs' fingerprints.
+    """
+    if not conditions:
+        raise ExecutionError("hash_join requires at least one condition")
+    overlap = set(left.column_names) & set(right.column_names)
+    if overlap:
+        raise ExecutionError(f"join would produce duplicate columns: {overlap}")
+
+    if cache is not None:
+        key = JoinCache.key(left, right, conditions)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    left_arrays = [left.column(lc) for lc, _ in conditions]
+    right_arrays = [right.column(rc) for _, rc in conditions]
+    left_idx, right_idx = join_row_indices(
+        left_arrays, right_arrays, left.num_rows, right.num_rows
+    )
+    result = _zip_columns(left.take(left_idx), right.take(right_idx))
     if cache is not None:
         cache.put(key, result)
     return result
@@ -391,24 +413,46 @@ def _classify_predicates(query: Query, db: Database) -> _PlannedPredicates:
 # ----------------------------------------------------------------------
 # Working table (pre-aggregation join)
 # ----------------------------------------------------------------------
-def working_table(query: Query, db: Database) -> Relation:
+def working_table(
+    query: Query, db: Database, late_materialization: bool = True
+) -> Relation:
     """Materialize the filtered join of the query's FROM tables.
 
     Columns are qualified as ``alias.attr``.  This relation *is* the
     why-provenance table PT(Q, D) of the query.
+
+    With ``late_materialization`` (the default) the join pipeline runs
+    on :class:`~repro.db.frame.IndexFrame` index vectors — per-alias
+    selections become row-index arrays, each join gathers only its key
+    columns, and the full column gather happens once at the end.  The
+    eager path zips every column at every join step.  Both paths share
+    the same join core and produce byte-identical relations.
     """
+    from .frame import IndexFrame
+
     planned = _classify_predicates(query, db)
 
-    filtered: dict[str, Relation] = {}
+    filtered: dict[str, Relation | IndexFrame] = {}
+    sizes: dict[str, int] = {}
     for ref in query.tables:
         rel = db.table(ref.table)
+        prefixed = rel.prefix_columns(f"{ref.alias}.")
         preds = planned.per_alias.get(ref.alias, [])
-        if preds:
-            rel = rel.filter_mask(conjunction(preds).mask(rel))
-        filtered[ref.alias] = rel.prefix_columns(f"{ref.alias}.")
+        if late_materialization:
+            frame = IndexFrame.from_relation(prefixed)
+            if preds:
+                frame = frame.filter_mask(conjunction(preds).mask(prefixed))
+            filtered[ref.alias] = frame
+        else:
+            if preds:
+                prefixed = prefixed.filter_mask(
+                    conjunction(preds).mask(prefixed)
+                )
+            filtered[ref.alias] = prefixed
+        sizes[ref.alias] = filtered[ref.alias].num_rows
 
     remaining = set(filtered)
-    start = min(remaining, key=lambda a: filtered[a].num_rows)
+    start = min(remaining, key=lambda a: sizes[a])
     current = filtered[start]
     joined = {start}
     remaining.discard(start)
@@ -416,7 +460,7 @@ def working_table(query: Query, db: Database) -> Relation:
     pending_joins = list(planned.joins)
     while remaining:
         progress = False
-        for alias in sorted(remaining, key=lambda a: filtered[a].num_rows):
+        for alias in sorted(remaining, key=lambda a: sizes[a]):
             conditions = []
             for la, lc, ra, rc in pending_joins:
                 if la in joined and ra == alias:
@@ -424,7 +468,10 @@ def working_table(query: Query, db: Database) -> Relation:
                 elif ra in joined and la == alias:
                     conditions.append((f"{ra}.{rc}", f"{alias}.{lc}"))
             if conditions:
-                current = hash_join(current, filtered[alias], conditions)
+                if late_materialization:
+                    current = current.join(filtered[alias], conditions)
+                else:
+                    current = hash_join(current, filtered[alias], conditions)
                 pending_joins = [
                     j
                     for j in pending_joins
@@ -440,8 +487,11 @@ def working_table(query: Query, db: Database) -> Relation:
         if not progress:
             # No join condition connects: fall back to a cross product
             # with the smallest remaining table.
-            alias = min(remaining, key=lambda a: filtered[a].num_rows)
-            current = cross_product(current, filtered[alias])
+            alias = min(remaining, key=lambda a: sizes[a])
+            if late_materialization:
+                current = current.cross(filtered[alias])
+            else:
+                current = cross_product(current, filtered[alias])
             joined.add(alias)
             remaining.discard(alias)
 
@@ -455,24 +505,60 @@ def working_table(query: Query, db: Database) -> Relation:
     post.extend(planned.residual)
     if post:
         current = current.filter_mask(conjunction(post).mask(current))
+    if late_materialization:
+        current = current.to_relation()
     return current.rename("working")
 
 
 # ----------------------------------------------------------------------
 # Aggregation
 # ----------------------------------------------------------------------
-def _group_indices(
+def group_indices(
     relation: Relation, group_columns: list[str]
 ) -> dict[tuple[Any, ...], np.ndarray]:
-    """Partition row indices by the values of ``group_columns``."""
+    """Partition row indices by the values of ``group_columns``.
+
+    Grouping runs on the relation's dictionary/factorized codes (one
+    ``np.unique`` over an int64 code matrix) rather than a per-row
+    Python tuple loop; groups keep first-occurrence order and the
+    historical tuple-equality semantics (``Relation._row_codes``),
+    falling back to the loop when a column defeats encoding.
+    """
     if not group_columns:
         return {(): np.arange(relation.num_rows)}
+    if relation.num_rows == 0:
+        return {}
     arrays = [relation.column(c) for c in group_columns]
-    groups: dict[tuple[Any, ...], list[int]] = {}
-    for i in range(relation.num_rows):
+    codes = relation._row_codes(group_columns)
+    if codes is None:
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        for i in range(relation.num_rows):
+            key = tuple(arr[i] for arr in arrays)
+            groups.setdefault(key, []).append(i)
+        return {k: np.array(v, dtype=np.int64) for k, v in groups.items()}
+    _, first_idx, inverse = np.unique(
+        codes, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    # Rank unique keys by first occurrence so the dict iterates in the
+    # order the setdefault loop produced.
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order))
+    row_order = np.argsort(rank[inverse], kind="stable")
+    boundaries = np.nonzero(np.diff(rank[inverse][row_order]))[0] + 1
+    buckets = np.split(row_order, boundaries)
+    result: dict[tuple[Any, ...], np.ndarray] = {}
+    for bucket_rank, bucket in enumerate(buckets):
+        i = int(first_idx[order[bucket_rank]])
         key = tuple(arr[i] for arr in arrays)
-        groups.setdefault(key, []).append(i)
-    return {k: np.array(v, dtype=np.int64) for k, v in groups.items()}
+        result[key] = bucket
+    return result
+
+
+# Backwards-compatible alias (group_indices grew external callers —
+# provenance.py — when grouping was vectorized).
+_group_indices = group_indices
 
 
 def _aggregate_value(
@@ -547,7 +633,7 @@ def group_columns_in_working(query: Query, work: Relation) -> list[str]:
 def aggregate(query: Query, work: Relation) -> Relation:
     """Apply grouping + aggregate evaluation to a working table."""
     group_cols = group_columns_in_working(query, work)
-    groups = _group_indices(work, group_cols)
+    groups = group_indices(work, group_cols)
     rows: list[list[Any]] = []
     for key in groups:
         indices = groups[key]

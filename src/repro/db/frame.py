@@ -1,0 +1,297 @@
+"""Late-materialized join results: base relations + row-index vectors.
+
+An :class:`IndexFrame` represents the output of a (chain of) equi-joins
+without copying any data columns: it holds the participating *source*
+relations and, per source, an int64 array mapping each output row to a
+source row.  Joins compose index vectors, selections apply masks to
+them, and actual column values are gathered only at the edges — when a
+predicate needs a key column, when an APT hands columns to the mining
+kernel, or when :meth:`to_relation` materializes the classic eager
+result.
+
+Row order and schema order are identical to the eager pipeline by
+construction: frame joins run the exact same
+:func:`repro.db.executor.join_row_indices` core that
+:func:`repro.db.executor.hash_join` uses, and gathers concatenate source
+columns in join order (the order ``_zip_columns`` produces).  The
+shared-prefix materialization trie caches these frames instead of full
+relations; a frame's :attr:`estimated_bytes` is just its index vectors —
+roughly the joined table's width times smaller than the eager entry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ExecutionError, SchemaError
+from .relation import ColumnEncoding, Relation
+from .schema import TableSchema
+from .types import ColumnType
+
+
+class IndexFrame:
+    """A late-materialized view over one or more source relations.
+
+    ``sources[i]`` supplies the columns named by its schema (callers
+    prefix/qualify names before building frames, exactly as the eager
+    pipeline prefixes before joining); ``rows[i]`` maps each frame row
+    to a row of ``sources[i]``, with ``None`` meaning the identity
+    mapping (the frame *is* the source, row for row).
+    """
+
+    __slots__ = ("sources", "rows", "_nrows", "_lookup", "_schema")
+
+    def __init__(
+        self,
+        sources: Sequence[Relation],
+        rows: Sequence[np.ndarray | None],
+    ):
+        if len(sources) != len(rows):
+            raise ExecutionError("sources and rows must align")
+        if not sources:
+            raise ExecutionError("an IndexFrame needs at least one source")
+        self.sources = tuple(sources)
+        self.rows = tuple(rows)
+        nrows: int | None = None
+        for source, idx in zip(self.sources, self.rows):
+            n = source.num_rows if idx is None else len(idx)
+            if nrows is None:
+                nrows = n
+            elif n != nrows:
+                raise ExecutionError(
+                    f"ragged index vectors: {n} vs {nrows} rows"
+                )
+        self._nrows = nrows or 0
+        self._lookup: dict[str, int] | None = None
+        self._schema: TableSchema | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "IndexFrame":
+        """The identity frame over one relation (zero marginal bytes)."""
+        return cls((relation,), (None,))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    @property
+    def column_names(self) -> list[str]:
+        names: list[str] = []
+        for source in self.sources:
+            names.extend(source.column_names)
+        return names
+
+    def _source_index(self, name: str) -> int:
+        if self._lookup is None:
+            lookup: dict[str, int] = {}
+            for index, source in enumerate(self.sources):
+                for cname in source.column_names:
+                    lookup[cname] = index
+            self._lookup = lookup
+        index = self._lookup.get(name)
+        if index is None:
+            raise SchemaError(f"no column {name!r} in frame")
+        return index
+
+    def column_type(self, name: str) -> ColumnType:
+        return self.sources[self._source_index(name)].column_type(name)
+
+    def column_dtype(self, name: str) -> np.dtype:
+        """A column's storage dtype, without gathering any values."""
+        return self.sources[self._source_index(name)].column(name).dtype
+
+    @property
+    def schema(self) -> TableSchema:
+        """A schema view over the concatenated source columns.
+
+        Mirrors the table name the eager pipeline's ``_zip_columns``
+        chain would produce, so predicate resolution
+        (:func:`repro.db.expressions.resolve_column`) and error messages
+        behave identically on frames and materialized relations.
+        """
+        if self._schema is None:
+            columns = []
+            name: str | None = None
+            for source in self.sources:
+                columns.extend(source.schema.columns)
+                name = (
+                    source.schema.name
+                    if name is None
+                    else f"{name}_x_{source.schema.name}"
+                )
+            if len(self.sources) == 1:
+                self._schema = self.sources[0].schema
+            else:
+                assert name is not None
+                self._schema = TableSchema(name=name, columns=columns)
+        return self._schema
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Marginal resident size: the index vectors only.
+
+        Source relations are shared (base tables, the provenance table,
+        memoized prefixed contexts), so a frame's true incremental cost
+        in the prefix trie is its per-source int64 row arrays.
+        """
+        return sum(idx.nbytes for idx in self.rows if idx is not None)
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexFrame({self._nrows} rows over "
+            f"{len(self.sources)} sources, "
+            f"{self.estimated_bytes} index bytes)"
+        )
+
+    # ------------------------------------------------------------------
+    # Gathers
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Gather one column's values (a copy unless identity-mapped)."""
+        index = self._source_index(name)
+        arr = self.sources[index].column(name)
+        idx = self.rows[index]
+        return arr if idx is None else arr[idx]
+
+    def gather_column(
+        self, name: str, subset: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Gather ``name`` for ``subset`` frame rows (all rows if None).
+
+        Index composition happens before touching the data array, so a
+        sampled evaluator over a huge frame gathers only its own rows.
+        """
+        index = self._source_index(name)
+        arr = self.sources[index].column(name)
+        idx = self.rows[index]
+        if subset is None:
+            return arr if idx is None else arr[idx]
+        combined = subset if idx is None else idx[subset]
+        return arr[combined]
+
+    def column_encoding(
+        self, name: str, subset: np.ndarray | None = None
+    ) -> tuple[ColumnEncoding, np.ndarray | None] | None:
+        """The source-level dictionary encoding behind a frame column.
+
+        Returns ``(encoding, row_indices)`` where ``row_indices`` maps
+        the requested (sub)rows into the encoding's code arrays —
+        ``None`` meaning identity.  Returns ``None`` for numeric or
+        unencodable columns; callers then fall back to value gathering.
+        """
+        index = self._source_index(name)
+        encoding = self.sources[index].encoding(name)
+        if encoding is None:
+            return None
+        idx = self.rows[index]
+        if subset is None:
+            return encoding, idx
+        combined = subset if idx is None else idx[subset]
+        return encoding, combined
+
+    # ------------------------------------------------------------------
+    # Relational operations on index vectors
+    # ------------------------------------------------------------------
+    def select(self, indices: np.ndarray) -> "IndexFrame":
+        """Frame rows selected by an index array (order-preserving)."""
+        rows = tuple(
+            indices if idx is None else idx[indices] for idx in self.rows
+        )
+        return IndexFrame(self.sources, rows)
+
+    def filter_mask(self, mask: np.ndarray) -> "IndexFrame":
+        """Frame rows where the boolean ``mask`` is True."""
+        if mask.dtype != np.bool_ or len(mask) != self._nrows:
+            raise SchemaError("filter mask must be boolean and row-aligned")
+        return self.select(np.nonzero(mask)[0])
+
+    def join(
+        self,
+        other: "IndexFrame | Relation",
+        conditions: list[tuple[str, str]],
+    ) -> "IndexFrame":
+        """Equi-join with another frame/relation on index vectors.
+
+        Gathers only the key columns, runs the shared
+        :func:`~repro.db.executor.join_row_indices` core (identical
+        build/probe/swap behaviour to the eager ``hash_join``, so the
+        output row order matches byte for byte), and composes the row
+        index vectors of both sides.
+        """
+        from .executor import join_row_indices
+
+        if not conditions:
+            raise ExecutionError("join requires at least one condition")
+        right = (
+            other
+            if isinstance(other, IndexFrame)
+            else IndexFrame.from_relation(other)
+        )
+        overlap = set(self.column_names) & set(right.column_names)
+        if overlap:
+            raise ExecutionError(
+                f"join would produce duplicate columns: {overlap}"
+            )
+        left_arrays = [self.column(lc) for lc, _ in conditions]
+        right_arrays = [right.column(rc) for _, rc in conditions]
+        left_idx, right_idx = join_row_indices(
+            left_arrays, right_arrays, self.num_rows, right.num_rows
+        )
+        rows = tuple(
+            left_idx if idx is None else idx[left_idx] for idx in self.rows
+        ) + tuple(
+            right_idx if idx is None else idx[right_idx]
+            for idx in right.rows
+        )
+        return IndexFrame(self.sources + right.sources, rows)
+
+    def cross(self, other: "IndexFrame | Relation") -> "IndexFrame":
+        """Cartesian product (only when no join condition connects)."""
+        right = (
+            other
+            if isinstance(other, IndexFrame)
+            else IndexFrame.from_relation(other)
+        )
+        n, m = self.num_rows, right.num_rows
+        left_idx = np.repeat(np.arange(n, dtype=np.int64), m)
+        right_idx = np.tile(np.arange(m, dtype=np.int64), n)
+        rows = tuple(
+            left_idx if idx is None else idx[left_idx] for idx in self.rows
+        ) + tuple(
+            right_idx if idx is None else idx[right_idx]
+            for idx in right.rows
+        )
+        return IndexFrame(self.sources + right.sources, rows)
+
+    # ------------------------------------------------------------------
+    # The eager edge
+    # ------------------------------------------------------------------
+    def to_relation(self) -> Relation:
+        """Gather every column into an eager :class:`Relation`.
+
+        Byte-identical (schema order, rows, dtypes, table name) to the
+        relation the eager join pipeline produces for the same steps: a
+        single-source frame reduces to ``source.take(rows)`` (preserving
+        the source schema, primary key included), a multi-source frame
+        to the ``_zip_columns`` concatenation in join order.
+        """
+        if len(self.sources) == 1:
+            source, idx = self.sources[0], self.rows[0]
+            return source if idx is None else source.take(idx)
+        columns: dict[str, np.ndarray] = {}
+        for source, idx in zip(self.sources, self.rows):
+            for cname in source.column_names:
+                arr = source.column(cname)
+                columns[cname] = arr if idx is None else arr[idx]
+        return Relation(self.schema, columns)

@@ -20,7 +20,12 @@ import numpy as np
 
 from .database import Database
 from .errors import ExecutionError
-from .executor import aggregate, group_columns_in_working, working_table
+from .executor import (
+    aggregate,
+    group_columns_in_working,
+    group_indices,
+    working_table,
+)
 from .query import Query
 from .relation import Relation
 from .types import ColumnType
@@ -48,23 +53,32 @@ class ProvenanceTable:
     result: Relation
 
     @classmethod
-    def compute(cls, query: Query, db: Database) -> "ProvenanceTable":
-        """Materialize the provenance table of ``query`` over ``db``."""
-        work = working_table(query, db)
+    def compute(
+        cls,
+        query: Query,
+        db: Database,
+        late_materialization: bool = True,
+    ) -> "ProvenanceTable":
+        """Materialize the provenance table of ``query`` over ``db``.
+
+        ``late_materialization`` selects the index-vector join pipeline
+        for the working table (gathered once at this edge); the output
+        is byte-identical either way.  Group partitioning runs
+        vectorized over the working table's factorized group-key codes.
+        """
+        work = working_table(
+            query, db, late_materialization=late_materialization
+        )
         work = work.with_column(
             PT_ROW_ID,
             ColumnType.INT,
             np.arange(work.num_rows, dtype=np.int64),
         )
         group_cols = group_columns_in_working(query, work)
-        groups: dict[tuple[Any, ...], list[int]] = {}
         if group_cols:
-            arrays = [work.column(c) for c in group_cols]
-            for i in range(work.num_rows):
-                key = tuple(arr[i] for arr in arrays)
-                groups.setdefault(key, []).append(i)
+            groups = group_indices(work, group_cols)
         else:
-            groups[()] = list(range(work.num_rows))
+            groups = {(): np.arange(work.num_rows, dtype=np.int64)}
         result = aggregate(query, work.project(
             [c for c in work.column_names if c != PT_ROW_ID]
         ))
@@ -72,7 +86,7 @@ class ProvenanceTable:
             query=query,
             relation=work,
             group_columns=group_cols,
-            groups={k: np.array(v, dtype=np.int64) for k, v in groups.items()},
+            groups=groups,
             result=result,
         )
 
@@ -134,13 +148,13 @@ class ProvenanceTable:
         """Row ids of all provenance rows *not* contributing to the group.
 
         Used for single-point questions where t2 is "the rest of the
-        output" (paper §2.4).
+        output" (paper §2.4).  One vectorized membership test over the
+        provenance id array — outlier questions over very large
+        provenance used to pay a Python set/list comprehension here.
         """
-        own = set(self.row_ids_of(group_key).tolist())
+        own = self.row_ids_of(group_key)
         all_ids = self.relation.column(PT_ROW_ID)
-        return np.array(
-            [i for i in all_ids if i not in own], dtype=np.int64
-        )
+        return all_ids[~np.isin(all_ids, own)].astype(np.int64, copy=False)
 
     @property
     def data_columns(self) -> list[str]:

@@ -8,11 +8,21 @@ computation) are vectorized; TEXT columns use object arrays.
 Relations are treated as immutable once built: every operation returns a new
 Relation that shares column arrays when possible (selection via fancy
 indexing copies, projection does not).
+
+Every object (TEXT) column additionally carries a table-level dictionary
+encoding (:class:`ColumnEncoding`): int32 first-occurrence codes plus the
+value → code dictionary, built once per relation and shared by every
+derived relation that shares the column array (rename / projection /
+prefixing).  The late-materialized storage engine gathers these codes
+through join index vectors instead of re-encoding values per APT, and the
+vectorized ``distinct`` / primary-key paths dedup on them.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -25,6 +35,73 @@ from .types import ColumnType, coerce_value, infer_column_type
 # immutable once built, so a unique per-instance token is a sound
 # memoization key: equal fingerprints imply identical contents.
 _FINGERPRINT_COUNTER = itertools.count(1)
+
+
+def _is_null_cell(value: Any) -> bool:
+    """NULL under pattern-match semantics: ``None`` or a float NaN."""
+    if value is None:
+        return True
+    if isinstance(value, (float, np.floating)):
+        return math.isnan(value)
+    return False
+
+
+@dataclass
+class ColumnEncoding:
+    """Table-level dictionary encoding of one object column.
+
+    ``codes`` assigns each row the first-occurrence code of its value
+    under dict semantics (identity-then-equality, so every distinct NaN
+    object keeps its own code while equal strings share one).  NULL-ish
+    cells (``None`` or float NaN) keep their codes here;
+    :attr:`match_codes` collapses them to the kernel's ``-1`` sentinel,
+    which never compares equal to a looked-up value code.
+    """
+
+    codes: np.ndarray
+    code_of: dict[Any, int]
+    null_codes: tuple[int, ...]
+    _match: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def match_codes(self) -> np.ndarray:
+        """Codes with every NULL-ish cell replaced by ``-1``."""
+        if self._match is None:
+            if not self.null_codes:
+                self._match = self.codes
+            else:
+                match = self.codes.copy()
+                match[np.isin(self.codes, np.array(self.null_codes))] = -1
+                self._match = match
+        return self._match
+
+    @property
+    def none_code(self) -> int | None:
+        """The code assigned to the literal ``None`` value, if present."""
+        return self.code_of.get(None)
+
+    @property
+    def num_codes(self) -> int:
+        return len(self.code_of)
+
+
+def encode_object_column(arr: np.ndarray) -> ColumnEncoding | None:
+    """Dictionary-encode one object column; ``None`` on unhashable values."""
+    code_of: dict[Any, int] = {}
+    codes = np.empty(len(arr), dtype=np.int32)
+    try:
+        for i, value in enumerate(arr):
+            code = code_of.get(value)
+            if code is None:
+                code = len(code_of)
+                code_of[value] = code
+            codes[i] = code
+    except TypeError:
+        return None
+    null_codes = tuple(
+        code for value, code in code_of.items() if _is_null_cell(value)
+    )
+    return ColumnEncoding(codes=codes, code_of=code_of, null_codes=null_codes)
 
 
 def _column_array(values: Sequence[Any], ctype: ColumnType) -> np.ndarray:
@@ -48,7 +125,7 @@ def _column_array(values: Sequence[Any], ctype: ColumnType) -> np.ndarray:
 class Relation:
     """An immutable columnar table: a schema plus one array per column."""
 
-    __slots__ = ("schema", "_columns", "_nrows", "_fingerprint")
+    __slots__ = ("schema", "_columns", "_nrows", "_fingerprint", "_encodings")
 
     def __init__(self, schema: TableSchema, columns: dict[str, np.ndarray]):
         if set(columns) != set(schema.column_names):
@@ -63,6 +140,10 @@ class Relation:
         self._columns = columns
         self._nrows = lengths.pop() if lengths else 0
         self._fingerprint: int | None = None
+        # Column name -> ColumnEncoding (or None when the column defeated
+        # dictionary encoding).  Lazily filled; derived relations sharing
+        # a column array inherit its entry (see rename/rename_columns).
+        self._encodings: dict[str, ColumnEncoding | None] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -119,16 +200,76 @@ class Relation:
         return cls(schema, columns)
 
     def _check_primary_key(self) -> None:
-        key_cols = self.schema.primary_key
-        seen: set[tuple[Any, ...]] = set()
+        """Reject duplicate primary keys, vectorized over encoded codes.
+
+        Equality semantics match the historical per-row tuple-set check:
+        object cells compare by identity-then-equality (the dictionary
+        encoding's dict semantics), float NaN keys never compare equal
+        (each NaN row gets a distinct code).  Unencodable (unhashable)
+        key columns fall back to the original per-row loop.
+        """
+        key_cols = list(self.schema.primary_key)
+        codes = self._row_codes(key_cols)
         arrays = [self._columns[c] for c in key_cols]
-        for i in range(self._nrows):
+        if codes is None:
+            seen: set[tuple[Any, ...]] = set()
+            for i in range(self._nrows):
+                key = tuple(arr[i] for arr in arrays)
+                if key in seen:
+                    raise IntegrityError(
+                        f"duplicate primary key {key} in table "
+                        f"{self.schema.name!r}"
+                    )
+                seen.add(key)
+            return
+        _, first_idx, inverse = np.unique(
+            codes, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        duplicate = np.nonzero(first_idx[inverse] != np.arange(self._nrows))[0]
+        if len(duplicate):
+            i = int(duplicate[0])
             key = tuple(arr[i] for arr in arrays)
-            if key in seen:
-                raise IntegrityError(
-                    f"duplicate primary key {key} in table {self.schema.name!r}"
-                )
-            seen.add(key)
+            raise IntegrityError(
+                f"duplicate primary key {key} in table {self.schema.name!r}"
+            )
+
+    def _row_codes(self, names: list[str]) -> np.ndarray | None:
+        """An ``(nrows, len(names))`` int64 code matrix whose row equality
+        matches per-row tuple equality, or ``None`` when an object column
+        defeats dictionary encoding.
+
+        Object columns use their table-level :class:`ColumnEncoding`
+        (identity-then-equality); float columns give every NaN cell a
+        distinct code (fresh NaN scalars never compare equal in the tuple
+        path either); integer columns factorize exactly.
+        """
+        columns: list[np.ndarray] = []
+        for name in names:
+            arr = self._columns[name]
+            if arr.dtype == object:
+                encoding = self.encoding(name)
+                if encoding is None:
+                    return None
+                columns.append(encoding.codes.astype(np.int64))
+            elif arr.dtype.kind == "f":
+                codes = np.empty(self._nrows, dtype=np.int64)
+                nan_mask = np.isnan(arr)
+                finite = ~nan_mask
+                if finite.any():
+                    _, inverse = np.unique(arr[finite], return_inverse=True)
+                    codes[finite] = inverse.reshape(-1)
+                distinct_base = int(finite.sum())
+                n_nan = int(nan_mask.sum())
+                if n_nan:
+                    codes[nan_mask] = distinct_base + np.arange(n_nan)
+                columns.append(codes)
+            else:
+                _, inverse = np.unique(arr, return_inverse=True)
+                columns.append(inverse.reshape(-1).astype(np.int64))
+        if not columns:
+            return np.zeros((self._nrows, 0), dtype=np.int64)
+        return np.stack(columns, axis=1)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -182,6 +323,58 @@ class Relation:
     def column_type(self, name: str) -> ColumnType:
         return self.schema.column_type(name)
 
+    # ------------------------------------------------------------------
+    # Dictionary encoding (late-materialization support)
+    # ------------------------------------------------------------------
+    def encoding(self, name: str) -> ColumnEncoding | None:
+        """The dictionary encoding of an object column, built on demand.
+
+        Returns ``None`` for numeric columns and for object columns whose
+        values defeat encoding (unhashable).  The result is cached on
+        this relation and inherited by derived relations that share the
+        column array (rename, projection, prefixing), so a base table is
+        encoded at most once per process regardless of how many aliases,
+        APTs or questions consume it.
+        """
+        if name in self._encodings:
+            return self._encodings[name]
+        arr = self.column(name)
+        encoding = (
+            encode_object_column(arr) if arr.dtype == object else None
+        )
+        self._encodings[name] = encoding
+        return encoding
+
+    def encode_categoricals(self) -> None:
+        """Eagerly build the dictionary encoding of every object column.
+
+        :class:`repro.db.database.Database` calls this at load time so
+        the late-materialized engine's code gathers never pay the
+        encoding pass on a hot path.
+        """
+        for col in self.schema.columns:
+            if self._columns[col.name].dtype == object:
+                self.encoding(col.name)
+
+    def _inherit_encodings(
+        self, source: "Relation", mapping: dict[str, str] | None = None
+    ) -> "Relation":
+        """Adopt ``source``'s cached encodings for shared column arrays."""
+        if mapping is None:
+            self._encodings.update(
+                {
+                    name: enc
+                    for name, enc in source._encodings.items()
+                    if name in self._columns
+                }
+            )
+        else:
+            for name, enc in source._encodings.items():
+                new_name = mapping.get(name, name)
+                if new_name in self._columns:
+                    self._encodings[new_name] = enc
+        return self
+
     def row(self, index: int) -> tuple[Any, ...]:
         """One row as a tuple in schema column order."""
         return tuple(self._columns[c][index] for c in self.schema.column_names)
@@ -219,10 +412,12 @@ class Relation:
     def project(self, names: list[str]) -> "Relation":
         """Keep only ``names``, in the given order (shares arrays)."""
         schema = self.schema.project(names)
-        return Relation(schema, {n: self._columns[n] for n in names})
+        projected = Relation(schema, {n: self._columns[n] for n in names})
+        return projected._inherit_encodings(self)
 
     def rename(self, new_name: str) -> "Relation":
-        return Relation(self.schema.rename(new_name), dict(self._columns))
+        renamed = Relation(self.schema.rename(new_name), dict(self._columns))
+        return renamed._inherit_encodings(self)
 
     def rename_columns(self, mapping: dict[str, str]) -> "Relation":
         """Rename columns via ``mapping`` (missing names keep theirs)."""
@@ -235,7 +430,7 @@ class Relation:
         columns = {
             mapping.get(name, name): arr for name, arr in self._columns.items()
         }
-        return Relation(schema, columns)
+        return Relation(schema, columns)._inherit_encodings(self, mapping)
 
     def prefix_columns(self, prefix: str) -> "Relation":
         """Prefix every column name, used for APT disambiguation."""
@@ -256,7 +451,7 @@ class Relation:
         )
         columns = dict(self._columns)
         columns[name] = values
-        return Relation(schema, columns)
+        return Relation(schema, columns)._inherit_encodings(self)
 
     def concat(self, other: "Relation") -> "Relation":
         """Union-all of two relations with identical column names/types."""
@@ -295,14 +490,27 @@ class Relation:
         return self.take(np.sort(indices))
 
     def distinct(self) -> "Relation":
-        """Duplicate-free copy preserving first occurrence order."""
-        seen: set[tuple[Any, ...]] = set()
-        keep: list[int] = []
-        for i, row in enumerate(self.iter_rows()):
-            if row not in seen:
-                seen.add(row)
-                keep.append(i)
-        return self.take(np.array(keep, dtype=np.int64))
+        """Duplicate-free copy preserving first occurrence order.
+
+        Deduplicates on the table-level dictionary codes (one
+        ``np.unique`` over an int64 code matrix) instead of per-row
+        Python tuples; equality semantics are unchanged — see
+        :meth:`_row_codes`.  Columns that defeat encoding fall back to
+        the original per-row loop.
+        """
+        codes = self._row_codes(self.schema.column_names)
+        if codes is None:
+            seen: set[tuple[Any, ...]] = set()
+            keep: list[int] = []
+            for i, row in enumerate(self.iter_rows()):
+                if row not in seen:
+                    seen.add(row)
+                    keep.append(i)
+            return self.take(np.array(keep, dtype=np.int64))
+        if codes.shape[1] == 0:
+            return self
+        _, first_idx = np.unique(codes, axis=0, return_index=True)
+        return self.take(np.sort(first_idx))
 
     def sort_by(self, names: list[str]) -> "Relation":
         """Rows sorted ascending by the listed columns (stable)."""

@@ -16,6 +16,17 @@ assigned in extension order and the plan walks the lowest-id frontier
 node first, so a graph extending Ω' yields Ω''s steps as an exact plan
 prefix.  See :mod:`repro.core.apt` for the full statement.
 
+By default the pipeline is *late-materialized*: intermediates are
+:class:`~repro.db.frame.IndexFrame` row-index vectors over the
+provenance relation and the prefixed context tables, each join gathers
+only its key columns through the shared ``join_row_indices`` core, and
+the trie caches those compact frames (entries shrink by roughly the
+joined width, so more prefixes fit per byte).  ``materialize*`` then
+returns gather-on-demand APTs whose mining kernel reads load-time
+dictionary codes straight off the base tables.  Pass
+``late_materialization=False`` for the classic eager pipeline — results
+are byte-identical either way.
+
 Underneath, context relations are prefixed once and memoized so repeated
 joins see stable relation fingerprints.  The db-layer memoized hash-join
 path (:class:`repro.db.executor.JoinCache`) can be layered in via
@@ -49,10 +60,12 @@ from ..core.apt import (
     build_plan,
     execute_join_step,
     restrict_base,
+    restrict_base_frame,
 )
 from ..core.join_graph import JoinGraph
 from ..db.database import Database
 from ..db.executor import JoinCache
+from ..db.frame import IndexFrame
 from ..db.provenance import ProvenanceTable
 from ..db.relation import Relation
 from .trie import CacheStats, PrefixCache
@@ -140,6 +153,8 @@ class EngineStats:
                 rejected=self.cache.rejected - old.rejected,
                 current_bytes=self.cache.current_bytes,
                 peak_bytes=self.cache.peak_bytes,
+                entries=self.cache.entries,
+                median_entry_bytes=self.cache.median_entry_bytes,
             )
         return EngineStats(
             graphs=self.graphs - since.graphs,
@@ -183,7 +198,16 @@ class MaterializationEngine:
             relation whose children's memo keys can never match again —
             measured hit rates are zero while the byte share is better
             spent on the trie.  Enable it for workloads that re-join
-            long-lived relations outside the trie's key space.
+            long-lived relations outside the trie's key space.  The memo
+            applies to the eager pipeline only (index frames carry no
+            fingerprints).
+        late_materialization: run the plan pipeline on
+            :class:`~repro.db.frame.IndexFrame` index vectors (the
+            default): joins gather only key columns, the trie caches
+            compact per-base-table row-index frames instead of full
+            relations, and APT columns gather on demand at the mining
+            edge.  Off restores the eager pipeline; results are
+            byte-identical either way.
     """
 
     def __init__(
@@ -193,11 +217,13 @@ class MaterializationEngine:
         restrict_row_ids: np.ndarray | None = None,
         cache_mb: float = 256.0,
         join_memo_entries: int = 0,
+        late_materialization: bool = True,
     ):
         if cache_mb < 0:
             raise ValueError("cache_mb must be >= 0")
         self._pt = pt
         self._db = db
+        self._late = late_materialization
         self._default_restriction = restrict_row_ids
         # Restriction fingerprint -> restricted PT-side base relation.
         # Memoized so re-asked questions reuse the same base object and
@@ -205,7 +231,9 @@ class MaterializationEngine:
         # long-lived engine answering many distinct questions cannot
         # accumulate filtered PT copies without limit (evicted bases
         # are recomputed deterministically — trie keys are unaffected).
-        self._bases: "OrderedDict[tuple | None, Relation]" = OrderedDict()
+        self._bases: "OrderedDict[tuple | None, Relation | IndexFrame]" = (
+            OrderedDict()
+        )
         total_bytes = int(cache_mb * _MB)
         if total_bytes <= 0 or join_memo_entries <= 0:
             self._join_cache = None
@@ -226,14 +254,22 @@ class MaterializationEngine:
     # ------------------------------------------------------------------
     def _restriction(
         self, restrict_row_ids: np.ndarray | None | Any
-    ) -> tuple[tuple | None, Relation]:
-        """Resolve a per-call restriction to (fingerprint, base relation)."""
+    ) -> tuple[tuple | None, "Relation | IndexFrame"]:
+        """Resolve a per-call restriction to (fingerprint, base).
+
+        The base is a filtered PT relation on the eager path, or an
+        index frame over the full PT relation (restriction as a row
+        vector) under late materialization.
+        """
         if restrict_row_ids is _USE_DEFAULT:
             restrict_row_ids = self._default_restriction
         key = restriction_fingerprint(restrict_row_ids)
         base = self._bases.get(key)
         if base is None:
-            base = restrict_base(self._pt, restrict_row_ids)
+            if self._late:
+                base = restrict_base_frame(self._pt, restrict_row_ids)
+            else:
+                base = restrict_base(self._pt, restrict_row_ids)
             self._bases[key] = base
             while len(self._bases) > _MAX_MEMOIZED_BASES:
                 self._bases.popitem(last=False)
@@ -326,7 +362,7 @@ class MaterializationEngine:
         join_graph: JoinGraph,
         plan,
         restriction_key: tuple | None,
-        base: Relation,
+        base: "Relation | IndexFrame",
     ) -> AugmentedProvenanceTable:
         steps = plan.steps
         self._graphs += 1
@@ -374,5 +410,10 @@ class MaterializationEngine:
             steps_computed=self._steps_computed,
             full_hits=self._full_hits,
             join_memo_hits=self._join_cache.hits if self._join_cache else 0,
-            cache=self._cache.stats,
+            cache=self._cache.refresh_gauges(),
         )
+
+    @property
+    def late_materialization(self) -> bool:
+        """Whether this engine runs the index-vector pipeline."""
+        return self._late

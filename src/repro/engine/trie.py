@@ -10,23 +10,44 @@ shares that graph's whole prefix, so the cache is logically a trie over
 plan steps — stored flat as a dict keyed by prefix tuples, with one LRU
 spine across all prefixes.
 
-Memory is bounded: each cached relation is charged its
-:attr:`~repro.db.relation.Relation.estimated_bytes` and cold prefixes are
-evicted least-recently-used once the budget is exceeded.  A capacity of
-zero disables caching entirely (every insert is rejected).
+Entries are whatever the engine materializes: full
+:class:`~repro.db.relation.Relation` intermediates on the eager path, or
+compact :class:`~repro.db.frame.IndexFrame` index-vector frames under
+late materialization — anything exposing ``estimated_bytes``.  Frames
+shrink entries by roughly the joined table's width, so far more prefixes
+fit in the same byte budget.
+
+Memory is bounded: each cached entry is charged its ``estimated_bytes``
+and cold prefixes are evicted least-recently-used once the budget is
+exceeded.  A capacity of zero disables caching entirely (every insert is
+rejected).  :attr:`CacheStats.entries` and
+:attr:`CacheStats.median_entry_bytes` are gauges describing the live
+entry population (refreshed by :meth:`PrefixCache.refresh_gauges`).
 """
 
 from __future__ import annotations
 
+import statistics
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Protocol
 
-from ..db.relation import Relation
+
+class CacheableEntry(Protocol):
+    """Anything the trie can hold: sized, immutable join intermediates."""
+
+    @property
+    def estimated_bytes(self) -> int: ...
 
 
 @dataclass
 class CacheStats:
-    """Counters describing one prefix cache's lifetime."""
+    """Counters describing one prefix cache's lifetime.
+
+    ``entries`` and ``median_entry_bytes`` are point-in-time gauges over
+    the live entry population (not monotone counters); the engine
+    refreshes them when its stats are read.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -35,6 +56,8 @@ class CacheStats:
     rejected: int = 0
     current_bytes: int = 0
     peak_bytes: int = 0
+    entries: int = 0
+    median_entry_bytes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -45,24 +68,32 @@ class CacheStats:
             "rejected": self.rejected,
             "current_bytes": self.current_bytes,
             "peak_bytes": self.peak_bytes,
+            "entries": self.entries,
+            "median_entry_bytes": self.median_entry_bytes,
         }
+
+    @property
+    def hit_rate(self) -> float:
+        """Probe hit fraction in [0, 1] (0.0 before any probe)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
 
 
 class PrefixCache:
-    """LRU cache mapping plan-prefix keys to intermediate relations.
+    """LRU cache mapping plan-prefix keys to join intermediates.
 
     Keys are tuples of (hashable, frozen) plan steps; values are the
-    immutable relations produced by executing exactly those steps.  The
-    byte budget counts estimated relation sizes; a single relation larger
-    than the whole budget is rejected outright rather than thrashing the
-    cache.
+    immutable relations — or index-vector frames — produced by executing
+    exactly those steps.  The byte budget counts each entry's
+    ``estimated_bytes``; a single entry larger than the whole budget is
+    rejected outright rather than thrashing the cache.
     """
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes < 0:
             raise ValueError("capacity_bytes must be >= 0")
         self.capacity_bytes = capacity_bytes
-        self._entries: "OrderedDict[tuple, tuple[Relation, int]]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, tuple[Any, int]]" = OrderedDict()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -71,8 +102,8 @@ class PrefixCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
-    def get(self, key: tuple) -> Relation | None:
-        """The relation cached under ``key``, refreshing its recency."""
+    def get(self, key: tuple) -> Any | None:
+        """The entry cached under ``key``, refreshing its recency."""
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -81,16 +112,16 @@ class PrefixCache:
         self.stats.hits += 1
         return entry[0]
 
-    def put(self, key: tuple, relation: Relation) -> None:
-        """Insert ``relation`` under ``key``, evicting cold prefixes."""
-        nbytes = relation.estimated_bytes
+    def put(self, key: tuple, value: CacheableEntry) -> None:
+        """Insert ``value`` under ``key``, evicting cold prefixes."""
+        nbytes = value.estimated_bytes
         if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
             self.stats.rejected += 1
             return
         old = self._entries.pop(key, None)
         if old is not None:
             self.stats.current_bytes -= old[1]
-        self._entries[key] = (relation, nbytes)
+        self._entries[key] = (value, nbytes)
         self.stats.current_bytes += nbytes
         self.stats.insertions += 1
         while self.stats.current_bytes > self.capacity_bytes and self._entries:
@@ -101,6 +132,22 @@ class PrefixCache:
             self.stats.peak_bytes, self.stats.current_bytes
         )
 
+    def median_entry_bytes(self) -> int:
+        """Median ``estimated_bytes`` over the live entries (0 if empty)."""
+        if not self._entries:
+            return 0
+        return int(
+            statistics.median(nbytes for _, nbytes in self._entries.values())
+        )
+
+    def refresh_gauges(self) -> CacheStats:
+        """Update (and return) the live-population gauges in ``stats``."""
+        self.stats.entries = len(self._entries)
+        self.stats.median_entry_bytes = self.median_entry_bytes()
+        return self.stats
+
     def clear(self) -> None:
         self._entries.clear()
         self.stats.current_bytes = 0
+        self.stats.entries = 0
+        self.stats.median_entry_bytes = 0

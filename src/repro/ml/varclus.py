@@ -16,12 +16,26 @@ the redundancy the paper targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 
+def _dtype_of(columns: Mapping[str, np.ndarray], name: str) -> np.dtype:
+    """A column's dtype without forcing a gather when avoidable.
+
+    Lazily-gathering mappings (e.g.
+    :class:`repro.core.quality.LazyColumns` over a late-materialized
+    APT) expose ``dtype_of``; plain dicts fall back to the array.
+    """
+    probe = getattr(columns, "dtype_of", None)
+    if probe is not None:
+        return probe(name)
+    return columns[name].dtype
+
+
 def encode_columns(
-    columns: dict[str, np.ndarray],
+    columns: Mapping[str, np.ndarray],
     codes: dict[str, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Encode a name→array mapping as a float matrix (one column each).
@@ -30,15 +44,17 @@ def encode_columns(
     a dedicated code so they still correlate.  ``codes`` may supply
     precomputed first-occurrence label encodings for object columns
     (e.g. from :class:`repro.core.kernel.MiningKernel.ml_codes`, which
-    produces exactly this encoding) to skip the per-row Python loop.
+    produces exactly this encoding) to skip the per-row Python loop —
+    columns covered there are never gathered from ``columns`` at all.
     """
     encoded = []
-    for name, arr in columns.items():
-        if arr.dtype == object:
+    for name in columns.keys():
+        if _dtype_of(columns, name) == object:
             precomputed = codes.get(name) if codes else None
             if precomputed is not None:
                 encoded.append(precomputed.astype(np.float64))
                 continue
+            arr = columns[name]
             label_codes: dict[object, int] = {}
             out = np.empty(len(arr))
             for i, value in enumerate(arr):
@@ -47,7 +63,7 @@ def encode_columns(
                 out[i] = label_codes[value]
             encoded.append(out)
         else:
-            out = arr.astype(np.float64)
+            out = columns[name].astype(np.float64)
             nan_mask = np.isnan(out)
             if nan_mask.any():
                 fill = np.nanmean(out) if (~nan_mask).any() else 0.0
@@ -81,8 +97,8 @@ def correlation_matrix(matrix: np.ndarray) -> np.ndarray:
 
 
 def cramers_v(
-    a: np.ndarray,
-    b: np.ndarray,
+    a: np.ndarray | None,
+    b: np.ndarray | None,
     a_codes: np.ndarray | None = None,
     b_codes: np.ndarray | None = None,
 ) -> float:
@@ -97,8 +113,10 @@ def cramers_v(
     label encoding of the column (e.g. from
     :meth:`repro.core.kernel.MiningKernel.ml_codes`, which produces
     exactly what :func:`_codes` computes for object columns), skipping
-    the per-row re-encoding pass.  Cramér's V only reads the contingency
-    table, so any bijective relabeling yields the same value.
+    the per-row re-encoding pass; the corresponding value array may
+    then be ``None`` (it is never read).  Cramér's V only reads the
+    contingency table, so any bijective relabeling yields the same
+    value.
     """
     a_codes, a_levels = _resolve_codes(a, a_codes)
     b_codes, b_levels = _resolve_codes(b, b_codes)
@@ -121,7 +139,7 @@ def cramers_v(
 
 
 def _resolve_codes(
-    values: np.ndarray, precomputed: np.ndarray | None
+    values: np.ndarray | None, precomputed: np.ndarray | None
 ) -> tuple[np.ndarray, int]:
     """``(codes, levels)`` from a precomputed encoding or from scratch.
 
@@ -129,6 +147,7 @@ def _resolve_codes(
     level count is ``max + 1``.
     """
     if precomputed is None:
+        assert values is not None, "need values when no codes are given"
         return _codes(values)
     codes = precomputed.astype(np.int64, copy=False)
     levels = int(codes.max()) + 1 if len(codes) else 0
@@ -160,7 +179,7 @@ def _codes(values: np.ndarray, max_bins: int = 12) -> tuple[np.ndarray, int]:
 
 
 def association_matrix(
-    columns: dict[str, np.ndarray],
+    columns: Mapping[str, np.ndarray],
     codes: dict[str, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Pairwise association: |Pearson| for numeric pairs, Cramér's V when
@@ -168,12 +187,15 @@ def association_matrix(
 
     ``codes`` may supply precomputed first-occurrence label encodings per
     column name (object columns only; numeric columns are quantile-binned
-    here regardless), feeding :func:`cramers_v` without re-encoding.
+    here regardless), feeding :func:`cramers_v` without re-encoding —
+    and without ever gathering the coded columns' value arrays from a
+    lazily-materializing ``columns`` mapping.
     """
     codes = codes or {}
     names = list(columns)
     n = len(names)
-    numeric_names = [m for m in names if columns[m].dtype != object]
+    is_object = {m: _dtype_of(columns, m) == object for m in names}
+    numeric_names = [m for m in names if not is_object[m]]
     pearson = np.zeros((n, n))
     if numeric_names:
         sub = encode_columns({m: columns[m] for m in numeric_names})
@@ -187,14 +209,16 @@ def association_matrix(
     for i in range(n):
         for j in range(i + 1, n):
             a, b = names[i], names[j]
-            if columns[a].dtype != object and columns[b].dtype != object:
+            if not is_object[a] and not is_object[b]:
                 value = pearson[i, j]
             else:
+                a_codes = codes.get(a)
+                b_codes = codes.get(b)
                 value = cramers_v(
-                    columns[a],
-                    columns[b],
-                    a_codes=codes.get(a),
-                    b_codes=codes.get(b),
+                    None if a_codes is not None else columns[a],
+                    None if b_codes is not None else columns[b],
+                    a_codes=a_codes,
+                    b_codes=b_codes,
                 )
             out[i, j] = out[j, i] = value
     return out
@@ -209,7 +233,7 @@ class AttributeCluster:
 
 
 def cluster_attributes(
-    columns: dict[str, np.ndarray],
+    columns: Mapping[str, np.ndarray],
     threshold: float = 0.9,
     same_type_only: bool = False,
     codes: dict[str, np.ndarray] | None = None,
@@ -235,7 +259,7 @@ def cluster_attributes(
         return []
     corr = association_matrix(columns, codes=codes)
     n = len(names)
-    is_text = [columns[name].dtype == object for name in names]
+    is_text = [_dtype_of(columns, name) == object for name in names]
 
     parent = list(range(n))
 

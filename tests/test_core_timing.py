@@ -7,8 +7,10 @@ import pytest
 from repro.core.timing import (
     ALL_COUNTERS,
     ALL_STEPS,
+    APT_CACHE_ENTRIES,
     APT_CACHE_EVICTIONS,
     APT_CACHE_HITS,
+    APT_CACHE_MEDIAN_ENTRY_BYTES,
     APT_CACHE_MISSES,
     F_SCORE_CALC,
     StepTimer,
@@ -131,3 +133,74 @@ class TestCounters:
         )
         assert timer.counter(APT_CACHE_MISSES) > 0
         assert APT_CACHE_MISSES in timer.counters()
+
+    def test_gauges_overwrite_instead_of_accumulating(self):
+        timer = StepTimer()
+        timer.set_gauge(APT_CACHE_ENTRIES, 10)
+        timer.set_gauge(APT_CACHE_ENTRIES, 7)
+        assert timer.counter(APT_CACHE_ENTRIES) == 7
+        other = StepTimer()
+        other.set_gauge(APT_CACHE_ENTRIES, 3)
+        timer.merge(other)
+        assert timer.counter(APT_CACHE_ENTRIES) == 3
+        assert APT_CACHE_ENTRIES in timer.counters()
+
+    def test_batch_shared_timer_reports_latest_gauge(
+        self, mini_db, mini_schema_graph
+    ):
+        """One timer across several requests must report the trie's
+        latest entry count, not the sum over requests."""
+        from repro import CajadeConfig, ComparisonQuestion
+        from repro.api import CajadeSession
+        from tests.conftest import GSW_WINS_SQL
+
+        question = ComparisonQuestion(
+            {"season": "2015-16"}, {"season": "2012-13"}
+        )
+        config = CajadeConfig(
+            max_join_edges=2, f1_sample_rate=1.0, num_selected_attrs=3
+        )
+        session = CajadeSession(mini_db, mini_schema_graph, config)
+        timer = StepTimer()
+        session.explain(GSW_WINS_SQL, question, timer=timer)
+        first = timer.counter(APT_CACHE_ENTRIES)
+        session.explain(GSW_WINS_SQL, question, timer=timer)
+        stats = session.engine_stats(GSW_WINS_SQL)
+        assert stats is not None and stats.cache is not None
+        assert timer.counter(APT_CACHE_ENTRIES) == stats.cache.entries
+        assert timer.counter(APT_CACHE_ENTRIES) <= max(
+            first, stats.cache.entries
+        )
+
+    def test_explain_populates_trie_entry_gauges(
+        self, mini_db, mini_schema_graph
+    ):
+        """The session surfaces the trie's live entry count and median
+        entry size as end-of-request StepTimer gauges, and late
+        materialization shrinks the median entry at the same budget."""
+        from repro import CajadeConfig, ComparisonQuestion
+        from repro.api import CajadeSession
+        from tests.conftest import GSW_WINS_SQL
+
+        question = ComparisonQuestion(
+            {"season": "2015-16"}, {"season": "2012-13"}
+        )
+        medians = {}
+        for late in (True, False):
+            config = CajadeConfig(
+                max_join_edges=2,
+                f1_sample_rate=1.0,
+                num_selected_attrs=3,
+                late_materialization=late,
+            )
+            timer = StepTimer()
+            CajadeSession(mini_db, mini_schema_graph, config).explain(
+                GSW_WINS_SQL, question, timer=timer
+            )
+            assert timer.counter(APT_CACHE_ENTRIES) > 0
+            assert timer.counter(APT_CACHE_MEDIAN_ENTRY_BYTES) > 0
+            text = timer.format_table()
+            assert APT_CACHE_ENTRIES in text
+            assert APT_CACHE_MEDIAN_ENTRY_BYTES in text
+            medians[late] = timer.counter(APT_CACHE_MEDIAN_ENTRY_BYTES)
+        assert medians[True] < medians[False]
