@@ -1,0 +1,234 @@
+"""Benchmark: histogram frontier-at-a-time forest, on vs off.
+
+Runs the Qnba scaling workload of the paper's Figure 9 (the user-study
+query UQ1 over a generated NBA instance) end to end and compares the
+*Feature Selection* StepTimer box between forest learners:
+
+- *hist-off*: the reference pipeline — one recursive CART tree at a
+  time, every node re-touching its rows once per feature;
+- *hist-on*: the histogram learner — all trees of a forest grown
+  breadth-first in lockstep, per-(node, feature, bin) class histograms
+  from one composite-key ``np.bincount`` per depth, and Gini gain for
+  every candidate split of every frontier node from cumulative-sum
+  histograms;
+- *hist-on workers=N*: the same, mined with a worker pool.
+
+The histogram learner is a **bitwise twin** of the reference (same
+bootstrap draws, trees, thresholds, importances), so every mode's
+ranked explanations must be byte-identical; the run fails otherwise.
+A >= 2x median speedup on *Feature Selection* (hist-on vs hist-off) is
+asserted in both full and ``--smoke`` mode (the paper-scale target is
+>= 5x; smoke keeps the bar lower only because small instances spend
+proportionally more time outside the forest).  Machine-readable
+medians and the histogram work gauges (nodes grown, histograms built,
+splits evaluated) go to ``benchmarks/results/BENCH_feature_selection
+.json`` (the smoke payload carries ``"smoke": true`` — the committed
+copy must come from a full run; regenerate with no flags before
+committing it).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_feature_selection.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import CajadeSession
+from repro.core.config import CajadeConfig
+from repro.core.timing import (
+    FEATURE_SELECTION,
+    HIST_HISTOGRAMS_BUILT,
+    HIST_NODES_GROWN,
+    HIST_SPLITS_EVALUATED,
+    StepTimer,
+)
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent
+    / "results"
+    / "BENCH_feature_selection.json"
+)
+
+
+def ranked_payload(result) -> str:
+    """Everything the user sees, minus cache counters (which legitimately
+    differ between execution strategies)."""
+    payload = json.loads(result.to_json())
+    payload.pop("apt_cache", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_mode(db, schema_graph, workload, config, repeats):
+    """Fresh-session runs of one mode.
+
+    Returns per-repeat *Feature Selection* seconds, wall totals, the
+    ranked payload, and the last repeat's histogram work gauges.
+    """
+    fs_seconds = []
+    totals = []
+    payload = None
+    gauges = {}
+    for _ in range(repeats):
+        timer = StepTimer()
+        session = CajadeSession(db, schema_graph, config)
+        start = time.perf_counter()
+        result = session.explain(workload.sql, workload.question, timer=timer)
+        totals.append(time.perf_counter() - start)
+        fs_seconds.append(timer.seconds(FEATURE_SELECTION))
+        payload = ranked_payload(result)
+        gauges = {
+            "nodes_grown": timer.counter(HIST_NODES_GROWN),
+            "histograms_built": timer.counter(HIST_HISTOGRAMS_BUILT),
+            "splits_evaluated": timer.counter(HIST_SPLITS_EVALUATED),
+        }
+    return fs_seconds, totals, payload, gauges
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.datasets import load_nba, query_by_name, user_study_query
+
+    print(f"loading NBA (scale={args.scale}) ...", flush=True)
+    db, schema_graph = load_nba(scale=args.scale, seed=5)
+    if args.workload == "fig9":
+        workload = user_study_query()
+    else:
+        workload = query_by_name(args.workload)
+    base = CajadeConfig(
+        max_join_edges=args.edges,
+        num_selected_attrs=3,
+        top_k=10,
+        seed=2,
+    )
+    modes = {
+        "hist-off": base.with_overrides(use_hist_forest=False),
+        "hist-on": base,
+        f"hist-on workers={args.workers}": base.with_overrides(
+            workers=args.workers
+        ),
+    }
+    print(
+        f"{workload.name}: λ#edges={args.edges}, "
+        f"{args.repeats} repeat(s) per mode"
+    )
+
+    results = {}
+    for label, config in modes.items():
+        fs, totals, payload, gauges = run_mode(
+            db, schema_graph, workload, config, args.repeats
+        )
+        results[label] = (fs, totals, payload, gauges)
+        shown = " ".join(f"{s:.2f}" for s in fs)
+        print(
+            f"{label:>22s}: Feature Selection {shown}s "
+            f"(median {statistics.median(fs):.2f}s, "
+            f"total median {statistics.median(totals):.2f}s)"
+        )
+        if gauges["nodes_grown"]:
+            print(f"{'':>22s}  hist {gauges}")
+
+    off_fs, off_totals, off_payload, _ = results["hist-off"]
+    on_fs, on_totals, on_payload, on_gauges = results["hist-on"]
+    median_off = statistics.median(off_fs)
+    median_on = statistics.median(on_fs)
+    speedup = median_off / median_on if median_on > 0 else float("inf")
+    print(
+        f"Feature Selection: {median_off:.2f}s -> {median_on:.2f}s "
+        f"= {speedup:.2f}x"
+    )
+
+    byte_identical = all(
+        payload == off_payload for _, _, payload, _ in results.values()
+    )
+    report = {
+        "benchmark": "bench_feature_selection",
+        "workload": workload.name
+        + (" (Fig-9 NBA scaling workload)" if args.workload == "fig9" else ""),
+        "scale": args.scale,
+        "max_join_edges": args.edges,
+        "repeats": args.repeats,
+        "workers": args.workers,
+        "smoke": args.smoke,
+        "step_measured": FEATURE_SELECTION,
+        "median_fs_seconds_hist_off": round(median_off, 4),
+        "median_fs_seconds_hist_on": round(median_on, 4),
+        "median_total_seconds_hist_off": round(
+            statistics.median(off_totals), 4
+        ),
+        "median_total_seconds_hist_on": round(
+            statistics.median(on_totals), 4
+        ),
+        "speedup": round(speedup, 2),
+        "hist_gauges": on_gauges,
+        "byte_identical": byte_identical,
+    }
+    target = RESULTS_PATH
+    if args.smoke and RESULTS_PATH.exists():
+        try:
+            committed = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            committed = {}
+        if committed.get("smoke") is False:
+            # Never clobber the committed full-run medians with smoke
+            # numbers; smoke output goes to a sibling (gitignored) file.
+            target = RESULTS_PATH.with_name(
+                "BENCH_feature_selection_smoke.json"
+            )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {target}")
+
+    if not byte_identical:
+        for label, (_, _, payload, _) in results.items():
+            if payload != off_payload:
+                print(f"FAIL: {label} explanations differ from hist-off")
+        return 1
+    print(
+        "ranked explanations byte-identical across hist-forest on/off, "
+        f"serial and workers={args.workers}"
+    )
+    if speedup < 2.0:
+        print(f"FAIL: Feature Selection speedup {speedup:.2f}x < 2x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: small workload, 1 repeat; byte-identity "
+             "and the >= 2x Feature Selection speedup are still "
+             "asserted",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="NBA dataset scale (default 0.25, the "
+                             "Fig-9 top point; smoke 0.08)")
+    parser.add_argument("--edges", type=int, default=2,
+                        help="λ#edges for all runs (default 2)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per mode (default 3; smoke 1)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--workload", default="fig9",
+                        help="'fig9' (user-study Q1prime, the default) "
+                             "or a workload name like Qnba1 — Qnba1 "
+                             "runs ~750 forests per question and shows "
+                             "the learner's upper end (~9-10x)")
+    args = parser.parse_args(argv)
+    if args.scale is None:
+        args.scale = 0.08 if args.smoke else 0.25
+    if args.repeats is None:
+        args.repeats = 1 if args.smoke else 3
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

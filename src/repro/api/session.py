@@ -85,12 +85,12 @@ from ..engine import (
 )
 from .types import ExplanationRequest, ExplanationResponse, query_fingerprint
 
-# Config fields that provably do not change mining output: ``workers``
+# Config fields that do not change mining output: ``workers``
 # preserves results exactly (per-graph generators), the engine-level
 # cache knobs only move bytes around, and the scoring-kernel /
-# late-materialization knobs are byte-identical by construction
-# (asserted by tests).  Everything else keys the session's per-graph
-# mining memo.
+# late-materialization / histogram-forest knobs are byte-identical by
+# construction (asserted by tests).  Everything else keys the
+# session's per-graph mining memo.
 _MINING_NEUTRAL_FIELDS = frozenset(
     {
         "workers",
@@ -101,6 +101,7 @@ _MINING_NEUTRAL_FIELDS = frozenset(
         "kernel_verify",
         "use_code_lca",
         "late_materialization",
+        "use_hist_forest",
     }
 )
 

@@ -96,6 +96,12 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                              "based reference path instead of the "
                              "kernel's dictionary codes (identical "
                              "results, slower)")
+    parser.add_argument("--no-hist-forest", action="store_true",
+                        help="train the feature-selection forest with "
+                             "the per-node CART reference learner "
+                             "instead of the histogram-based "
+                             "frontier-at-a-time learner (identical "
+                             "results, slower)")
     parser.add_argument("--no-late-mat", action="store_true",
                         help="run joins and APT materialization on the "
                              "eager column-copying pipeline instead of "
@@ -118,6 +124,7 @@ def _config_from(args: argparse.Namespace) -> CajadeConfig:
             kernel_cache_mb=args.kernel_cache_mb,
             use_kernel=not args.no_kernel,
             use_code_lca=not args.no_code_lca,
+            use_hist_forest=not args.no_hist_forest,
             late_materialization=not args.no_late_mat,
         )
     except ValueError as exc:

@@ -19,11 +19,18 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from ..ml.hist_forest import HistRandomForestClassifier
 from ..ml.random_forest import RandomForestClassifier
 from ..ml.varclus import AttributeCluster, cluster_attributes, encode_columns
 from .apt import AugmentedProvenanceTable
 from .config import CajadeConfig
 from .quality import QualityEvaluator
+from .timing import (
+    HIST_HISTOGRAMS_BUILT,
+    HIST_NODES_GROWN,
+    HIST_SPLITS_EVALUATED,
+    StepTimer,
+)
 
 
 class _NamedView(Mapping):
@@ -76,11 +83,15 @@ def filter_attributes(
     evaluator: QualityEvaluator,
     config: CajadeConfig,
     rng: np.random.Generator,
+    timer: StepTimer | None = None,
 ) -> FilteredAttributes:
     """Run clustering + random-forest relevance selection on an APT.
 
     With ``config.use_feature_selection`` disabled, all minable attributes
     pass through untouched (the paper's "Naive" arm of Figure 7).
+
+    ``timer`` (optional) accumulates the histogram forest's work
+    counters (nodes grown / histograms built / splits evaluated).
     """
     columns = evaluator.columns()
     names = sorted(columns)
@@ -164,13 +175,48 @@ def filter_attributes(
     matrix = encode_columns(rep_columns, codes=rep_codes)
     y = (labels[informative] == 1).astype(np.float64)
     X = matrix[informative]
-    forest = RandomForestClassifier(
-        n_estimators=config.rf_num_trees,
-        max_depth=config.rf_max_depth,
-        max_samples=config.rf_max_samples,
-        random_state=config.seed,
-    )
-    forest.fit(X, y)
+    # Both learners examine every feature at every split: relevance
+    # ranking wants the full importance signal, per-node feature
+    # subsampling only adds rng noise to it, and the histogram learner
+    # covers all features per depth anyway.  With that pinned, the two
+    # branches produce bit-identical forests (same bootstrap draws,
+    # trees, importances) — the knob is pure speed.
+    if config.use_hist_forest:
+        # Histogram learner on the dictionary codes: every object
+        # column of the matrix holds first-occurrence label codes
+        # (straight from the kernel's ml_codes when available, from
+        # encode_columns's per-row pass otherwise) — codes are bins.
+        hist_forest = HistRandomForestClassifier(
+            n_estimators=config.rf_num_trees,
+            max_depth=config.rf_max_depth,
+            max_samples=config.rf_max_samples,
+            random_state=config.seed,
+        )
+        hist_forest.fit(
+            X,
+            y,
+            categorical_features={
+                i
+                for i, name in enumerate(representatives)
+                if rep_columns.dtype_of(name) == object
+            },
+        )
+        if timer is not None:
+            timer.count(HIST_NODES_GROWN, hist_forest.nodes_grown)
+            timer.count(HIST_HISTOGRAMS_BUILT, hist_forest.histograms_built)
+            timer.count(HIST_SPLITS_EVALUATED, hist_forest.splits_evaluated)
+        forest: "HistRandomForestClassifier | RandomForestClassifier" = (
+            hist_forest
+        )
+    else:
+        forest = RandomForestClassifier(
+            n_estimators=config.rf_num_trees,
+            max_depth=config.rf_max_depth,
+            max_samples=config.rf_max_samples,
+            max_features=X.shape[1],
+            random_state=config.seed,
+        )
+        forest.fit(X, y)
     assert forest.feature_importances_ is not None
     relevance = dict(zip(representatives, forest.feature_importances_))
 

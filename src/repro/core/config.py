@@ -64,6 +64,21 @@ class CajadeConfig:
     rf_max_samples: int = 3000
     """Row cap for each bootstrap sample when APTs are large."""
 
+    use_hist_forest: bool = True
+    """Train the §3.1 relevance forest with the histogram-based
+    frontier-at-a-time learner
+    (:class:`repro.ml.hist_forest.HistRandomForestClassifier`): the
+    kernel's dictionary codes pass straight through as bins, other
+    columns are dictionary-encoded once per forest, and each tree depth
+    is a handful of ``np.bincount``/cumsum array ops scoring every
+    candidate split of every frontier node at once.  Off trains the
+    retained per-node CART reference forest
+    (:class:`repro.ml.random_forest.RandomForestClassifier`) in the
+    same all-features-per-split configuration.  The two learners
+    produce **bit-identical** forests — same bootstrap samples, trees,
+    thresholds, and feature importances — so the knob never changes
+    selected attributes or ranked output, only speed."""
+
     # -- LCA pattern candidates (§3.2, λpat-samp) -----------------------
     lca_sample_rate: float = 0.1
     """λpat-samp: fraction of the APT sampled for LCA generation."""

@@ -108,11 +108,15 @@ def mine_apt(
 
     if config.use_feature_selection:
         with timer.step(FEATURE_SELECTION):
-            filtered = filter_attributes(apt, full_evaluator, config, rng)
+            filtered = filter_attributes(
+                apt, full_evaluator, config, rng, timer=timer
+            )
     else:
         # The paper's "w/o feature selection" arm reports N/A for this
         # step, so the passthrough is not timed under its label.
-        filtered = filter_attributes(apt, full_evaluator, config, rng)
+        filtered = filter_attributes(
+            apt, full_evaluator, config, rng, timer=timer
+        )
 
     with timer.step(GEN_PATTERN_CANDIDATES):
         # Code-based LCA (§3.2 on int32 dictionary codes) whenever the

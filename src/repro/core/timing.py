@@ -57,6 +57,16 @@ KERNEL_MASK_EVICTIONS = "Kernel mask evictions"
 KERNEL_INCREMENTAL_EVALS = "Kernel incremental evals"
 KERNEL_FULL_EVALS = "Kernel full evals"
 
+# Canonical counter labels (§3.1 histogram-forest feature selection).
+# "Nodes grown" counts tree nodes created (leaves included),
+# "histograms built" counts per-(node, feature) bin histograms, and
+# "splits evaluated" counts the candidate (node, feature, bin) splits
+# scored by the vectorized Gini pass — all summed across the trees and
+# APTs of a request.
+HIST_NODES_GROWN = "Hist forest nodes grown"
+HIST_HISTOGRAMS_BUILT = "Hist forest histograms built"
+HIST_SPLITS_EVALUATED = "Hist forest splits evaluated"
+
 # Canonical counter labels (§3.2 LCA candidate generation).  "Pairs
 # examined" counts sampled row pairs entering the agreement computation;
 # "patterns built" counts Pattern object constructions — with the
@@ -77,6 +87,9 @@ ALL_COUNTERS = (
     KERNEL_MASK_EVICTIONS,
     KERNEL_INCREMENTAL_EVALS,
     KERNEL_FULL_EVALS,
+    HIST_NODES_GROWN,
+    HIST_HISTOGRAMS_BUILT,
+    HIST_SPLITS_EVALUATED,
     LCA_PAIRS_EXAMINED,
     LCA_PATTERNS_BUILT,
 )

@@ -1,6 +1,13 @@
 """Machine-learning substrate: trees, forests, attribute clustering, metrics."""
 
 from .decision_tree import DecisionTreeClassifier, gini_impurity
+from .hist_forest import (
+    BinnedMatrix,
+    FlatTree,
+    HistRandomForestClassifier,
+    apply_bins,
+    bin_matrix,
+)
 from .metrics import (
     dcg,
     kendall_tau_distance,
@@ -22,14 +29,19 @@ from .varclus import (
 
 __all__ = [
     "AttributeCluster",
+    "apply_bins",
     "association_matrix",
+    "bin_matrix",
+    "BinnedMatrix",
     "cluster_attributes",
     "cramers_v",
     "correlation_matrix",
     "dcg",
     "DecisionTreeClassifier",
     "encode_columns",
+    "FlatTree",
     "gini_impurity",
+    "HistRandomForestClassifier",
     "kendall_tau_distance",
     "kendall_tau_distance_scores",
     "ndcg",

@@ -121,17 +121,36 @@ class DecisionTreeClassifier:
             features = self.rng.choice(
                 features, size=self.max_features, replace=False
             )
+        # Node-level precomputation, hoisted out of the feature loop:
+        # the positive-label total is feature-independent, and the
+        # quantile candidate thresholds of every examined feature come
+        # from one nanquantile call (non-finite cells masked to NaN, so
+        # per-column results equal np.quantile over the finite values).
+        total_pos = float((y > 0.5).sum())
+        examined = X[:, features]
+        finite_mask = np.isfinite(examined)
+        finite_counts = finite_mask.sum(axis=0)
+        quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+        splittable = finite_counts >= 2
+        all_candidates = np.full((len(quantiles), len(features)), np.nan)
+        if splittable.any():
+            with np.errstate(invalid="ignore"):
+                all_candidates[:, splittable] = np.nanquantile(
+                    np.where(
+                        finite_mask[:, splittable],
+                        examined[:, splittable],
+                        np.nan,
+                    ),
+                    quantiles,
+                    axis=0,
+                )
         best: tuple[int, float, float] | None = None
         best_gain = 1e-12
-        for feature in features:
-            col = X[:, feature]
-            finite = col[np.isfinite(col)]
-            if len(finite) < 2:
+        for index, feature in enumerate(features):
+            if not splittable[index]:
                 continue
-            quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
-            candidates = np.unique(np.quantile(finite, quantiles))
-            if len(candidates) == 0:
-                continue
+            col = examined[:, index]
+            candidates = np.unique(all_candidates[:, index])
             # Vectorized gain over all candidate thresholds at once.
             below = col[:, None] <= candidates[None, :]
             n_left = below.sum(axis=0).astype(np.float64)
@@ -140,7 +159,6 @@ class DecisionTreeClassifier:
             if not valid.any():
                 continue
             pos_left = (below & (y[:, None] > 0.5)).sum(axis=0)
-            total_pos = float((y > 0.5).sum())
             with np.errstate(invalid="ignore", divide="ignore"):
                 p_left = pos_left / n_left
                 p_right = (total_pos - pos_left) / n_right
@@ -158,18 +176,30 @@ class DecisionTreeClassifier:
 
     # ------------------------------------------------------------------
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Positive-class probability for each row of X."""
+        """Positive-class probability for each row of X.
+
+        Rows are routed through the tree level by level with boolean
+        masks — one ``<=`` comparison per (node, its rows) instead of a
+        per-row Python walk, identical predictions.
+        """
         if self._root is None:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=np.float64)
         out = np.empty(len(X))
-        for i in range(len(X)):
-            node = self._root
-            while not node.is_leaf:
+        frontier: list[tuple[_Node, np.ndarray]] = [
+            (self._root, np.arange(len(X)))
+        ]
+        while frontier:
+            next_frontier: list[tuple[_Node, np.ndarray]] = []
+            for node, rows in frontier:
+                if node.is_leaf:
+                    out[rows] = node.prediction
+                    continue
                 assert node.left is not None and node.right is not None
-                value = X[i, node.feature]
-                node = node.left if value <= node.threshold else node.right
-            out[i] = node.prediction
+                mask = X[rows, node.feature] <= node.threshold
+                next_frontier.append((node.left, rows[mask]))
+                next_frontier.append((node.right, rows[~mask]))
+            frontier = next_frontier
         return out
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -118,8 +118,17 @@ def cramers_v(
     contingency table, so any bijective relabeling yields the same
     value.
     """
-    a_codes, a_levels = _resolve_codes(a, a_codes)
-    b_codes, b_levels = _resolve_codes(b, b_codes)
+    return _cramers_v_from_codes(
+        _resolve_codes(a, a_codes), _resolve_codes(b, b_codes)
+    )
+
+
+def _cramers_v_from_codes(
+    a: tuple[np.ndarray, int], b: tuple[np.ndarray, int]
+) -> float:
+    """Cramér's V from resolved ``(codes, levels)`` pairs."""
+    a_codes, a_levels = a
+    b_codes, b_levels = b
     if a_levels < 2 or b_levels < 2:
         return 0.0
     n = len(a_codes)
@@ -206,20 +215,27 @@ def association_matrix(
                 if a in idx and b in idx:
                     pearson[i, j] = corr[idx[a], idx[b]]
     out = np.eye(n)
+    # Resolve each column's (codes, levels) once: numeric columns keep
+    # their quantile binning but are no longer re-binned per pair, and
+    # precomputed label encodings resolve their level count once.
+    resolved: dict[str, tuple[np.ndarray, int]] = {}
+
+    def codes_of(name: str) -> tuple[np.ndarray, int]:
+        pair = resolved.get(name)
+        if pair is None:
+            pair = _resolve_codes(
+                None if name in codes else columns[name], codes.get(name)
+            )
+            resolved[name] = pair
+        return pair
+
     for i in range(n):
         for j in range(i + 1, n):
             a, b = names[i], names[j]
             if not is_object[a] and not is_object[b]:
                 value = pearson[i, j]
             else:
-                a_codes = codes.get(a)
-                b_codes = codes.get(b)
-                value = cramers_v(
-                    None if a_codes is not None else columns[a],
-                    None if b_codes is not None else columns[b],
-                    a_codes=a_codes,
-                    b_codes=b_codes,
-                )
+                value = _cramers_v_from_codes(codes_of(a), codes_of(b))
             out[i, j] = out[j, i] = value
     return out
 

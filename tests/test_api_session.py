@@ -169,6 +169,33 @@ class TestCrossQuestionReuse:
         assert session.stats.queries_evicted >= 2
 
 
+class TestHistForestKnob:
+    """`use_hist_forest` is mining-neutral: the histogram learner is a
+    bitwise twin of the reference forest, so ranked output is
+    byte-identical with the knob on or off, serial or parallel."""
+
+    def test_knob_off_byte_identical(self, mini_db, mini_schema_graph):
+        on = cold_payload(mini_db, mini_schema_graph, QUESTION)
+        off = cold_payload(
+            mini_db, mini_schema_graph, QUESTION,
+            overrides={"use_hist_forest": False},
+        )
+        assert on == off
+
+    def test_knob_identical_across_workers(
+        self, mini_db, mini_schema_graph
+    ):
+        serial = cold_payload(mini_db, mini_schema_graph, QUESTION)
+        parallel_on = cold_payload(
+            mini_db, mini_schema_graph, QUESTION, workers=4
+        )
+        parallel_off = cold_payload(
+            mini_db, mini_schema_graph, QUESTION,
+            overrides={"use_hist_forest": False}, workers=4,
+        )
+        assert serial == parallel_on == parallel_off
+
+
 class TestFingerprints:
     def test_whitespace_insensitive(self):
         spaced = GSW_WINS_SQL.replace(" ", "  ").replace(",", ", ")

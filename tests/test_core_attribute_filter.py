@@ -172,3 +172,43 @@ class TestGroupDeterminedGuard:
         )
         # pts varies within each side → must survive the guard.
         assert "player_game.pts" in filtered.all_selected
+
+
+class TestHistForestKnob:
+    """`use_hist_forest` swaps the learner, never the answer: the
+    histogram forest is a bitwise twin of the reference forest, so the
+    selected attributes and relevance scores match exactly."""
+
+    def _filter(self, setup, **knobs):
+        apt, evaluator = setup
+        config = CajadeConfig(num_selected_attrs=2, seed=0, **knobs)
+        return filter_attributes(
+            apt, evaluator, config, np.random.default_rng(1234)
+        )
+
+    def test_on_off_identical_selection(self, setup):
+        on = self._filter(setup, use_hist_forest=True)
+        off = self._filter(setup, use_hist_forest=False)
+        assert on.numeric == off.numeric
+        assert on.categorical == off.categorical
+        assert on.relevance == off.relevance  # exact float equality
+
+    def test_hist_counters_recorded(self, setup):
+        from repro.core.timing import (
+            HIST_HISTOGRAMS_BUILT,
+            HIST_NODES_GROWN,
+            HIST_SPLITS_EVALUATED,
+            StepTimer,
+        )
+
+        apt, evaluator = setup
+        timer = StepTimer()
+        filter_attributes(
+            apt, evaluator,
+            CajadeConfig(num_selected_attrs=2, seed=0),
+            np.random.default_rng(1234),
+            timer=timer,
+        )
+        assert timer.counter(HIST_NODES_GROWN) > 0
+        assert timer.counter(HIST_HISTOGRAMS_BUILT) > 0
+        assert timer.counter(HIST_SPLITS_EVALUATED) > 0

@@ -85,3 +85,38 @@ class TestDecisionTree:
         tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
         probs = tree.predict_proba(x)
         assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_importances_golden(self):
+        """Pins the split arithmetic bit-for-bit.  The quantile grid
+        and positive-count totals are hoisted out of the per-feature
+        loop in `_best_split`; this golden locks in that the hoist (or
+        any future micro-optimisation) never shifts a split."""
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(300, 4))
+        x[::9, 2] = np.nan
+        y = ((x[:, 0] + 0.5 * x[:, 1]) > 0).astype(float)
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert tree.feature_importances_.tolist() == [
+            0.6877909747339919,
+            0.3122090252660081,
+            0.0,
+            0.0,
+        ]
+
+    def test_vectorized_predict_proba_matches_traversal(self, rng):
+        """The batched predict_proba must route rows exactly as a
+        one-row-at-a-time walk of the tree would (NaN goes right)."""
+        x = rng.normal(size=(400, 3))
+        x[::5, 1] = np.nan
+        y = (np.nan_to_num(x[:, 1]) + x[:, 0] > 0).astype(float)
+        tree = DecisionTreeClassifier(max_depth=5).fit(x, y)
+
+        def walk(node, row):
+            while node.feature is not None:
+                value = row[node.feature]
+                go_left = value <= node.threshold  # False for NaN
+                node = node.left if go_left else node.right
+            return node.prediction
+
+        expected = np.array([walk(tree._root, row) for row in x])
+        assert np.array_equal(tree.predict_proba(x), expected)
