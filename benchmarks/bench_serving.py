@@ -1,0 +1,281 @@
+"""Benchmark: the concurrent explanation service vs stateless serving.
+
+Before the serving layer, putting CaJaDE behind an endpoint meant the
+stateless one-shot path: every request builds a fresh session, parses
+its query, recomputes provenance, enumerates join graphs, and mines
+from scratch.  The serving tier replaces that with persistent sharded
+workers over one shared-memory database export, an in-flight coalescer,
+and a fingerprint-keyed response cache — so a skewed request stream
+(real workloads repeat their hot questions) pays each distinct
+computation once.
+
+The benchmark replays one seeded zipf-skewed stream through both:
+
+1. *serial / stateless*: requests answered one at a time, a fresh
+   ``CajadeSession`` per request (the pre-serving baseline);
+2. *service*: the same stream submitted concurrently to an
+   ``ExplanationService`` over a ``ProcessPoolBackend`` (pool startup
+   excluded from the measured window).
+
+It reports sustained qps and p50/p99 latency for both, asserts the
+service is >= ``--min-speedup`` (default 2x) faster, and — the part
+that matters — asserts every service response is **byte-identical** to
+the serial answer for the same request, whether it was executed,
+coalesced, or replayed from cache.  Machine-readable results go to
+``benchmarks/results/BENCH_serving.json`` (the smoke payload carries
+``"smoke": true`` — regenerate the committed file with no flags).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import CajadeSession, ExplanationRequest
+from repro.core.config import CajadeConfig
+from repro.core.question import OutlierQuestion
+from repro.serving import (
+    ExplanationService,
+    ProcessPoolBackend,
+    canonical_payload,
+)
+from repro.serving.metrics import percentile
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent / "results" / "BENCH_serving.json"
+)
+
+
+def build_universe(num_queries: int) -> list[ExplanationRequest]:
+    """The distinct requests the stream draws from.
+
+    Per workload query: its comparison question, an outlier variant on
+    the primary side, and a smaller-``top_k`` rewrite of the comparison
+    (same fingerprint, different output-relevant config — exercises the
+    cache-key split).
+    """
+    from repro.datasets.workloads import nba_queries
+
+    universe: list[ExplanationRequest] = []
+    for workload in nba_queries()[:num_queries]:
+        universe.append(ExplanationRequest(workload.sql, workload.question))
+        universe.append(
+            ExplanationRequest(
+                workload.sql, OutlierQuestion(workload.question.primary)
+            )
+        )
+        universe.append(
+            ExplanationRequest(workload.sql, workload.question, top_k=3)
+        )
+    return universe
+
+
+def zipf_stream(
+    universe: list[ExplanationRequest],
+    length: int,
+    seed: int,
+    exponent: float = 1.3,
+) -> list[ExplanationRequest]:
+    """A seeded stream where request i is drawn ∝ 1/rank^exponent."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(universe))]
+    stream = rng.choices(universe, weights=weights, k=length)
+    # Every distinct request appears at least once so both systems do
+    # the same set of unique computations.
+    for i, request in enumerate(universe):
+        stream[i * (length // len(universe))] = request
+    return stream
+
+
+def run_serial(db, schema_graph, config, stream):
+    """Stateless baseline: fresh session per request, one at a time."""
+    payloads: list[str] = []
+    latencies: list[float] = []
+    start = time.perf_counter()
+    for request in stream:
+        t0 = time.perf_counter()
+        session = CajadeSession(db, schema_graph, config)
+        result = session.explain(request)
+        payloads.append(canonical_payload(result))
+        latencies.append(time.perf_counter() - t0)
+    return payloads, time.perf_counter() - start, latencies
+
+
+def run_service(db, schema_graph, config, stream, workers, cache_mb, depth):
+    """The serving tier answering the same stream concurrently."""
+    backend = ProcessPoolBackend(
+        db, schema_graph, config, num_shards=workers
+    )
+    t0 = time.perf_counter()
+    backend.start()  # excluded from the measured window
+    startup = time.perf_counter() - t0
+    shared_bytes = backend.shared_bytes  # stop() releases the export
+
+    async def drive():
+        async with ExplanationService(
+            backend, response_cache_mb=cache_mb
+        ) as service:
+            gate = asyncio.Semaphore(depth)
+
+            async def one(request):
+                async with gate:
+                    return await service.submit(request)
+
+            start = time.perf_counter()
+            responses = await asyncio.gather(*(one(r) for r in stream))
+            elapsed = time.perf_counter() - start
+            return responses, elapsed, service.stats.snapshot()
+
+    responses, elapsed, stats = asyncio.run(drive())
+    payloads = [r.payload for r in responses]
+    latencies = [r.latency_seconds for r in responses]
+    return payloads, elapsed, latencies, stats, startup, shared_bytes
+
+
+def summarize(name, elapsed, latencies):
+    qps = len(latencies) / elapsed if elapsed > 0 else float("inf")
+    p50 = percentile(latencies, 50.0) * 1e3
+    p99 = percentile(latencies, 99.0) * 1e3
+    print(
+        f"{name}: {len(latencies)} requests in {elapsed:6.2f}s  "
+        f"({qps:6.2f} qps, p50 {p50:7.2f}ms, p99 {p99:8.2f}ms)"
+    )
+    return {
+        "requests": len(latencies),
+        "seconds": round(elapsed, 4),
+        "qps": round(qps, 3),
+        "latency_p50_ms": round(p50, 3),
+        "latency_p99_ms": round(p99, 3),
+    }
+
+
+def run(args: argparse.Namespace) -> int:
+    from repro.datasets import load_nba
+
+    print(f"loading NBA (scale={args.scale}) ...", flush=True)
+    db, schema_graph = load_nba(scale=args.scale, seed=5)
+    config = CajadeConfig(max_join_edges=2, top_k=10, seed=2)
+
+    universe = build_universe(args.queries)
+    stream = zipf_stream(universe, args.length, seed=args.seed)
+    distinct = len({id(r) for r in stream})
+    print(
+        f"stream: {len(stream)} requests over {len(universe)} distinct "
+        f"({distinct} drawn), zipf seed {args.seed}"
+    )
+
+    print("serial (stateless one-shot per request):", flush=True)
+    serial_payloads, t_serial, serial_lat = run_serial(
+        db, schema_graph, config, stream
+    )
+    serial = summarize("serial ", t_serial, serial_lat)
+
+    print(
+        f"service ({args.workers} workers, "
+        f"{args.response_cache_mb:g}MB response cache):",
+        flush=True,
+    )
+    (
+        service_payloads,
+        t_service,
+        service_lat,
+        stats,
+        startup,
+        shared_bytes,
+    ) = run_service(
+        db,
+        schema_graph,
+        config,
+        stream,
+        args.workers,
+        args.response_cache_mb,
+        args.depth,
+    )
+    service = summarize("service", t_service, service_lat)
+    print(
+        f"  pool startup {startup:.2f}s (excluded), "
+        f"{shared_bytes / 1e6:.2f}MB shared, "
+        f"{stats['cache_hits']} cache hits + {stats['coalesced']} "
+        f"coalesced of {stats['requests']} requests, "
+        f"{stats['batches']} batches"
+    )
+
+    mismatches = sum(
+        1 for a, b in zip(serial_payloads, service_payloads) if a != b
+    )
+    if mismatches:
+        print(f"FAIL: {mismatches}/{len(stream)} responses differ")
+        return 1
+    print("every service response byte-identical to the serial answer")
+
+    speedup = t_serial / t_service if t_service > 0 else float("inf")
+    print(f"throughput: {speedup:.2f}x serial")
+    payload = {
+        "smoke": bool(args.smoke),
+        "scale": args.scale,
+        "stream_length": len(stream),
+        "distinct_requests": len(universe),
+        "workers": args.workers,
+        "response_cache_mb": args.response_cache_mb,
+        "max_in_flight": args.depth,
+        "serial": serial,
+        "service": service,
+        "speedup": round(speedup, 3),
+        "pool_startup_seconds": round(startup, 3),
+        "shared_memory_bytes": shared_bytes,
+        "service_stats": stats,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x < {args.min_speedup:g}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: small scale and stream, 2 workers",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="NBA dataset scale (default 0.1; smoke 0.04)")
+    parser.add_argument("--length", type=int, default=None,
+                        help="stream length (default 36; smoke 15)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload queries in the universe "
+                        "(default 2; smoke 1)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker pool shards (default 2)")
+    parser.add_argument("--response-cache-mb", type=float, default=64.0)
+    parser.add_argument("--depth", type=int, default=8,
+                        help="max in-flight submissions (default 8)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required service/serial throughput ratio")
+    args = parser.parse_args(argv)
+    if args.scale is None:
+        args.scale = 0.04 if args.smoke else 0.1
+    if args.length is None:
+        args.length = 15 if args.smoke else 36
+    if args.queries is None:
+        args.queries = 1 if args.smoke else 2
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,12 @@ objects individual questions travel in.  The legacy one-shot
 over a one-request session.
 """
 
-from .session import CajadeSession, QuestionBuilder, SessionStats
+from .session import (
+    CajadeSession,
+    QuestionBuilder,
+    SessionStats,
+    mining_config_key,
+)
 from .types import (
     ExplanationRequest,
     ExplanationResponse,
@@ -23,5 +28,6 @@ __all__ = [
     "ExplanationResponse",
     "QuestionBuilder",
     "SessionStats",
+    "mining_config_key",
     "query_fingerprint",
 ]

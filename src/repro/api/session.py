@@ -106,12 +106,26 @@ _MINING_NEUTRAL_FIELDS = frozenset(
 )
 
 
-def _mining_config_key(config: CajadeConfig) -> tuple:
+def mining_config_key(config: CajadeConfig) -> tuple:
+    """The output-relevant projection of a config, as a hashable key.
+
+    Two configs with equal keys produce byte-identical ranked
+    explanations for the same question: the excluded fields are exactly
+    the mining-neutral knobs (worker count, cache budgets, the
+    byte-identical kernel/storage/forest toggles).  This key namespaces
+    the session's per-graph mining memo, :meth:`CajadeSession
+    .explain_batch`'s duplicate-request coalescing, and the serving
+    layer's cross-request response cache.
+    """
     return tuple(
         (name, value)
         for name, value in sorted(vars(config).items())
         if name not in _MINING_NEUTRAL_FIELDS
     )
+
+
+# Backwards-compatible private alias (pre-serving-layer name).
+_mining_config_key = mining_config_key
 
 
 @dataclass
@@ -120,6 +134,7 @@ class SessionStats:
 
     requests: int = 0
     batches: int = 0
+    requests_deduped: int = 0
     queries_registered: int = 0
     query_state_hits: int = 0
     enumeration_hits: int = 0
@@ -130,7 +145,8 @@ class SessionStats:
     def describe(self) -> str:
         return (
             f"session: {self.requests} requests "
-            f"({self.batches} batches), "
+            f"({self.batches} batches, "
+            f"{self.requests_deduped} deduped), "
             f"{self.queries_registered} queries registered, "
             f"{self.query_state_hits} query-state hits, "
             f"{self.enumeration_hits} enumeration hits, "
@@ -339,25 +355,46 @@ class CajadeSession:
         predecessor just warmed; one worker pool (sized to the largest
         per-request ``workers``) is shared across the whole batch
         instead of being rebuilt per request.
+
+        Duplicate requests — same query fingerprint, question and
+        output-relevant config (:func:`mining_config_key`, so knobs like
+        ``workers`` that never change results don't split the group) —
+        are computed once and the response object fanned out to every
+        duplicate slot, matching the serving layer's in-flight
+        coalescing semantics.  Fan-out is byte-identical by construction
+        (the shared computation is exactly what each duplicate would
+        have produced); the shared response's ``request``/timing fields
+        describe the first occurrence.
         """
         requests = list(requests)
         self._stats.batches += 1
 
         fp_rank: dict[str, int] = {}
         question_rank: dict[tuple[str, str], int] = {}
+        first_of: dict[tuple, int] = {}
+        duplicate_of: dict[int, int] = {}
         keyed: list[tuple[int, int, int]] = []
         max_workers = 1
         for index, request in enumerate(requests):
             fingerprint = request.fingerprint
+            config = request.config_for(self.config)
+            rkey = (
+                fingerprint,
+                repr(request.question),
+                mining_config_key(config),
+            )
+            first = first_of.setdefault(rkey, index)
+            if first != index:
+                duplicate_of[index] = first
+                self._stats.requests_deduped += 1
+                continue
             fp_rank.setdefault(fingerprint, len(fp_rank))
             qkey = (fingerprint, repr(request.question))
             question_rank.setdefault(qkey, len(question_rank))
             keyed.append(
                 (fp_rank[fingerprint], question_rank[qkey], index)
             )
-            max_workers = max(
-                max_workers, request.config_for(self.config).workers
-            )
+            max_workers = max(max_workers, config.workers)
 
         responses: list[ExplanationResponse | None] = [None] * len(requests)
         pool = (
@@ -373,6 +410,8 @@ class CajadeSession:
         finally:
             if pool is not None:
                 pool.shutdown()
+        for index, first in duplicate_of.items():
+            responses[index] = responses[first]
         return responses  # type: ignore[return-value]
 
     # -- the pipeline ----------------------------------------------------

@@ -7,7 +7,11 @@ Commands:
 - ``explain``   — run CaJaDE on a CSV database with an inline SQL query
   and user question;
 - ``workload``  — run one of the paper's named workload queries
-  (Qnba1..5, Qmimic1..5) on a freshly generated dataset.
+  (Qnba1..5, Qmimic1..5) on a freshly generated dataset;
+- ``serve``     — expose a CSV database as a concurrent explanation
+  service over HTTP (``POST /explain``, ``GET /stats``): a sharded
+  worker pool behind a coalescing front-end with a cross-request
+  response cache.
 
 Examples:
 
@@ -19,6 +23,7 @@ Examples:
                GROUP BY s.season_name" \
         --t1 season_name=2015-16 --t2 season_name=2012-13
     python -m repro workload Qmimic4 --scale 0.2
+    python -m repro serve /tmp/nba --port 8321 --shards 2
 """
 
 from __future__ import annotations
@@ -199,6 +204,74 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .db.csvio import load_database
+    from .serving import (
+        ExplanationService,
+        InlineBackend,
+        ProcessPoolBackend,
+        serve_http,
+    )
+
+    config = _config_from(args)
+    db = load_database(args.database)
+    schema_graph = SchemaGraph.from_database(db)
+    if args.shards == 0:
+        backend: Any = InlineBackend(db, schema_graph, config)
+    else:
+        backend = ProcessPoolBackend(
+            db, schema_graph, config, num_shards=args.shards
+        )
+
+    async def run() -> None:
+        import signal
+
+        # Explicit signal handling rather than relying on asyncio.Runner's
+        # KeyboardInterrupt cancellation: SIGTERM (the default `kill`) must
+        # also shut down cleanly, or the daemon worker processes are
+        # orphaned and the shared-memory export leaks until the resource
+        # tracker notices.
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        try:
+            async with ExplanationService(
+                backend,
+                response_cache_mb=args.response_cache_mb,
+                max_batch=args.max_batch,
+            ) as service:
+                server = await serve_http(
+                    service, host=args.host, port=args.port
+                )
+                host, port = server.sockets[0].getsockname()[:2]
+                print(
+                    f"serving {db} on http://{host}:{port} "
+                    "(POST /explain, GET /stats)"
+                )
+                if isinstance(backend, ProcessPoolBackend):
+                    print(
+                        f"{backend.num_shards} workers over "
+                        f"{backend.shared_bytes / 1e6:.2f}MB shared memory"
+                    )
+                else:
+                    print("inline backend (no worker processes)")
+                async with server:
+                    await stop.wait()
+                    print("shutting down")
+        finally:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(sig)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--scale", type=float, default=0.2)
     _add_config_flags(wl)
     wl.set_defaults(func=cmd_workload)
+
+    srv = sub.add_parser(
+        "serve", help="serve explanations over HTTP (concurrent)"
+    )
+    srv.add_argument("database", help="CSV database directory")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8321,
+                     help="listen port (default 8321; 0 = any free port)")
+    srv.add_argument("--shards", type=int, default=2,
+                     help="worker pool processes, one per fingerprint "
+                          "shard (default 2; 0 = inline, no processes)")
+    srv.add_argument("--response-cache-mb", type=float, default=64.0,
+                     help="cross-request response cache budget in MB "
+                          "(default 64; 0 disables replay)")
+    srv.add_argument("--max-batch", type=int, default=16,
+                     help="max requests per locality-ordered batch "
+                          "(default 16)")
+    _add_config_flags(srv)
+    srv.set_defaults(func=cmd_serve)
     return parser
 
 

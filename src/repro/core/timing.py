@@ -75,6 +75,18 @@ HIST_SPLITS_EVALUATED = "Hist forest splits evaluated"
 LCA_PAIRS_EXAMINED = "LCA pairs examined"
 LCA_PATTERNS_BUILT = "LCA patterns built"
 
+# Canonical counter labels (serving layer).  Requests are counted once
+# at admission; "coalesced" counts requests that joined an identical
+# in-flight computation, "cache hits" counts responses served from the
+# cross-request response cache, and "queue depth" is a gauge over the
+# scheduler's backlog at its deepest observed point.
+SERVICE_REQUESTS = "Service requests"
+SERVICE_COALESCED = "Service coalesced"
+SERVICE_CACHE_HITS = "Service cache hits"
+SERVICE_CACHE_MISSES = "Service cache misses"
+SERVICE_BATCHES = "Service batches"
+SERVICE_QUEUE_DEPTH = "Service queue depth"
+
 ALL_COUNTERS = (
     APT_CACHE_HITS,
     APT_CACHE_MISSES,
@@ -92,6 +104,12 @@ ALL_COUNTERS = (
     HIST_SPLITS_EVALUATED,
     LCA_PAIRS_EXAMINED,
     LCA_PATTERNS_BUILT,
+    SERVICE_REQUESTS,
+    SERVICE_COALESCED,
+    SERVICE_CACHE_HITS,
+    SERVICE_CACHE_MISSES,
+    SERVICE_BATCHES,
+    SERVICE_QUEUE_DEPTH,
 )
 
 

@@ -10,13 +10,20 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from .database import Database
 from .errors import SchemaError
-from .relation import Relation
+from .relation import Relation, _column_array
 from .schema import Column, TableSchema
-from .types import ColumnType, parse_literal
+from .types import ColumnType, coerce_value, infer_column_type, parse_literal
+
+# int64 range guard for the float→int truncation fast path: values at or
+# beyond 2**63 must take the per-value fallback so they raise the same
+# OverflowError the historical int() coercion raised.
+_INT64_EDGE = float(2**63)
 
 
 def write_relation_csv(relation: Relation, path: str | Path) -> None:
@@ -29,15 +36,172 @@ def write_relation_csv(relation: Relation, path: str | Path) -> None:
             writer.writerow(["" if v is None else v for v in row])
 
 
+def _stripped_and_nulls(
+    cells: Sequence[str],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Whitespace-stripped cells plus the NULL mask (empty / ``NULL``)."""
+    arr = np.asarray(cells, dtype=str)
+    if arr.size == 0:
+        return arr, np.zeros(0, dtype=bool)
+    stripped = np.char.strip(arr)
+    null_mask = (stripped == "") | (np.char.upper(stripped) == "NULL")
+    return stripped, null_mask
+
+
+def _distinct_coerced(
+    stripped: np.ndarray, ctype: ColumnType
+) -> np.ndarray:
+    """Per-cell reference semantics, paid once per *distinct* cell.
+
+    ``parse_literal`` + ``coerce_value`` run on each unique string and
+    the results gather back over the whole column — exact for mixed and
+    text columns, and the path that reproduces the historical
+    ValueError/OverflowError for cells the fast paths rejected.
+    Distincts coerce in first-occurrence order so a file with several
+    differently-malformed cells raises for the same cell the per-row
+    pipeline raised for.
+    """
+    uniq, first_idx, inverse = np.unique(
+        stripped, return_index=True, return_inverse=True
+    )
+    table = np.empty(len(uniq), dtype=object)
+    for j in np.argsort(first_idx, kind="stable"):
+        table[j] = coerce_value(parse_literal(str(uniq[j])), ctype)
+    return table[inverse.reshape(-1)]
+
+
+def _coerce_column(cells: Sequence[str], ctype: ColumnType) -> np.ndarray:
+    """Build one column's storage array under an explicit schema type.
+
+    Numeric columns first try one whole-column ``astype`` (numpy calls
+    the same ``int()``/``float()`` per element the scalar path used, so
+    the semantics — underscored literals, unicode digits, whitespace —
+    are identical, minus the per-cell try/except chain).  Columns the
+    fast path cannot prove safe (text cells, NaN/huge values under INT,
+    out-of-range ints) fall back to :func:`_distinct_coerced`.
+    """
+    stripped, null_mask = _stripped_and_nulls(cells)
+    has_null = bool(null_mask.any())
+    values = stripped[~null_mask] if has_null else stripped
+
+    if ctype is ColumnType.INT and values.size:
+        ints: np.ndarray | None = None
+        try:
+            ints = values.astype(np.int64)
+        except OverflowError:
+            pass  # bigint cells: fallback preserves the historical raise
+        except ValueError:
+            # e.g. "5.0": the scalar path coerces via int(float(...)).
+            try:
+                floats = values.astype(np.float64)
+            except (ValueError, OverflowError):
+                floats = None
+            if (
+                floats is not None
+                and not np.isnan(floats).any()
+                and not (np.abs(floats) >= _INT64_EDGE).any()
+            ):
+                ints = np.trunc(floats).astype(np.int64)
+        if ints is not None:
+            if not has_null:
+                return ints
+            out = np.full(len(stripped), np.nan, dtype=np.float64)
+            out[~null_mask] = ints.astype(np.float64)
+            return out
+    elif ctype is ColumnType.FLOAT and values.size:
+        try:
+            floats = values.astype(np.float64)
+        except (ValueError, OverflowError):
+            floats = None
+        if floats is not None:
+            out = np.full(len(stripped), np.nan, dtype=np.float64)
+            out[~null_mask] = floats
+            return out
+    elif values.size == 0:  # all-NULL column: storage by type alone
+        return _column_array([None] * len(stripped), ctype)
+
+    return _column_array(list(_distinct_coerced(stripped, ctype)), ctype)
+
+
+def _infer_column(
+    cells: Sequence[str],
+) -> tuple[np.ndarray, ColumnType]:
+    """Parse one schemaless column, returning (storage, inferred type).
+
+    Mirrors ``parse_literal`` + ``infer_column_type`` + ``from_rows``:
+    all-int columns infer INT, any float-parseable cell promotes to
+    FLOAT, any text cell (or an all-NULL / all-NaN column) infers TEXT.
+    """
+    stripped, null_mask = _stripped_and_nulls(cells)
+    if stripped.size:
+        # Cells parsing to NaN are NULLs to the scalar pipeline:
+        # infer_column_type skips them (no type evidence) and
+        # coerce_value nulls them, so ["1", "nan"] infers INT with one
+        # NULL — the numeric fast paths must see them as missing.
+        upper = np.char.upper(stripped)
+        null_mask = (
+            null_mask | (upper == "NAN") | (upper == "+NAN")
+            | (upper == "-NAN")
+        )
+    has_null = bool(null_mask.any())
+    values = stripped[~null_mask] if has_null else stripped
+
+    overflow = False
+    if values.size:
+        ints = None
+        try:
+            ints = values.astype(np.int64)
+        except OverflowError:
+            # Bigint cells: the scalar path infers INT and then raises
+            # OverflowError building int64 storage — the fallback below
+            # reproduces that, so the float path must not swallow it.
+            overflow = True
+        except ValueError:
+            pass
+        if ints is not None:
+            if not has_null:
+                return ints, ColumnType.INT
+            out = np.full(len(stripped), np.nan, dtype=np.float64)
+            out[~null_mask] = ints.astype(np.float64)
+            return out, ColumnType.INT
+        floats = None
+        if not overflow:
+            try:
+                floats = values.astype(np.float64)
+            except (ValueError, OverflowError):
+                pass
+        # An all-NaN column carries no type evidence (NaN coerces to
+        # NULL), so it must infer TEXT like the scalar path does.
+        if floats is not None and not np.isnan(floats).all():
+            out = np.full(len(stripped), np.nan, dtype=np.float64)
+            out[~null_mask] = floats
+            return out, ColumnType.FLOAT
+
+    uniq, first_idx, inverse = np.unique(
+        stripped, return_index=True, return_inverse=True
+    )
+    parsed = [parse_literal(str(u)) for u in uniq]
+    ctype = infer_column_type(parsed)
+    table = np.empty(len(uniq), dtype=object)
+    for j in np.argsort(first_idx, kind="stable"):
+        table[j] = coerce_value(parsed[j], ctype)
+    gathered = table[inverse.reshape(-1)] if len(stripped) else table[:0]
+    return _column_array(list(gathered), ctype), ctype
+
+
 def read_relation_csv(
     path: str | Path,
     name: str | None = None,
     schema: TableSchema | None = None,
 ) -> Relation:
-    """Read a CSV file into a relation.
+    """Read a CSV file into a relation, column at a time.
 
     Without an explicit ``schema`` the column types are inferred from the
-    parsed values (ints, floats, text; empty cells are NULL).
+    parsed values (ints, floats, text; empty cells are NULL).  Cell
+    semantics are exactly the historical per-cell ``parse_literal`` /
+    ``coerce_value`` pipeline; the columns are just coerced with one
+    numpy ``astype`` per column (with a parse-each-distinct-value
+    fallback for mixed/text columns) instead of a Python loop per cell.
     """
     path = Path(path)
     with path.open(newline="") as handle:
@@ -46,22 +210,38 @@ def read_relation_csv(
             header = next(reader)
         except StopIteration as exc:
             raise SchemaError(f"CSV file {path} is empty") from exc
-        raw_rows = [[parse_literal(cell) for cell in row] for row in reader]
-    if schema is not None:
-        if schema.column_names != header:
+        rows = list(reader)
+    if schema is not None and schema.column_names != header:
+        raise SchemaError(
+            f"CSV header {header} does not match schema "
+            f"{schema.column_names}"
+        )
+    width = len(header)
+    for row in rows:
+        if len(row) != width:
             raise SchemaError(
-                f"CSV header {header} does not match schema "
-                f"{schema.column_names}"
+                f"row of width {len(row)} for schema of width {width}"
             )
-        return Relation.from_rows(schema, raw_rows)
-    from .types import infer_column_type
+    columns_cells: list[Sequence[str]] = (
+        list(zip(*rows)) if rows else [()] * width
+    )
+
+    storage: dict[str, np.ndarray] = {}
+    if schema is not None:
+        for col, cells in zip(schema.columns, columns_cells):
+            storage[col.name] = _coerce_column(cells, col.ctype)
+        relation = Relation(schema, storage)
+        if schema.primary_key:
+            relation._check_primary_key()
+        return relation
 
     columns = []
-    for index, cname in enumerate(header):
-        values = [row[index] for row in raw_rows]
-        columns.append(Column(cname, infer_column_type(values)))
+    for cname, cells in zip(header, columns_cells):
+        array, ctype = _infer_column(cells)
+        storage[cname] = array
+        columns.append(Column(cname, ctype))
     inferred = TableSchema(name=name or path.stem, columns=columns)
-    return Relation.from_rows(inferred, raw_rows)
+    return Relation(inferred, storage)
 
 
 def save_database(db: Database, directory: str | Path) -> None:

@@ -1,0 +1,58 @@
+"""The concurrent explanation service (serving layer).
+
+Layering: db → core → engine → api → **serving** → cli.  This package
+multiplexes many concurrent :class:`~repro.api.ExplanationRequest`s
+over the session API:
+
+- :mod:`~repro.serving.frontend` — asyncio admission: cross-request
+  response cache, in-flight coalescing, ``submit()`` and the HTTP
+  endpoint (``POST /explain``, ``GET /stats``);
+- :mod:`~repro.serving.scheduler` — deterministic fingerprint → shard
+  routing and locality-ordered batching;
+- :mod:`~repro.serving.pool` — the sharded persistent worker pool
+  (and an inline single-process backend);
+- :mod:`~repro.serving.shm` — zero-copy shared-memory publication of
+  encoded relations to the workers;
+- :mod:`~repro.serving.metrics` — service counters and latency
+  percentiles behind ``/stats``.
+"""
+
+from .frontend import (
+    ExplanationService,
+    ServiceError,
+    ServiceResponse,
+    canonical_payload,
+    request_cache_key,
+    request_from_json,
+    serve_http,
+)
+from .metrics import ServiceStats
+from .pool import InlineBackend, ProcessPoolBackend
+from .scheduler import Scheduler, Ticket, locality_order, shard_for
+from .shm import (
+    AttachedDatabase,
+    DatabaseExport,
+    attach_database,
+    export_database,
+)
+
+__all__ = [
+    "AttachedDatabase",
+    "DatabaseExport",
+    "ExplanationService",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "Scheduler",
+    "ServiceError",
+    "ServiceResponse",
+    "ServiceStats",
+    "Ticket",
+    "attach_database",
+    "canonical_payload",
+    "export_database",
+    "locality_order",
+    "request_cache_key",
+    "request_from_json",
+    "serve_http",
+    "shard_for",
+]

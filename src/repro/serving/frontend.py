@@ -1,0 +1,464 @@
+"""Asyncio front-end: admission, coalescing, response cache, HTTP.
+
+The request lifecycle (one ``submit()`` call):
+
+1. **Cache probe** — the request is keyed by
+   :func:`request_cache_key` — ``(query fingerprint, question repr,
+   mining-config key)``.  Two requests with equal keys produce
+   byte-identical canonical payloads (that is the session memo's
+   contract), so a response cached under the key can be replayed
+   verbatim.  The cache is a byte-bounded LRU
+   (:class:`~repro.engine.trie.PrefixCache`) over canonical payload
+   strings.
+2. **Coalescing** — a miss whose key matches an *in-flight* computation
+   awaits that computation's future instead of enqueueing a duplicate;
+   N concurrent identical requests execute once and fan out.
+3. **Scheduling** — a genuinely fresh request becomes a
+   :class:`~repro.serving.scheduler.Ticket` on its fingerprint's shard
+   queue; a per-shard drain task cuts locality-ordered batches and
+   hands them to the backend (worker pool or inline session) via the
+   event loop's executor, keeping at most one outstanding batch per
+   shard.
+4. **Fan-out** — when the batch returns, each payload resolves its
+   ticket's future, populates the response cache, and wakes every
+   coalesced waiter.
+
+Responses carry the canonical payload (:func:`canonical_payload`): the
+result's JSON with the volatile ``apt_cache`` engine counters removed,
+key-sorted and compactly separated — the byte string that must be
+identical whether the request was served cold, warm, coalesced, from
+cache, or by a plain :class:`~repro.api.CajadeSession`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol
+
+from ..api.session import mining_config_key
+from ..api.types import ExplanationRequest
+from ..core.config import CajadeConfig
+from ..core.explainer import ExplanationResult
+from ..core.question import ComparisonQuestion, OutlierQuestion
+from ..engine.trie import PrefixCache
+from .metrics import ServiceStats
+from .scheduler import Scheduler, Ticket
+
+
+# ---------------------------------------------------------------------------
+# Canonical payloads and cache keys
+# ---------------------------------------------------------------------------
+
+
+def canonical_payload(result: ExplanationResult) -> str:
+    """The byte-identity form of one explanation result.
+
+    Strips ``apt_cache`` (per-request engine counters — legitimately
+    different between a cold run and a warm one) and re-serializes with
+    sorted keys and compact separators, so equality of these strings is
+    equality of the *explanations*, not of the execution path.
+    """
+    payload = json.loads(result.to_json())
+    payload.pop("apt_cache", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def request_cache_key(
+    request: ExplanationRequest, base: CajadeConfig
+) -> tuple:
+    """The coalescing/response-cache identity of a request.
+
+    Same key ⇒ byte-identical canonical payload: the fingerprint pins
+    the parsed query, the question repr pins the tuples compared, and
+    the mining-config key pins every config field that can influence
+    output (performance-only knobs are excluded, which is exactly what
+    lets a 1-worker and an 8-worker request share one cache entry).
+    """
+    return (
+        request.fingerprint,
+        repr(request.question),
+        mining_config_key(request.config_for(base)),
+    )
+
+
+class _CachedPayload:
+    """A response-cache entry; ``PrefixCache`` needs ``estimated_bytes``."""
+
+    __slots__ = ("payload", "estimated_bytes")
+
+    def __init__(self, payload: str):
+        self.payload = payload
+        # UTF-8 length plus object overhead; payloads are ASCII-heavy
+        # JSON so len() is within a few bytes of the encoded size.
+        self.estimated_bytes = len(payload) + 64
+
+
+class ServiceError(RuntimeError):
+    """A request failed inside the service (worker death, bad request)."""
+
+
+@dataclass
+class ServiceResponse:
+    """What ``submit()`` resolves to."""
+
+    payload: str  # canonical JSON string
+    fingerprint: str
+    source: str  # "cache" | "coalesced" | "executed"
+    latency_seconds: float
+
+    def to_dict(self) -> dict:
+        return json.loads(self.payload)
+
+
+class Backend(Protocol):
+    """What the front-end needs from an execution backend."""
+
+    num_shards: int
+    base_config: CajadeConfig
+
+    def start(self) -> None: ...
+
+    def stop(self) -> None: ...
+
+    def execute(
+        self, shard: int, requests: list[ExplanationRequest]
+    ) -> list[str]:
+        """Run a locality-ordered batch, returning one canonical
+        payload per request (blocking; called off the event loop)."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class ExplanationService:
+    """Concurrent explanation serving over any :class:`Backend`."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        response_cache_mb: float = 64.0,
+        max_batch: int = 16,
+    ):
+        if response_cache_mb < 0:
+            raise ValueError("response_cache_mb must be >= 0")
+        self._backend = backend
+        self._scheduler = Scheduler(
+            num_shards=backend.num_shards, max_batch=max_batch
+        )
+        self._cache = PrefixCache(int(response_cache_mb * 1024 * 1024))
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._drains: dict[int, asyncio.Task] = {}
+        self._seq = 0
+        self._closed = False
+        self.stats = ServiceStats(
+            cache=self._cache, workers=backend.num_shards
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._backend.start()
+
+    async def close(self) -> None:
+        """Drain in-flight work, then stop the backend."""
+        self._closed = True
+        drains = [t for t in self._drains.values() if not t.done()]
+        if drains:
+            await asyncio.gather(*drains, return_exceptions=True)
+        self._backend.stop()
+
+    async def __aenter__(self) -> "ExplanationService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def submit(self, request: ExplanationRequest) -> ServiceResponse:
+        """Answer one request: cache hit, coalesce, or schedule."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        start = time.perf_counter()
+        self.stats.admitted()
+        key = request_cache_key(request, self._backend.base_config)
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hit()
+            return self._resolved(
+                request, cached.payload, "cache", start
+            )
+        self.stats.cache_miss()
+
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats.coalesced()
+            payload = await asyncio.shield(future)
+            return self._resolved(request, payload, "coalesced", start)
+
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        self._seq += 1
+        ticket = Ticket(request=request, key=key, seq=self._seq)
+        shard = self._scheduler.enqueue(ticket)
+        self.stats.observe_depth(self._scheduler.depth)
+        self._kick(shard)
+        payload = await asyncio.shield(future)
+        return self._resolved(request, payload, "executed", start)
+
+    def _resolved(
+        self,
+        request: ExplanationRequest,
+        payload: str,
+        source: str,
+        start: float,
+    ) -> ServiceResponse:
+        latency = time.perf_counter() - start
+        self.stats.observe_latency(latency, source)
+        return ServiceResponse(
+            payload=payload,
+            fingerprint=request.fingerprint,
+            source=source,
+            latency_seconds=latency,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _kick(self, shard: int) -> None:
+        """Ensure a drain task is running for the shard."""
+        task = self._drains.get(shard)
+        if task is not None and not task.done():
+            return
+        self._drains[shard] = asyncio.get_running_loop().create_task(
+            self._drain(shard)
+        )
+
+    async def _drain(self, shard: int) -> None:
+        """Cut and execute batches until the shard's queue is empty.
+
+        One drain task per shard ⇒ at most one outstanding batch per
+        shard; requests queued while a batch runs ride the next cut.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = self._scheduler.take_batch(shard)
+            if not batch:
+                return
+            self.stats.batch_dispatched()
+            requests = [t.request for t in batch]
+            try:
+                payloads = await loop.run_in_executor(
+                    None, self._backend.execute, shard, requests
+                )
+                if len(payloads) != len(batch):
+                    raise ServiceError(
+                        f"backend returned {len(payloads)} payloads "
+                        f"for a batch of {len(batch)}"
+                    )
+            except Exception as exc:
+                for ticket in batch:
+                    future = self._inflight.pop(ticket.key, None)
+                    if future is not None and not future.done():
+                        future.set_exception(
+                            ServiceError(
+                                f"shard {shard} failed: {exc}"
+                            )
+                        )
+                continue
+            for ticket, payload in zip(batch, payloads):
+                self._cache.put(ticket.key, _CachedPayload(payload))
+                future = self._inflight.pop(ticket.key, None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+
+
+# ---------------------------------------------------------------------------
+# JSON request construction (HTTP boundary)
+# ---------------------------------------------------------------------------
+
+
+def question_from_json(
+    data: Mapping
+) -> ComparisonQuestion | OutlierQuestion:
+    """Build a question from its wire form.
+
+    ``{"primary": {...}, "secondary": {...}}`` → comparison;
+    ``{"target": {...}}`` → outlier.  An explicit ``"type"`` field
+    (``"comparison"`` / ``"outlier"``) is honored when present.
+    """
+    kind = data.get("type")
+    if kind == "comparison" or (
+        kind is None and "primary" in data and "secondary" in data
+    ):
+        return ComparisonQuestion(
+            primary=dict(data["primary"]),
+            secondary=dict(data["secondary"]),
+        )
+    if kind == "outlier" or (kind is None and "target" in data):
+        return OutlierQuestion(target=dict(data["target"]))
+    raise ValueError(
+        "question must carry primary+secondary (comparison) or "
+        "target (outlier)"
+    )
+
+
+def request_from_json(data: Mapping) -> ExplanationRequest:
+    """Build an :class:`ExplanationRequest` from a POST /explain body."""
+    if "sql" not in data:
+        raise ValueError("request body must carry 'sql'")
+    if "question" not in data:
+        raise ValueError("request body must carry 'question'")
+    return ExplanationRequest(
+        sql=data["sql"],
+        question=question_from_json(data["question"]),
+        top_k=data.get("top_k"),
+        max_join_edges=data.get("max_join_edges"),
+        f1_sample_rate=data.get("f1_sample_rate"),
+        workers=data.get("workers"),
+        overrides=tuple(sorted(dict(data.get("overrides", {})).items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Minimal stdlib HTTP server (asyncio streams, no new dependencies)
+# ---------------------------------------------------------------------------
+
+_MAX_BODY = 4 * 1024 * 1024
+
+
+def _http_response(
+    status: str,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    headers = [
+        f"HTTP/1.1 {status}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    headers.append("\r\n")
+    return "\r\n".join(headers).encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Parse one HTTP/1.1 request; None on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, path, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ServiceError(f"malformed request line {lines[0]!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        raise ServiceError(f"request body of {length} bytes is too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+async def _handle_connection(
+    service: ExplanationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except ServiceError as exc:
+                writer.write(_http_response(
+                    "400 Bad Request",
+                    json.dumps({"error": str(exc)}).encode(),
+                ))
+                break
+            if parsed is None:
+                break
+            method, path, headers, body = parsed
+            close_after = headers.get("connection", "").lower() == "close"
+            writer.write(await _route(service, method, path, body))
+            await writer.drain()
+            if close_after:
+                break
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def _route(
+    service: ExplanationService, method: str, path: str, body: bytes
+) -> bytes:
+    if method == "GET" and path == "/stats":
+        snapshot = json.dumps(service.stats.snapshot()).encode()
+        return _http_response("200 OK", snapshot)
+    if method == "POST" and path == "/explain":
+        try:
+            request = request_from_json(json.loads(body or b"{}"))
+        except (ValueError, TypeError, KeyError) as exc:
+            return _http_response(
+                "400 Bad Request",
+                json.dumps({"error": str(exc)}).encode(),
+            )
+        try:
+            response = await service.submit(request)
+        except ServiceError as exc:
+            return _http_response(
+                "500 Internal Server Error",
+                json.dumps({"error": str(exc)}).encode(),
+            )
+        return _http_response(
+            "200 OK",
+            response.payload.encode(),
+            extra_headers={
+                "X-Cajade-Source": response.source,
+                "X-Cajade-Fingerprint": response.fingerprint,
+                "X-Cajade-Latency-Ms": (
+                    f"{response.latency_seconds * 1e3:.3f}"
+                ),
+            },
+        )
+    return _http_response(
+        "404 Not Found", json.dumps({"error": f"no route {path}"}).encode()
+    )
+
+
+async def serve_http(
+    service: ExplanationService, host: str = "127.0.0.1", port: int = 8321
+) -> asyncio.AbstractServer:
+    """Expose the service over HTTP: POST /explain, GET /stats.
+
+    Returns the listening server; callers own its lifecycle
+    (``server.close()`` + ``await server.wait_closed()``).
+    """
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)

@@ -1,0 +1,295 @@
+"""Execution backends: a sharded process pool and an inline fallback.
+
+:class:`ProcessPoolBackend` runs one persistent worker process per
+shard.  Each worker attaches the shared-memory database export
+(:mod:`repro.serving.shm`), builds its own
+:class:`~repro.api.CajadeSession`, and then answers locality-ordered
+batches for exactly the query fingerprints
+:func:`~repro.serving.scheduler.shard_for` routes to it — so each
+worker's parsed queries, provenance tables, warm tries, and mining
+memos cover precisely its own shard of the query space, and no state is
+duplicated across workers.
+
+Workers use the ``spawn`` start method: a spawned child inherits
+nothing, which keeps the shared-memory path honest (the only bulk data
+transfer is the segment attach) and avoids fork-with-threads hazards
+under the asyncio front-end.  Each shard has its own request and
+response queue; the front-end guarantees at most one outstanding batch
+per shard, so the blocking :meth:`~ProcessPoolBackend.execute` call can
+simply await its own batch id on its shard's response queue, polling
+worker liveness so a killed worker surfaces as a
+:class:`~repro.serving.frontend.ServiceError` instead of a hang.  The
+parent owns the shm export and unlinks it on :meth:`stop` — worker
+death never leaks segments.
+
+:class:`InlineBackend` implements the same contract with in-process
+sessions (one per shard) and no processes at all — the test/CI
+substrate, and the fallback when the platform lacks POSIX shared
+memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+from typing import Any
+
+from ..api.session import CajadeSession
+from ..api.types import ExplanationRequest
+from ..core.config import CajadeConfig
+from ..core.schema_graph import SchemaGraph
+from ..db.database import Database
+from .frontend import ServiceError, canonical_payload
+from .shm import DatabaseHandle, attach_database, export_database
+
+_READY_TIMEOUT = 120.0  # spawn + numpy import can be slow on small boxes
+_POLL_SECONDS = 0.25
+
+
+def _worker_main(
+    shard: int,
+    handle: DatabaseHandle,
+    schema_graph: SchemaGraph,
+    config: CajadeConfig,
+    request_queue: "mp.Queue[Any]",
+    response_queue: "mp.Queue[Any]",
+) -> None:
+    """Worker loop: attach shm, build a session, answer batches."""
+    attached = attach_database(handle)
+    try:
+        session = CajadeSession(
+            attached.database, schema_graph, config
+        )
+        response_queue.put(("ready", shard))
+        while True:
+            message = request_queue.get()
+            if message is None:
+                break
+            batch_id, requests = message
+            try:
+                responses = session.explain_batch(list(requests))
+                payloads = [canonical_payload(r) for r in responses]
+            except Exception as exc:  # surface, don't kill the worker
+                response_queue.put(
+                    ("error", batch_id, f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            response_queue.put(("ok", batch_id, payloads))
+    finally:
+        attached.close()
+
+
+class _Worker:
+    """Parent-side record of one shard's process and queues."""
+
+    def __init__(self, ctx: Any, shard: int):
+        self.shard = shard
+        self.request_queue: "mp.Queue[Any]" = ctx.Queue()
+        self.response_queue: "mp.Queue[Any]" = ctx.Queue()
+        self.process: Any = None
+        self.batch_seq = 0
+
+
+class ProcessPoolBackend:
+    """One persistent spawned process per fingerprint shard."""
+
+    def __init__(
+        self,
+        db: Database,
+        schema_graph: SchemaGraph | None = None,
+        config: CajadeConfig | None = None,
+        num_shards: int = 2,
+        start_method: str = "spawn",
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.base_config = config or CajadeConfig()
+        self._schema_graph = (
+            schema_graph or SchemaGraph.from_database(db)
+        )
+        self._ctx = mp.get_context(start_method)
+        self._export = export_database(db)
+        self._workers = [
+            _Worker(self._ctx, shard) for shard in range(num_shards)
+        ]
+        self._started = False
+        self._stopped = False
+
+    @property
+    def shared_bytes(self) -> int:
+        """Bytes published once in shared memory (not per worker)."""
+        return self._export.shared_bytes
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every worker and wait for its ready handshake."""
+        if self._started:
+            return
+        for worker in self._workers:
+            worker.process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker.shard,
+                    self._export.handle,
+                    self._schema_graph,
+                    self.base_config,
+                    worker.request_queue,
+                    worker.response_queue,
+                ),
+                daemon=True,
+                name=f"cajade-worker-{worker.shard}",
+            )
+            worker.process.start()
+        for worker in self._workers:
+            self._await_message(worker, "ready", _READY_TIMEOUT)
+        self._started = True
+
+    def stop(self) -> None:
+        """Shut workers down and unlink the shared-memory export."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker in self._workers:
+            process = worker.process
+            if process is None:
+                continue
+            if process.is_alive():
+                try:
+                    worker.request_queue.put(None)
+                except Exception:
+                    pass
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._export.close()
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, shard: int, requests: list[ExplanationRequest]
+    ) -> list[str]:
+        worker = self._workers[shard]
+        if worker.process is None or not worker.process.is_alive():
+            raise ServiceError(f"worker {shard} is not running")
+        worker.batch_seq += 1
+        batch_id = worker.batch_seq
+        worker.request_queue.put((batch_id, tuple(requests)))
+        kind, payload = self._await_batch(worker, batch_id)
+        if kind == "error":
+            raise ServiceError(f"worker {shard} failed: {payload}")
+        return payload
+
+    def _await_message(
+        self, worker: _Worker, expected: str, timeout: float
+    ) -> Any:
+        deadline = timeout
+        waited = 0.0
+        while True:
+            try:
+                message = worker.response_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue.Empty:
+                waited += _POLL_SECONDS
+                if not worker.process.is_alive():
+                    raise ServiceError(
+                        f"worker {worker.shard} died during startup "
+                        f"(exit code {worker.process.exitcode})"
+                    )
+                if waited >= deadline:
+                    raise ServiceError(
+                        f"worker {worker.shard} did not become ready "
+                        f"within {timeout}s"
+                    )
+                continue
+            if message[0] == expected:
+                return message
+            # Anything else at this stage is a protocol error.
+            raise ServiceError(
+                f"worker {worker.shard} sent unexpected "
+                f"{message[0]!r} during startup"
+            )
+
+    def _await_batch(
+        self, worker: _Worker, batch_id: int
+    ) -> tuple[str, Any]:
+        while True:
+            try:
+                message = worker.response_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue.Empty:
+                if not worker.process.is_alive():
+                    raise ServiceError(
+                        f"worker {worker.shard} died mid-batch "
+                        f"(exit code {worker.process.exitcode})"
+                    )
+                continue
+            kind, got_id, payload = message
+            if got_id == batch_id:
+                return kind, payload
+            # A stale response from a batch the caller gave up on;
+            # drop it and keep waiting for ours.
+
+
+class InlineBackend:
+    """The same contract, executed by in-process sessions.
+
+    One :class:`CajadeSession` per shard mirrors the pool's state
+    layout (each shard's tries and memos warm independently) without
+    any processes — deterministic and fast for tests, and a correct
+    single-process fallback for ``--serve --workers 0``.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        schema_graph: SchemaGraph | None = None,
+        config: CajadeConfig | None = None,
+        num_shards: int = 1,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.base_config = config or CajadeConfig()
+        graph = schema_graph or SchemaGraph.from_database(db)
+        self._sessions = [
+            CajadeSession(db, graph, self.base_config)
+            for _ in range(num_shards)
+        ]
+        self._lock = threading.Lock()
+        self.requests_executed = 0
+        self.batches_executed = 0
+
+    def start(self) -> None:  # symmetric with the pool
+        pass
+
+    def stop(self) -> None:
+        for session in self._sessions:
+            session.close()
+
+    def session(self, shard: int) -> CajadeSession:
+        """The shard's session (test hook)."""
+        return self._sessions[shard]
+
+    def execute(
+        self, shard: int, requests: list[ExplanationRequest]
+    ) -> list[str]:
+        with self._lock:
+            self.requests_executed += len(requests)
+            self.batches_executed += 1
+        responses = self._sessions[shard].explain_batch(requests)
+        return [canonical_payload(r) for r in responses]

@@ -1,0 +1,120 @@
+"""Request batching and deterministic fingerprint sharding.
+
+The scheduler sits between the asyncio front-end and the worker pool.
+It owns two decisions:
+
+- **Which worker?**  :func:`shard_for` maps a query fingerprint to a
+  shard by hashing the fingerprint itself (the hex digest is already a
+  blake2b hash, so its leading 64 bits are uniformly distributed).  The
+  mapping is a pure function of ``(fingerprint, num_shards)``, so every
+  request against the same SQL lands on the same persistent worker —
+  whose :class:`~repro.api.CajadeSession` therefore accumulates the
+  parsed query, provenance table, warm materialization trie, and mining
+  memo for exactly its own fingerprints.
+
+- **Which order?**  Within one dispatch, queued requests for a shard
+  are grouped by fingerprint then question (:func:`locality_order`, the
+  same ordering contract as ``CajadeSession.explain_batch``), so a
+  worker finishes all trie reuse for one query before moving to the
+  next, instead of thrashing between engines.
+
+Batches are cut by :meth:`Scheduler.take_batch`, which drains up to
+``max_batch`` queued tickets for one shard.  The front-end enforces at
+most one outstanding batch per shard, so a long batch on shard 0 never
+blocks dispatch to shard 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..api.types import ExplanationRequest
+
+
+def shard_for(fingerprint: str, num_shards: int) -> int:
+    """Deterministically map a query fingerprint to a shard index."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be >= 1")
+    return int(fingerprint[:16], 16) % num_shards
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling through the scheduler.
+
+    ``key`` is the response-cache key (fingerprint, question repr,
+    mining-config key); every ticket with the same key resolves to the
+    same payload, and the front-end coalesces them onto one ticket
+    before enqueueing.  ``context`` is an opaque front-end cookie (the
+    future + timing bookkeeping) the scheduler never inspects.
+    """
+
+    request: ExplanationRequest
+    key: tuple
+    seq: int
+    context: Any = None
+
+    @property
+    def fingerprint(self) -> str:
+        return self.request.fingerprint
+
+
+def locality_order(tickets: list[Ticket]) -> list[Ticket]:
+    """Sort a batch for trie locality: fingerprint, then question.
+
+    Mirrors ``explain_batch``'s grouping (first-seen fingerprint rank,
+    then first-seen question rank, then admission order) so the worker's
+    per-query engine and mining memo see maximal consecutive reuse.
+    """
+    fp_rank: dict[str, int] = {}
+    question_rank: dict[tuple[str, str], int] = {}
+    keyed: list[tuple[int, int, int, Ticket]] = []
+    for ticket in tickets:
+        fp = ticket.fingerprint
+        fp_rank.setdefault(fp, len(fp_rank))
+        qkey = (fp, repr(ticket.request.question))
+        question_rank.setdefault(qkey, len(question_rank))
+        keyed.append((fp_rank[fp], question_rank[qkey], ticket.seq, ticket))
+    keyed.sort(key=lambda item: item[:3])
+    return [item[3] for item in keyed]
+
+
+@dataclass
+class Scheduler:
+    """Per-shard FIFO queues with locality-ordered batch draining."""
+
+    num_shards: int
+    max_batch: int = 16
+    _queues: list[deque[Ticket]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be >= 1")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be >= 1")
+        self._queues = [deque() for _ in range(self.num_shards)]
+
+    def enqueue(self, ticket: Ticket) -> int:
+        """Queue a ticket on its fingerprint's shard; returns the shard."""
+        shard = shard_for(ticket.fingerprint, self.num_shards)
+        self._queues[shard].append(ticket)
+        return shard
+
+    def take_batch(self, shard: int) -> list[Ticket]:
+        """Drain up to ``max_batch`` tickets for one shard, ordered for
+        trie locality.  Empty list when the shard has no backlog."""
+        queue = self._queues[shard]
+        batch: list[Ticket] = []
+        while queue and len(batch) < self.max_batch:
+            batch.append(queue.popleft())
+        return locality_order(batch)
+
+    def pending(self, shard: int) -> int:
+        return len(self._queues[shard])
+
+    @property
+    def depth(self) -> int:
+        """Total queued tickets across all shards."""
+        return sum(len(q) for q in self._queues)

@@ -325,14 +325,41 @@ class TestExplainBatch:
         assert ranked_payload(responses[1]) == cold
 
     def test_batch_repeats_hit_warm_state(self, session):
+        first = session.explain_batch(
+            [ExplanationRequest(GSW_WINS_SQL, QUESTION)]
+        )
+        second = session.explain_batch(
+            [ExplanationRequest(GSW_WINS_SQL, QUESTION)]
+        )
+        assert second[0].mined_graphs_reused > 0
+        assert second[0].engine.steps_computed == 0
+        assert ranked_payload(second[0]) == ranked_payload(first[0])
+
+    def test_duplicates_computed_once_and_fanned_out(self, session):
+        requests = [
+            ExplanationRequest(GSW_WINS_SQL, QUESTION),
+            ExplanationRequest(GSW_WINS_SQL, OUTLIER),
+            ExplanationRequest(GSW_WINS_SQL, QUESTION),
+            # workers never changes output, so it joins the group.
+            ExplanationRequest(GSW_WINS_SQL, QUESTION, workers=2),
+        ]
+        responses = session.explain_batch(requests)
+        assert responses[2] is responses[0]
+        assert responses[3] is responses[0]
+        assert responses[1] is not responses[0]
+        assert session.stats.requests_deduped == 2
+        assert session.stats.requests == 2  # only two executions
+
+    def test_output_relevant_knobs_are_not_deduped(self, session):
         responses = session.explain_batch(
             [
                 ExplanationRequest(GSW_WINS_SQL, QUESTION),
-                ExplanationRequest(GSW_WINS_SQL, QUESTION),
+                ExplanationRequest(GSW_WINS_SQL, QUESTION, top_k=2),
             ]
         )
-        assert responses[1].mined_graphs_reused > 0
-        assert responses[1].engine.steps_computed == 0
+        assert responses[1] is not responses[0]
+        assert session.stats.requests_deduped == 0
+        assert len(responses[1].explanations) <= 2
 
 
 class TestDeprecatedShim:

@@ -1,0 +1,515 @@
+"""Tests for the concurrent explanation service (repro.serving)."""
+
+import asyncio
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import CajadeConfig, CajadeSession, ComparisonQuestion, ExplanationRequest
+from repro.serving import (
+    ExplanationService,
+    InlineBackend,
+    ProcessPoolBackend,
+    Scheduler,
+    ServiceError,
+    Ticket,
+    canonical_payload,
+    locality_order,
+    request_cache_key,
+    request_from_json,
+    serve_http,
+    shard_for,
+)
+from repro.serving.shm import (
+    attach_database,
+    attached_segment_count,
+    export_database,
+)
+from tests.conftest import GSW_WINS_SQL
+
+QUESTION = ComparisonQuestion({"season": "2015-16"}, {"season": "2012-13"})
+QUESTION2 = ComparisonQuestion({"season": "2012-13"}, {"season": "2015-16"})
+
+CONFIG = CajadeConfig(
+    max_join_edges=2,
+    top_k=5,
+    f1_sample_rate=1.0,
+    lca_sample_rate=1.0,
+    num_selected_attrs=4,
+    seed=1,
+)
+
+
+def request() -> ExplanationRequest:
+    return ExplanationRequest(GSW_WINS_SQL, QUESTION)
+
+
+def serial_payload(mini_db, mini_schema_graph, req=None) -> str:
+    one_shot = CajadeSession(mini_db, mini_schema_graph, CONFIG)
+    return canonical_payload(one_shot.explain(req or request()))
+
+
+# ---------------------------------------------------------------------------
+# Sharding and batching
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_shard_for_is_deterministic(self):
+        fp = ExplanationRequest(GSW_WINS_SQL, QUESTION).fingerprint
+        assert all(shard_for(fp, 4) == shard_for(fp, 4) for _ in range(10))
+        assert 0 <= shard_for(fp, 4) < 4
+        assert shard_for(fp, 1) == 0
+
+    def test_shard_for_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_for("ab" * 16, 0)
+
+    def test_same_fingerprint_same_queue(self):
+        scheduler = Scheduler(num_shards=3)
+        tickets = [
+            Ticket(request=request(), key=("k", i), seq=i) for i in range(5)
+        ]
+        shards = {scheduler.enqueue(t) for t in tickets}
+        assert len(shards) == 1
+
+    def test_take_batch_respects_max_batch(self):
+        scheduler = Scheduler(num_shards=1, max_batch=2)
+        for i in range(5):
+            scheduler.enqueue(
+                Ticket(request=request(), key=("k", i), seq=i)
+            )
+        assert len(scheduler.take_batch(0)) == 2
+        assert scheduler.pending(0) == 3
+
+    def test_locality_order_groups_by_fingerprint_then_question(self):
+        sql2 = GSW_WINS_SQL + " ORDER BY win"
+        reqs = [
+            ExplanationRequest(GSW_WINS_SQL, QUESTION),
+            ExplanationRequest(sql2, QUESTION),
+            ExplanationRequest(GSW_WINS_SQL, QUESTION2),
+            ExplanationRequest(GSW_WINS_SQL, QUESTION),
+        ]
+        tickets = [
+            Ticket(request=r, key=("k", i), seq=i)
+            for i, r in enumerate(reqs)
+        ]
+        ordered = locality_order(tickets)
+        # First-seen fingerprint first, its questions grouped, then sql2.
+        assert [t.seq for t in ordered] == [0, 3, 2, 1]
+
+
+# ---------------------------------------------------------------------------
+# Shared memory
+# ---------------------------------------------------------------------------
+
+
+class TestSharedMemory:
+    def test_round_trip_values_and_encodings(self, mini_db):
+        export = export_database(mini_db)
+        attached = attach_database(export.handle)
+        try:
+            for name in mini_db.table_names:
+                a = mini_db.table(name)
+                b = attached.database.table(name)
+                assert a.num_rows == b.num_rows
+                for col in a.schema.column_names:
+                    ca, cb = a.column(col), b.column(col)
+                    assert ca.dtype == cb.dtype
+                    if ca.dtype == object:
+                        assert list(ca) == list(cb)
+                    else:
+                        assert np.array_equal(ca, cb, equal_nan=True)
+            # Encoded TEXT columns alias the shared code arrays.
+            game = attached.database.table("game")
+            encoding = game.encoding("winner")
+            assert encoding is not None
+            assert not encoding.codes.flags.writeable
+            src = mini_db.table("game").encoding("winner")
+            assert np.array_equal(encoding.codes, src.codes)
+            assert encoding.code_of == src.code_of
+        finally:
+            attached.close()
+            export.close()
+        assert attached_segment_count() == 0
+
+    def test_foreign_keys_survive(self, mini_db):
+        export = export_database(mini_db)
+        attached = attach_database(export.handle)
+        try:
+            assert attached.database.foreign_keys == mini_db.foreign_keys
+        finally:
+            attached.close()
+            export.close()
+
+    def test_export_close_unlinks_segments(self, mini_db):
+        from multiprocessing import shared_memory
+
+        export = export_database(mini_db)
+        names = export.handle.segment_names
+        assert names
+        export.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_attach_refcounting(self, mini_db):
+        export = export_database(mini_db)
+        first = attach_database(export.handle)
+        second = attach_database(export.handle)
+        base = attached_segment_count()
+        first.close()
+        # Second attachment still holds every segment mapped.
+        assert attached_segment_count() == base
+        second.close()
+        assert attached_segment_count() == 0
+        export.close()
+
+    def test_attached_session_byte_identical(
+        self, mini_db, mini_schema_graph
+    ):
+        expected = serial_payload(mini_db, mini_schema_graph)
+        export = export_database(mini_db)
+        attached = attach_database(export.handle)
+        try:
+            session = CajadeSession(
+                attached.database, mini_schema_graph, CONFIG
+            )
+            assert canonical_payload(session.explain(request())) == expected
+        finally:
+            attached.close()
+            export.close()
+
+
+# ---------------------------------------------------------------------------
+# Front-end: cache, coalescing, fan-out
+# ---------------------------------------------------------------------------
+
+
+class TestExplanationService:
+    def test_response_matches_serial_session(
+        self, mini_db, mini_schema_graph
+    ):
+        expected = serial_payload(mini_db, mini_schema_graph)
+
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                return await service.submit(request())
+
+        response = asyncio.run(main())
+        assert response.payload == expected
+        assert response.source == "executed"
+
+    def test_repeat_served_from_cache_byte_identical(
+        self, mini_db, mini_schema_graph
+    ):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                first = await service.submit(request())
+                second = await service.submit(request())
+                return backend, first, second
+
+        backend, first, second = asyncio.run(main())
+        assert second.source == "cache"
+        assert second.payload == first.payload
+        assert backend.requests_executed == 1
+
+    def test_concurrent_identical_requests_coalesce(
+        self, mini_db, mini_schema_graph
+    ):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                responses = await asyncio.gather(
+                    *(service.submit(request()) for _ in range(6))
+                )
+                return backend, service.stats.snapshot(), responses
+
+        backend, stats, responses = asyncio.run(main())
+        assert backend.requests_executed == 1
+        assert len({r.payload for r in responses}) == 1
+        assert stats["coalesced"] == 5
+        assert sorted(r.source for r in responses) == (
+            ["coalesced"] * 5 + ["executed"]
+        )
+
+    def test_distinct_questions_not_coalesced(
+        self, mini_db, mini_schema_graph
+    ):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                r1, r2 = await asyncio.gather(
+                    service.submit(ExplanationRequest(GSW_WINS_SQL, QUESTION)),
+                    service.submit(
+                        ExplanationRequest(GSW_WINS_SQL, QUESTION2)
+                    ),
+                )
+                return backend, r1, r2
+
+        backend, r1, r2 = asyncio.run(main())
+        assert backend.requests_executed == 2
+        assert r1.payload != r2.payload
+
+    def test_performance_knobs_share_cache_entry(
+        self, mini_db, mini_schema_graph
+    ):
+        """workers= differs but the mining-config key is equal, so the
+        second request is a cache hit with identical bytes."""
+
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                first = await service.submit(
+                    ExplanationRequest(GSW_WINS_SQL, QUESTION, workers=1)
+                )
+                second = await service.submit(
+                    ExplanationRequest(GSW_WINS_SQL, QUESTION, workers=2)
+                )
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert second.source == "cache"
+        assert second.payload == first.payload
+
+    def test_cache_disabled_still_correct(self, mini_db, mini_schema_graph):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(
+                backend, response_cache_mb=0.0
+            ) as service:
+                first = await service.submit(request())
+                second = await service.submit(request())
+                return backend, first, second
+
+        backend, first, second = asyncio.run(main())
+        assert first.payload == second.payload
+        assert second.source == "executed"
+        assert backend.requests_executed == 2
+
+    def test_sharded_backend_partitions_queries(
+        self, mini_db, mini_schema_graph
+    ):
+        sql2 = GSW_WINS_SQL.replace("'GSW'", "'LAL'")
+        req1 = ExplanationRequest(GSW_WINS_SQL, QUESTION)
+        req2 = ExplanationRequest(sql2, QUESTION)
+        # Pick a shard count where the two fingerprints separate.
+        num_shards = next(
+            n
+            for n in range(2, 9)
+            if shard_for(req1.fingerprint, n) != shard_for(req2.fingerprint, n)
+        )
+
+        async def main():
+            backend = InlineBackend(
+                mini_db, mini_schema_graph, CONFIG, num_shards=num_shards
+            )
+            async with ExplanationService(backend) as service:
+                await asyncio.gather(
+                    service.submit(req1), service.submit(req2)
+                )
+                # Snapshot before close() clears the per-shard sessions.
+                return [
+                    set(backend.session(shard)._queries)
+                    for shard in range(num_shards)
+                ]
+
+        registered = asyncio.run(main())
+        for req in (req1, req2):
+            shard = shard_for(req.fingerprint, num_shards)
+            assert req.fingerprint in registered[shard]
+            for other in range(num_shards):
+                if other != shard:
+                    assert req.fingerprint not in registered[other]
+
+    def test_stats_snapshot_counts(self, mini_db, mini_schema_graph):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                await service.submit(request())
+                await service.submit(request())
+                return service.stats.snapshot()
+
+        stats = asyncio.run(main())
+        assert stats["requests"] == 2
+        assert stats["cache_hits"] == 1
+        assert stats["cache_hit_rate"] == pytest.approx(0.5)
+        assert stats["completed"] == 2
+        assert stats["batches"] == 1
+        assert stats["latency_p99_ms"] >= stats["latency_p50_ms"] >= 0
+        assert stats["response_cache"]["entries"] == 1
+
+    def test_submit_after_close_rejected(self, mini_db, mini_schema_graph):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            service = ExplanationService(backend)
+            service.start()
+            await service.close()
+            with pytest.raises(ServiceError):
+                await service.submit(request())
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Worker pool (spawned processes over shared memory)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestProcessPool:
+    def test_pool_byte_identical_and_worker_death(
+        self, mini_db, mini_schema_graph
+    ):
+        """One pool exercise: correct bytes, death surfaces, no leaks."""
+        expected = serial_payload(mini_db, mini_schema_graph)
+
+        async def main(backend):
+            async with ExplanationService(backend) as service:
+                first = await service.submit(request())
+                assert first.payload == expected
+                assert first.source == "executed"
+                second = await service.submit(request())
+                assert second.source == "cache"
+
+                # Kill the worker owning this fingerprint outright.
+                shard = shard_for(
+                    request().fingerprint, backend.num_shards
+                )
+                victim = backend._workers[shard].process
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=10.0)
+                service._cache.clear()
+                with pytest.raises(ServiceError):
+                    await service.submit(request())
+
+        backend = ProcessPoolBackend(
+            mini_db, mini_schema_graph, CONFIG, num_shards=2
+        )
+        segment_names = backend._export.handle.segment_names
+        asyncio.run(main(backend))
+
+        # stop() ran in close(); the parent still owned every segment
+        # (the killed worker shares the parent's resource tracker, so
+        # its death must not have unlinked anything prematurely), and
+        # after stop they are all gone.
+        from multiprocessing import shared_memory
+
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------------
+# HTTP boundary
+# ---------------------------------------------------------------------------
+
+
+class TestRequestFromJson:
+    def test_comparison_roundtrip(self):
+        data = {
+            "sql": GSW_WINS_SQL,
+            "question": {
+                "primary": {"season": "2015-16"},
+                "secondary": {"season": "2012-13"},
+            },
+            "top_k": 3,
+        }
+        req = request_from_json(data)
+        assert req.question == QUESTION
+        assert req.top_k == 3
+        assert req.fingerprint == request().fingerprint
+
+    def test_outlier(self):
+        req = request_from_json(
+            {
+                "sql": GSW_WINS_SQL,
+                "question": {"target": {"season": "2015-16"}},
+            }
+        )
+        assert req.question.target == {"season": "2015-16"}
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            request_from_json({"question": {"target": {}}})
+        with pytest.raises(ValueError):
+            request_from_json({"sql": GSW_WINS_SQL})
+        with pytest.raises(ValueError):
+            request_from_json({"sql": GSW_WINS_SQL, "question": {}})
+
+    def test_cache_key_tracks_output_relevant_config(self):
+        base = CONFIG
+        r1 = ExplanationRequest(GSW_WINS_SQL, QUESTION, workers=4)
+        r2 = ExplanationRequest(GSW_WINS_SQL, QUESTION)
+        r3 = ExplanationRequest(GSW_WINS_SQL, QUESTION, top_k=3)
+        assert request_cache_key(r1, base) == request_cache_key(r2, base)
+        assert request_cache_key(r1, base) != request_cache_key(r3, base)
+
+
+class TestHttp:
+    def test_explain_and_stats_over_http(self, mini_db, mini_schema_graph):
+        expected = serial_payload(mini_db, mini_schema_graph)
+        body = json.dumps(
+            {
+                "sql": GSW_WINS_SQL,
+                "question": {
+                    "primary": {"season": "2015-16"},
+                    "secondary": {"season": "2012-13"},
+                },
+            }
+        ).encode()
+
+        async def http_request(port, method, path, payload=b""):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            head = (
+                f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + payload)
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            header_blob, _, response_body = raw.partition(b"\r\n\r\n")
+            status = header_blob.split(b"\r\n")[0].decode()
+            headers = {}
+            for line in header_blob.split(b"\r\n")[1:]:
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            return status, headers, response_body
+
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                server = await serve_http(service, port=0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    one = await http_request(port, "POST", "/explain", body)
+                    two = await http_request(port, "POST", "/explain", body)
+                    stats = await http_request(port, "GET", "/stats")
+                    missing = await http_request(port, "GET", "/nope")
+                    bad = await http_request(
+                        port, "POST", "/explain", b"{}"
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return one, two, stats, missing, bad
+
+        one, two, stats, missing, bad = asyncio.run(main())
+        assert one[0].startswith("HTTP/1.1 200")
+        assert one[2].decode() == expected
+        assert one[1]["x-cajade-source"] == "executed"
+        assert two[1]["x-cajade-source"] == "cache"
+        assert two[2] == one[2]
+        snapshot = json.loads(stats[2])
+        assert snapshot["requests"] == 2
+        assert snapshot["cache_hits"] == 1
+        assert missing[0].startswith("HTTP/1.1 404")
+        assert bad[0].startswith("HTTP/1.1 400")
