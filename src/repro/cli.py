@@ -219,10 +219,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     schema_graph = SchemaGraph.from_database(db)
     if args.shards == 0:
-        backend: Any = InlineBackend(db, schema_graph, config)
+        backend: Any = InlineBackend(
+            db, schema_graph, config, max_restarts=args.max_restarts
+        )
     else:
         backend = ProcessPoolBackend(
-            db, schema_graph, config, num_shards=args.shards
+            db,
+            schema_graph,
+            config,
+            num_shards=args.shards,
+            max_restarts=args.max_restarts,
         )
 
     async def run() -> None:
@@ -242,6 +248,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 backend,
                 response_cache_mb=args.response_cache_mb,
                 max_batch=args.max_batch,
+                request_timeout=args.request_timeout or None,
+                max_retries=args.max_retries,
+                max_queue_depth=args.max_queue_depth or None,
+                max_in_flight=args.max_in_flight or None,
+                degraded_mode=args.degraded_mode,
             ) as service:
                 server = await serve_http(
                     service, host=args.host, port=args.port
@@ -324,6 +335,26 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-batch", type=int, default=16,
                      help="max requests per locality-ordered batch "
                           "(default 16)")
+    srv.add_argument("--max-restarts", type=int, default=3,
+                     help="consecutive worker failures a shard may "
+                          "accumulate before quarantine (default 3)")
+    srv.add_argument("--request-timeout", type=float, default=0.0,
+                     help="default per-request deadline budget in "
+                          "seconds (default 0 = unbounded; requests "
+                          "may override via timeout_seconds)")
+    srv.add_argument("--max-retries", type=int, default=2,
+                     help="retry budget for retryable failures such "
+                          "as worker death (default 2)")
+    srv.add_argument("--max-queue-depth", type=int, default=64,
+                     help="per-shard queue bound before shedding with "
+                          "429 (default 64; 0 = unbounded)")
+    srv.add_argument("--max-in-flight", type=int, default=256,
+                     help="total backlog bound before shedding with "
+                          "429 (default 256; 0 = unbounded)")
+    srv.add_argument("--degraded-mode", choices=["inline", "error"],
+                     default="inline",
+                     help="quarantined-shard policy: serve inline in "
+                          "the parent (default) or fail fast with 503")
     _add_config_flags(srv)
     srv.set_defaults(func=cmd_serve)
     return parser

@@ -87,6 +87,18 @@ SERVICE_CACHE_MISSES = "Service cache misses"
 SERVICE_BATCHES = "Service batches"
 SERVICE_QUEUE_DEPTH = "Service queue depth"
 
+# Canonical counter labels (serving robustness).  "Retries" counts
+# tickets re-enqueued after a retryable batch failure, "shed" counts
+# requests refused by admission control, "deadline exceeded" counts
+# requests that ran out of budget (queued, mid-batch, or awaiting),
+# "degraded" counts requests served by a quarantined shard's inline
+# fallback, and "failures" counts requests resolved with an error.
+SERVICE_RETRIES = "Service retries"
+SERVICE_SHED = "Service shed"
+SERVICE_DEADLINE_EXCEEDED = "Service deadline exceeded"
+SERVICE_DEGRADED = "Service degraded"
+SERVICE_FAILURES = "Service failures"
+
 ALL_COUNTERS = (
     APT_CACHE_HITS,
     APT_CACHE_MISSES,
@@ -110,6 +122,11 @@ ALL_COUNTERS = (
     SERVICE_CACHE_MISSES,
     SERVICE_BATCHES,
     SERVICE_QUEUE_DEPTH,
+    SERVICE_RETRIES,
+    SERVICE_SHED,
+    SERVICE_DEADLINE_EXCEEDED,
+    SERVICE_DEGRADED,
+    SERVICE_FAILURES,
 )
 
 

@@ -1,4 +1,4 @@
-"""Asyncio front-end: admission, coalescing, response cache, HTTP.
+"""Asyncio front-end: admission, coalescing, caching, retries, HTTP.
 
 The request lifecycle (one ``submit()`` call):
 
@@ -13,27 +13,42 @@ The request lifecycle (one ``submit()`` call):
 2. **Coalescing** — a miss whose key matches an *in-flight* computation
    awaits that computation's future instead of enqueueing a duplicate;
    N concurrent identical requests execute once and fan out.
-3. **Scheduling** — a genuinely fresh request becomes a
-   :class:`~repro.serving.scheduler.Ticket` on its fingerprint's shard
-   queue; a per-shard drain task cuts locality-ordered batches and
-   hands them to the backend (worker pool or inline session) via the
-   event loop's executor, keeping at most one outstanding batch per
-   shard.
-4. **Fan-out** — when the batch returns, each payload resolves its
-   ticket's future, populates the response cache, and wakes every
-   coalesced waiter.
+3. **Admission control** — a genuinely fresh request is admitted only
+   if its shard queue is below ``max_queue_depth`` and the total
+   backlog below ``max_in_flight``; otherwise it fast-fails with a
+   structured 429 carrying a ``Retry-After`` estimate (cache hits and
+   coalesced joins are never shed — they add no backend work).
+4. **Scheduling** — the admitted request becomes a
+   :class:`~repro.serving.scheduler.Ticket` (carrying its deadline and
+   attempt count) on its fingerprint's shard queue; a per-shard drain
+   task cuts locality-ordered batches and hands them to the backend
+   via the event loop's executor, keeping at most one outstanding
+   batch per shard.
+5. **Settlement** — the backend returns one *outcome* per request:
+   ``("ok", payload)`` resolves the ticket and populates the response
+   cache; ``("error", kind, message)`` resolves it with the matching
+   :class:`ServiceError` (deterministic errors are **never** retried).
+   A retryable batch failure (worker death, corrupt reply) re-enqueues
+   each ticket with exponential backoff + seeded jitter, up to
+   ``max_retries`` and within the ticket's deadline budget.  A
+   quarantined shard degrades to the backend's inline fallback (still
+   byte-identical, just slower) or fast-fails 503, per
+   ``degraded_mode``.
 
 Responses carry the canonical payload (:func:`canonical_payload`): the
 result's JSON with the volatile ``apt_cache`` engine counters removed,
 key-sorted and compactly separated — the byte string that must be
 identical whether the request was served cold, warm, coalesced, from
-cache, or by a plain :class:`~repro.api.CajadeSession`.
+cache, after a worker restart, or by a plain
+:class:`~repro.api.CajadeSession`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
+import random
 import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Protocol
@@ -45,7 +60,7 @@ from ..core.explainer import ExplanationResult
 from ..core.question import ComparisonQuestion, OutlierQuestion
 from ..engine.trie import PrefixCache
 from .metrics import ServiceStats
-from .scheduler import Scheduler, Ticket
+from .scheduler import QueueFullError, Scheduler, Ticket
 
 
 # ---------------------------------------------------------------------------
@@ -96,8 +111,75 @@ class _CachedPayload:
         self.estimated_bytes = len(payload) + 64
 
 
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+
+
 class ServiceError(RuntimeError):
-    """A request failed inside the service (worker death, bad request)."""
+    """A request failed inside the service.
+
+    The base class is *deterministic* (``retryable = False``): retrying
+    an identical request would fail identically, so neither the server
+    nor the client should.  Subclasses carry an HTTP status, a stable
+    machine-readable ``kind`` for structured error bodies, and — for
+    transient conditions — a ``retry_after`` hint in seconds.
+    """
+
+    status = 500
+    kind = "internal"
+    retryable = False
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BadRequestError(ServiceError):
+    """The request itself is malformed (HTTP 400)."""
+
+    status = 400
+    kind = "bad-request"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline budget ran out (HTTP 504).
+
+    Not retryable server-side: the budget is spent by definition.
+    """
+
+    status = 504
+    kind = "deadline-exceeded"
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control shed the request (HTTP 429 + Retry-After)."""
+
+    status = 429
+    kind = "overloaded"
+
+
+class WorkerDiedError(ServiceError):
+    """A worker process died mid-batch — transient, retryable (503)."""
+
+    status = 503
+    kind = "worker-died"
+    retryable = True
+
+
+class CorruptReplyError(ServiceError):
+    """A reply failed checksum verification — transient, retryable."""
+
+    status = 503
+    kind = "corrupt-reply"
+    retryable = True
+
+
+class ShardQuarantinedError(ServiceError):
+    """The shard crash-looped past its restart budget (HTTP 503)."""
+
+    status = 503
+    kind = "quarantined"
 
 
 @dataclass
@@ -106,11 +188,16 @@ class ServiceResponse:
 
     payload: str  # canonical JSON string
     fingerprint: str
-    source: str  # "cache" | "coalesced" | "executed"
+    source: str  # "cache" | "coalesced" | "executed" | "degraded"
     latency_seconds: float
 
     def to_dict(self) -> dict:
         return json.loads(self.payload)
+
+
+# Per-request outcomes a backend returns: ("ok", payload) or
+# ("error", kind, message) with kind in {"deterministic", "timeout"}.
+Outcome = tuple
 
 
 class Backend(Protocol):
@@ -124,10 +211,16 @@ class Backend(Protocol):
     def stop(self) -> None: ...
 
     def execute(
-        self, shard: int, requests: list[ExplanationRequest]
-    ) -> list[str]:
-        """Run a locality-ordered batch, returning one canonical
-        payload per request (blocking; called off the event loop)."""
+        self,
+        shard: int,
+        work: list[tuple[ExplanationRequest, float | None]],
+    ) -> list[Outcome]:
+        """Run a locality-ordered batch of ``(request, deadline_epoch)``
+        pairs, returning one outcome per request (blocking; called off
+        the event loop).  Raises :class:`WorkerDiedError` /
+        :class:`CorruptReplyError` for retryable batch failures,
+        :class:`ShardQuarantinedError` once the shard is gone, and
+        :class:`DeadlineExceededError` when the whole batch timed out."""
         ...
 
 
@@ -144,20 +237,44 @@ class ExplanationService:
         backend: Backend,
         response_cache_mb: float = 64.0,
         max_batch: int = 16,
+        request_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_seed: int = 0,
+        max_queue_depth: int | None = 64,
+        max_in_flight: int | None = 256,
+        degraded_mode: str = "inline",
     ):
         if response_cache_mb < 0:
             raise ValueError("response_cache_mb must be >= 0")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if degraded_mode not in ("inline", "error"):
+            raise ValueError("degraded_mode must be 'inline' or 'error'")
         self._backend = backend
         self._scheduler = Scheduler(
-            num_shards=backend.num_shards, max_batch=max_batch
+            num_shards=backend.num_shards,
+            max_batch=max_batch,
+            max_queue_depth=max_queue_depth,
         )
         self._cache = PrefixCache(int(response_cache_mb * 1024 * 1024))
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._drains: dict[int, asyncio.Task] = {}
+        self._retry_tasks: set[asyncio.Task] = set()
         self._seq = 0
         self._closed = False
+        self._request_timeout = request_timeout
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff
+        self._retry_rng = random.Random(retry_seed)
+        self._max_in_flight = max_in_flight
+        self._degraded_mode = degraded_mode
         self.stats = ServiceStats(
-            cache=self._cache, workers=backend.num_shards
+            cache=self._cache,
+            workers=backend.num_shards,
+            health_provider=getattr(backend, "health", None),
         )
 
     # ------------------------------------------------------------------
@@ -167,11 +284,18 @@ class ExplanationService:
         self._backend.start()
 
     async def close(self) -> None:
-        """Drain in-flight work, then stop the backend."""
+        """Drain in-flight work (including pending retries), then stop
+        the backend."""
         self._closed = True
-        drains = [t for t in self._drains.values() if not t.done()]
-        if drains:
-            await asyncio.gather(*drains, return_exceptions=True)
+        while True:
+            pending = [
+                task
+                for task in (*self._drains.values(), *self._retry_tasks)
+                if not task.done()
+            ]
+            if not pending:
+                break
+            await asyncio.gather(*pending, return_exceptions=True)
         self._backend.stop()
 
     async def __aenter__(self) -> "ExplanationService":
@@ -184,11 +308,22 @@ class ExplanationService:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    async def submit(self, request: ExplanationRequest) -> ServiceResponse:
-        """Answer one request: cache hit, coalesce, or schedule."""
+    async def submit(
+        self,
+        request: ExplanationRequest,
+        timeout: float | None = None,
+    ) -> ServiceResponse:
+        """Answer one request: cache hit, coalesce, shed, or schedule.
+
+        ``timeout`` overrides the service's ``request_timeout`` for
+        this request only; the resulting deadline budget covers the
+        whole lifecycle — queueing, execution, and any retries.
+        """
         if self._closed:
             raise ServiceError("service is closed")
         start = time.perf_counter()
+        budget = timeout if timeout is not None else self._request_timeout
+        deadline = (time.time() + budget) if budget else None
         self.stats.admitted()
         key = request_cache_key(request, self._backend.base_config)
 
@@ -203,19 +338,70 @@ class ExplanationService:
         future = self._inflight.get(key)
         if future is not None:
             self.stats.coalesced()
-            payload = await asyncio.shield(future)
+            payload, _source = await self._await_payload(
+                future, deadline, budget
+            )
             return self._resolved(request, payload, "coalesced", start)
+
+        # Admission control: shed before creating any backend work.
+        shard = self._scheduler.shard_of(request.fingerprint)
+        if (
+            self._max_in_flight is not None
+            and self._scheduler.depth >= self._max_in_flight
+        ):
+            self.stats.shed()
+            raise ServiceOverloadedError(
+                f"service saturated ({self._scheduler.depth} requests "
+                f"in flight >= max_in_flight={self._max_in_flight})",
+                retry_after=self._retry_after_hint(),
+            )
 
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._inflight[key] = future
         self._seq += 1
-        ticket = Ticket(request=request, key=key, seq=self._seq)
-        shard = self._scheduler.enqueue(ticket)
+        ticket = Ticket(
+            request=request, key=key, seq=self._seq, deadline=deadline
+        )
+        try:
+            self._scheduler.enqueue(ticket)
+        except QueueFullError as exc:
+            self.stats.shed()
+            raise ServiceOverloadedError(
+                f"shard {shard} queue is full ({exc})",
+                retry_after=self._retry_after_hint(),
+            ) from None
+        self._inflight[key] = future
         self.stats.observe_depth(self._scheduler.depth)
         self._kick(shard)
-        payload = await asyncio.shield(future)
-        return self._resolved(request, payload, "executed", start)
+        payload, source = await self._await_payload(future, deadline, budget)
+        return self._resolved(request, payload, source, start)
+
+    async def _await_payload(
+        self,
+        future: asyncio.Future,
+        deadline: float | None,
+        budget: float | None,
+    ) -> tuple[str, str]:
+        """Wait for a ticket's future within this waiter's own budget.
+
+        The future is shielded: a waiter timing out never cancels the
+        shared computation other waiters (or the cache) still want.
+        """
+        shielded = asyncio.shield(future)
+        if deadline is None:
+            return await shielded
+        remaining = deadline - time.time()
+        try:
+            return await asyncio.wait_for(shielded, max(0.0, remaining))
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded()
+            raise DeadlineExceededError(
+                f"request exceeded its {budget:g}s deadline budget"
+            ) from None
+
+    def _retry_after_hint(self) -> float:
+        """How long a shed client should wait: roughly one batch."""
+        return max(0.1, self.stats.last_batch_seconds)
 
     def _resolved(
         self,
@@ -256,32 +442,155 @@ class ExplanationService:
             batch = self._scheduler.take_batch(shard)
             if not batch:
                 return
-            self.stats.batch_dispatched()
-            requests = [t.request for t in batch]
-            try:
-                payloads = await loop.run_in_executor(
-                    None, self._backend.execute, shard, requests
-                )
-                if len(payloads) != len(batch):
-                    raise ServiceError(
-                        f"backend returned {len(payloads)} payloads "
-                        f"for a batch of {len(batch)}"
+            now = time.time()
+            live: list[Ticket] = []
+            for ticket in batch:
+                if ticket.deadline is not None and ticket.deadline <= now:
+                    # Shed expired work before it wastes a worker.
+                    self.stats.deadline_exceeded()
+                    self._resolve_error(
+                        ticket,
+                        DeadlineExceededError(
+                            "deadline expired while queued"
+                        ),
                     )
-            except Exception as exc:
-                for ticket in batch:
-                    future = self._inflight.pop(ticket.key, None)
-                    if future is not None and not future.done():
-                        future.set_exception(
-                            ServiceError(
-                                f"shard {shard} failed: {exc}"
-                            )
-                        )
+                else:
+                    live.append(ticket)
+            if not live:
                 continue
-            for ticket, payload in zip(batch, payloads):
-                self._cache.put(ticket.key, _CachedPayload(payload))
-                future = self._inflight.pop(ticket.key, None)
-                if future is not None and not future.done():
-                    future.set_result(payload)
+            self.stats.batch_dispatched()
+            work = [(t.request, t.deadline) for t in live]
+            t0 = time.perf_counter()
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, self._backend.execute, shard, work
+                )
+                if len(outcomes) != len(live):
+                    raise ServiceError(
+                        f"backend returned {len(outcomes)} outcomes "
+                        f"for a batch of {len(live)}"
+                    )
+            except ShardQuarantinedError as exc:
+                await self._degrade(shard, live, exc)
+                continue
+            except DeadlineExceededError as exc:
+                for ticket in live:
+                    self.stats.deadline_exceeded()
+                    self._resolve_error(ticket, exc)
+                continue
+            except ServiceError as exc:
+                if exc.retryable:
+                    self._retry_or_fail(live, exc)
+                else:
+                    for ticket in live:
+                        self._resolve_error(ticket, exc)
+                continue
+            except Exception as exc:  # unknown backend failure
+                error = ServiceError(
+                    f"shard {shard} failed: {type(exc).__name__}: {exc}"
+                )
+                for ticket in live:
+                    self._resolve_error(ticket, error)
+                continue
+            self.stats.last_batch_seconds = time.perf_counter() - t0
+            for ticket, outcome in zip(live, outcomes):
+                self._settle(ticket, outcome, "executed")
+
+    def _settle(
+        self, ticket: Ticket, outcome: Outcome, source: str
+    ) -> None:
+        """Resolve one ticket from a backend outcome."""
+        if outcome[0] == "ok":
+            payload = outcome[1]
+            self._cache.put(ticket.key, _CachedPayload(payload))
+            future = self._inflight.pop(ticket.key, None)
+            if future is not None and not future.done():
+                future.set_result((payload, source))
+            return
+        _tag, kind, message = outcome
+        if kind == "timeout":
+            self.stats.deadline_exceeded()
+            self._resolve_error(ticket, DeadlineExceededError(message))
+        else:
+            # Deterministic failure: retrying would fail identically.
+            self._resolve_error(ticket, ServiceError(message))
+
+    def _resolve_error(self, ticket: Ticket, exc: ServiceError) -> None:
+        future = self._inflight.pop(ticket.key, None)
+        if future is not None and not future.done():
+            self.stats.failed()
+            future.set_exception(exc)
+            # Every waiter may already have timed out of its own
+            # budget; mark the exception retrieved so an unobserved
+            # future does not warn at garbage collection.
+            future.exception()
+
+    def _retry_or_fail(
+        self, tickets: list[Ticket], exc: ServiceError
+    ) -> None:
+        """Re-enqueue retryable tickets with backoff; fail the rest."""
+        loop = asyncio.get_running_loop()
+        for ticket in tickets:
+            delay = (
+                self._retry_backoff
+                * (2 ** ticket.attempts)
+                * (1.0 + self._retry_rng.random())
+            )
+            budget_ok = (
+                ticket.deadline is None
+                or ticket.deadline > time.time() + delay
+            )
+            if ticket.attempts >= self._max_retries or not budget_ok:
+                self._resolve_error(ticket, exc)
+                continue
+            ticket.attempts += 1
+            self.stats.retried()
+            task = loop.create_task(self._requeue_later(ticket, delay))
+            self._retry_tasks.add(task)
+            task.add_done_callback(self._retry_tasks.discard)
+
+    async def _requeue_later(self, ticket: Ticket, delay: float) -> None:
+        await asyncio.sleep(delay)
+        try:
+            shard = self._scheduler.enqueue(ticket)
+        except QueueFullError:
+            self.stats.shed()
+            self._resolve_error(
+                ticket,
+                ServiceOverloadedError(
+                    "queue full on retry",
+                    retry_after=self._retry_after_hint(),
+                ),
+            )
+            return
+        self._kick(shard)
+
+    async def _degrade(
+        self, shard: int, tickets: list[Ticket], exc: ServiceError
+    ) -> None:
+        """A quarantined shard: inline fallback or structured 503."""
+        fallback = getattr(self._backend, "execute_fallback", None)
+        if self._degraded_mode != "inline" or fallback is None:
+            for ticket in tickets:
+                self._resolve_error(ticket, exc)
+            return
+        self.stats.degraded(len(tickets))
+        work = [(t.request, t.deadline) for t in tickets]
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                None, fallback, shard, work
+            )
+        except Exception as fallback_exc:
+            error = ServiceError(
+                f"degraded execution for shard {shard} failed: "
+                f"{type(fallback_exc).__name__}: {fallback_exc}"
+            )
+            for ticket in tickets:
+                self._resolve_error(ticket, error)
+            return
+        for ticket, outcome in zip(tickets, outcomes):
+            self._settle(ticket, outcome, "degraded")
 
 
 # ---------------------------------------------------------------------------
@@ -331,11 +640,32 @@ def request_from_json(data: Mapping) -> ExplanationRequest:
     )
 
 
+def timeout_from_json(data: Mapping) -> float | None:
+    """The optional per-request ``timeout_seconds`` of a POST body."""
+    timeout = data.get("timeout_seconds")
+    if timeout is None:
+        return None
+    timeout = float(timeout)
+    if timeout <= 0:
+        raise ValueError("timeout_seconds must be positive")
+    return timeout
+
+
 # ---------------------------------------------------------------------------
 # Minimal stdlib HTTP server (asyncio streams, no new dependencies)
 # ---------------------------------------------------------------------------
 
 _MAX_BODY = 4 * 1024 * 1024
+
+_STATUS_LINES = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    429: "429 Too Many Requests",
+    500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
+    504: "504 Gateway Timeout",
+}
 
 
 def _http_response(
@@ -355,6 +685,36 @@ def _http_response(
     return "\r\n".join(headers).encode("ascii") + body
 
 
+def _error_response(
+    exc: ServiceError, fingerprint: str | None = None
+) -> bytes:
+    """A structured JSON error with the right status and headers.
+
+    Every error body carries ``error`` (human message), ``kind`` (a
+    stable machine-readable slug), ``status``, and ``retryable``;
+    transient conditions add ``Retry-After``, and the fingerprint
+    header rides along whenever the request parsed far enough to have
+    one — so a client's error handling can key off the same identity
+    as its success path.
+    """
+    status = _STATUS_LINES.get(exc.status, _STATUS_LINES[500])
+    payload: dict[str, Any] = {
+        "error": str(exc),
+        "kind": exc.kind,
+        "status": exc.status,
+        "retryable": bool(exc.retryable or exc.status in (429, 503)),
+    }
+    headers: dict[str, str] = {}
+    if exc.retry_after is not None:
+        payload["retry_after_seconds"] = round(exc.retry_after, 3)
+        headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+    if fingerprint:
+        headers["X-Cajade-Fingerprint"] = fingerprint
+    return _http_response(
+        status, json.dumps(payload).encode(), extra_headers=headers
+    )
+
+
 async def _read_request(
     reader: asyncio.StreamReader,
 ) -> tuple[str, str, dict[str, str], bytes] | None:
@@ -367,7 +727,7 @@ async def _read_request(
     try:
         method, path, _version = lines[0].split(" ", 2)
     except ValueError:
-        raise ServiceError(f"malformed request line {lines[0]!r}")
+        raise BadRequestError(f"malformed request line {lines[0]!r}")
     headers: dict[str, str] = {}
     for line in lines[1:]:
         if not line:
@@ -376,7 +736,9 @@ async def _read_request(
         headers[name.strip().lower()] = value.strip()
     length = int(headers.get("content-length", "0") or "0")
     if length > _MAX_BODY:
-        raise ServiceError(f"request body of {length} bytes is too large")
+        raise BadRequestError(
+            f"request body of {length} bytes is too large"
+        )
     body = await reader.readexactly(length) if length else b""
     return method, path, headers, body
 
@@ -391,10 +753,7 @@ async def _handle_connection(
             try:
                 parsed = await _read_request(reader)
             except ServiceError as exc:
-                writer.write(_http_response(
-                    "400 Bad Request",
-                    json.dumps({"error": str(exc)}).encode(),
-                ))
+                writer.write(_error_response(exc))
                 break
             if parsed is None:
                 break
@@ -419,20 +778,20 @@ async def _route(
         snapshot = json.dumps(service.stats.snapshot()).encode()
         return _http_response("200 OK", snapshot)
     if method == "POST" and path == "/explain":
+        fingerprint: str | None = None
         try:
-            request = request_from_json(json.loads(body or b"{}"))
+            data = json.loads(body or b"{}")
+            request = request_from_json(data)
+            fingerprint = request.fingerprint
+            timeout = timeout_from_json(data)
         except (ValueError, TypeError, KeyError) as exc:
-            return _http_response(
-                "400 Bad Request",
-                json.dumps({"error": str(exc)}).encode(),
+            return _error_response(
+                BadRequestError(str(exc)), fingerprint
             )
         try:
-            response = await service.submit(request)
+            response = await service.submit(request, timeout=timeout)
         except ServiceError as exc:
-            return _http_response(
-                "500 Internal Server Error",
-                json.dumps({"error": str(exc)}).encode(),
-            )
+            return _error_response(exc, fingerprint)
         return _http_response(
             "200 OK",
             response.payload.encode(),

@@ -10,6 +10,7 @@ without binning error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core import timing
 from ..engine.trie import PrefixCache
@@ -41,6 +42,8 @@ class ServiceStats:
     latencies: list[float] = field(default_factory=list)
     cache: PrefixCache | None = None
     workers: int = 0
+    health_provider: Callable[[], dict] | None = None
+    last_batch_seconds: float = 0.0
     _max_depth: int = 0
 
     # ------------------------------------------------------------------
@@ -61,6 +64,21 @@ class ServiceStats:
     def batch_dispatched(self) -> None:
         self.timer.count(timing.SERVICE_BATCHES)
 
+    def retried(self) -> None:
+        self.timer.count(timing.SERVICE_RETRIES)
+
+    def shed(self) -> None:
+        self.timer.count(timing.SERVICE_SHED)
+
+    def deadline_exceeded(self) -> None:
+        self.timer.count(timing.SERVICE_DEADLINE_EXCEEDED)
+
+    def degraded(self, n: int = 1) -> None:
+        self.timer.count(timing.SERVICE_DEGRADED, n)
+
+    def failed(self) -> None:
+        self.timer.count(timing.SERVICE_FAILURES)
+
     def observe_depth(self, depth: int) -> None:
         """Track the deepest backlog seen (high-water gauge)."""
         if depth > self._max_depth:
@@ -70,7 +88,7 @@ class ServiceStats:
     def observe_latency(self, seconds: float, stage: str) -> None:
         """Record one finished request's end-to-end latency, attributed
         to the stage that resolved it (``cache`` / ``coalesced`` /
-        ``executed``)."""
+        ``executed`` / ``degraded``)."""
         self.latencies.append(seconds)
         self.timer.add(f"Service {stage}", seconds)
 
@@ -84,6 +102,9 @@ class ServiceStats:
         hits = counters.get(timing.SERVICE_CACHE_HITS, 0)
         misses = counters.get(timing.SERVICE_CACHE_MISSES, 0)
         lookups = hits + misses
+        failures = counters.get(timing.SERVICE_FAILURES, 0)
+        completed = len(self.latencies)
+        finished = completed + failures
         out = {
             "requests": requests,
             "coalesced": counters.get(timing.SERVICE_COALESCED, 0),
@@ -91,9 +112,20 @@ class ServiceStats:
             "cache_misses": misses,
             "cache_hit_rate": (hits / lookups) if lookups else 0.0,
             "batches": counters.get(timing.SERVICE_BATCHES, 0),
+            "retries": counters.get(timing.SERVICE_RETRIES, 0),
+            "shed": counters.get(timing.SERVICE_SHED, 0),
+            "deadline_exceeded": counters.get(
+                timing.SERVICE_DEADLINE_EXCEEDED, 0
+            ),
+            "degraded": counters.get(timing.SERVICE_DEGRADED, 0),
+            "failures": failures,
+            # Of the requests that finished (either way), the fraction
+            # that resolved successfully — shed requests were never
+            # admitted work, so they do not count against availability.
+            "availability": (completed / finished) if finished else 1.0,
             "max_queue_depth": self._max_depth,
             "workers": self.workers,
-            "completed": len(self.latencies),
+            "completed": completed,
             "latency_p50_ms": percentile(self.latencies, 50.0) * 1e3,
             "latency_p99_ms": percentile(self.latencies, 99.0) * 1e3,
             "stage_seconds": {
@@ -111,4 +143,6 @@ class ServiceStats:
             cache_view = self.cache.stats.as_dict()
             cache_view["capacity_bytes"] = self.cache.capacity_bytes
             out["response_cache"] = cache_view
+        if self.health_provider is not None:
+            out["health"] = self.health_provider()
         return out

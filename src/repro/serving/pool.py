@@ -1,4 +1,5 @@
-"""Execution backends: a sharded process pool and an inline fallback.
+"""Execution backends: a supervised sharded process pool and an inline
+fallback.
 
 :class:`ProcessPoolBackend` runs one persistent worker process per
 shard.  Each worker attaches the shared-memory database export
@@ -17,22 +18,54 @@ under the asyncio front-end.  Each shard has its own request and
 response queue; the front-end guarantees at most one outstanding batch
 per shard, so the blocking :meth:`~ProcessPoolBackend.execute` call can
 simply await its own batch id on its shard's response queue, polling
-worker liveness so a killed worker surfaces as a
-:class:`~repro.serving.frontend.ServiceError` instead of a hang.  The
-parent owns the shm export and unlinks it on :meth:`stop` — worker
-death never leaks segments.
+worker liveness.
+
+**Supervision.**  A dead worker is not a dead shard: ``execute``
+detects death (liveness poll), records the failure with the
+:class:`~repro.serving.supervisor.ShardSupervisor`, and surfaces a
+retryable :class:`~repro.serving.frontend.WorkerDiedError`; the
+*next* execute on that shard respawns a replacement against the
+still-live shared-memory export (exponential backoff + seeded jitter
+between consecutive respawns) and re-runs the ready handshake.  A
+shard that crash-loops past its ``max_restarts`` consecutive-failure
+budget is quarantined — subsequent executes raise
+:class:`ShardQuarantinedError`, and the front-end either degrades to
+:meth:`execute_fallback` (a lazily-built in-parent session — slower
+but byte-identical) or fast-fails with a structured 503.
+
+**Integrity.**  Workers return one outcome per request —
+``("ok", payload, digest)`` or ``("error", kind, message)`` — with a
+blake2b digest over each payload; the parent verifies every digest and
+raises a retryable :class:`CorruptReplyError` on mismatch, so a
+mangled reply can never reach a client (or the response cache).
+Deterministic per-request failures (bad SQL, unknown tuple) are
+isolated: the batch falls back to per-request execution so one poison
+request cannot fail its batch-mates.
+
+The parent owns the shm export and unlinks it on :meth:`stop`; worker
+death never leaks segments, and a *startup* failure (worker N dies
+before its ready handshake) tears down the already-spawned workers and
+unlinks the export before re-raising — a crashed ``start()`` leaks
+neither processes nor segments.
 
 :class:`InlineBackend` implements the same contract with in-process
 sessions (one per shard) and no processes at all — the test/CI
 substrate, and the fallback when the platform lacks POSIX shared
-memory.
+memory.  Fault injection (:mod:`repro.serving.faults`) maps worker
+death onto "drop the shard's session", so the whole failure matrix is
+testable without spawning.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
+import os
 import queue
+import random
+import signal
 import threading
+import time
 from typing import Any
 
 from ..api.session import CajadeSession
@@ -40,59 +73,145 @@ from ..api.types import ExplanationRequest
 from ..core.config import CajadeConfig
 from ..core.schema_graph import SchemaGraph
 from ..db.database import Database
-from .frontend import ServiceError, canonical_payload
+from .faults import CORRUPT, DELAY, KILL, FaultPlan, FaultRule
+from .frontend import (
+    CorruptReplyError,
+    DeadlineExceededError,
+    Outcome,
+    ServiceError,
+    WorkerDiedError,
+    canonical_payload,
+)
 from .shm import DatabaseHandle, attach_database, export_database
+from .supervisor import ShardSupervisor
 
 _READY_TIMEOUT = 120.0  # spawn + numpy import can be slow on small boxes
 _POLL_SECONDS = 0.25
+_MAX_RESPAWN_BACKOFF = 2.0
+
+# Wire-level outcome tags (worker -> parent).
+_OK = "ok"
+_ERROR = "error"
+# Error kinds inside an outcome.
+TIMEOUT = "timeout"
+DETERMINISTIC = "deterministic"
+
+
+def _digest(payload: str) -> str:
+    """A short integrity checksum over one reply payload."""
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=8
+    ).hexdigest()
+
+
+def _corrupt_payload(payload: str) -> str:
+    """Flip the last character (fault injection's 'mangled wire')."""
+    if not payload:
+        return "\x00"
+    last = payload[-1]
+    return payload[:-1] + chr((ord(last) + 1) % 128)
+
+
+def _execute_work(
+    session: CajadeSession,
+    work: list[tuple[ExplanationRequest, float | None]],
+) -> list[tuple]:
+    """Run a batch against a session, one checksummed outcome per
+    request.
+
+    Requests whose deadline already passed are answered with a
+    ``timeout`` outcome without touching the engine.  The live rest run
+    through ``explain_batch`` (the byte-identity fast path); if that
+    raises, each request is retried individually so a single poison
+    request yields one ``deterministic`` error instead of failing its
+    batch-mates.
+    """
+    now = time.time()
+    outcomes: list[tuple | None] = [None] * len(work)
+    live_index: list[int] = []
+    live_requests: list[ExplanationRequest] = []
+    for i, (request, deadline) in enumerate(work):
+        if deadline is not None and deadline <= now:
+            outcomes[i] = (
+                _ERROR,
+                TIMEOUT,
+                "deadline expired before execution",
+            )
+        else:
+            live_index.append(i)
+            live_requests.append(request)
+    if live_requests:
+        try:
+            responses = session.explain_batch(live_requests)
+            for i, response in zip(live_index, responses):
+                payload = canonical_payload(response)
+                outcomes[i] = (_OK, payload, _digest(payload))
+        except Exception:
+            # Isolate the poison request: retry one at a time.
+            for i, request in zip(live_index, live_requests):
+                try:
+                    payload = canonical_payload(session.explain(request))
+                    outcomes[i] = (_OK, payload, _digest(payload))
+                except Exception as exc:
+                    outcomes[i] = (
+                        _ERROR,
+                        DETERMINISTIC,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+    return outcomes  # type: ignore[return-value]
 
 
 def _worker_main(
     shard: int,
+    incarnation: int,
     handle: DatabaseHandle,
     schema_graph: SchemaGraph,
     config: CajadeConfig,
+    fault_plan: FaultPlan | None,
     request_queue: "mp.Queue[Any]",
     response_queue: "mp.Queue[Any]",
 ) -> None:
     """Worker loop: attach shm, build a session, answer batches."""
+    if fault_plan is not None and fault_plan.startup_crash(
+        shard, incarnation
+    ):
+        os._exit(3)
     attached = attach_database(handle)
     try:
         session = CajadeSession(
             attached.database, schema_graph, config
         )
-        response_queue.put(("ready", shard))
+        response_queue.put(("ready", shard, incarnation))
         while True:
             message = request_queue.get()
             if message is None:
                 break
-            batch_id, requests = message
-            try:
-                responses = session.explain_batch(list(requests))
-                payloads = [canonical_payload(r) for r in responses]
-            except Exception as exc:  # surface, don't kill the worker
-                response_queue.put(
-                    ("error", batch_id, f"{type(exc).__name__}: {exc}")
-                )
-                continue
-            response_queue.put(("ok", batch_id, payloads))
+            batch_id, work = message
+            outcomes = _execute_work(session, list(work))
+            response_queue.put(("batch", batch_id, outcomes))
+    except KeyboardInterrupt:
+        # A terminal Ctrl-C signals the whole foreground process
+        # group; the parent coordinates shutdown, so exit quietly
+        # instead of spraying a traceback per worker.
+        pass
     finally:
         attached.close()
 
 
 class _Worker:
-    """Parent-side record of one shard's process and queues."""
+    """Parent-side record of one shard-worker incarnation."""
 
-    def __init__(self, ctx: Any, shard: int):
+    def __init__(self, ctx: Any, shard: int, incarnation: int):
         self.shard = shard
+        self.incarnation = incarnation
         self.request_queue: "mp.Queue[Any]" = ctx.Queue()
         self.response_queue: "mp.Queue[Any]" = ctx.Queue()
         self.process: Any = None
-        self.batch_seq = 0
+        self.dead = False
 
 
 class ProcessPoolBackend:
-    """One persistent spawned process per fingerprint shard."""
+    """One persistent spawned process per fingerprint shard, supervised."""
 
     def __init__(
         self,
@@ -101,19 +220,32 @@ class ProcessPoolBackend:
         config: CajadeConfig | None = None,
         num_shards: int = 2,
         start_method: str = "spawn",
+        max_restarts: int = 3,
+        restart_backoff: float = 0.1,
+        fault_plan: FaultPlan | None = None,
+        seed: int = 0,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards
         self.base_config = config or CajadeConfig()
+        self._db = db
         self._schema_graph = (
             schema_graph or SchemaGraph.from_database(db)
         )
         self._ctx = mp.get_context(start_method)
         self._export = export_database(db)
-        self._workers = [
-            _Worker(self._ctx, shard) for shard in range(num_shards)
-        ]
+        self._fault_plan = fault_plan
+        self._supervisor = ShardSupervisor(
+            num_shards, max_restarts=max_restarts
+        )
+        self._restart_backoff = restart_backoff
+        self._restart_rng = random.Random(seed)
+        self._incarnations = [0] * num_shards
+        self._batch_seq = [0] * num_shards
+        self._workers: list[_Worker | None] = [None] * num_shards
+        self._fallback_sessions: dict[int, CajadeSession] = {}
+        self._fallback_lock = threading.Lock()
         self._started = False
         self._stopped = False
 
@@ -125,38 +257,59 @@ class ProcessPoolBackend:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _spawn(self, shard: int) -> _Worker:
+        """Spawn (or respawn) the shard's worker process."""
+        self._incarnations[shard] += 1
+        worker = _Worker(self._ctx, shard, self._incarnations[shard])
+        worker.process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard,
+                worker.incarnation,
+                self._export.handle,
+                self._schema_graph,
+                self.base_config,
+                self._fault_plan,
+                worker.request_queue,
+                worker.response_queue,
+            ),
+            daemon=True,
+            name=f"cajade-worker-{shard}.{worker.incarnation}",
+        )
+        worker.process.start()
+        self._workers[shard] = worker
+        return worker
+
     def start(self) -> None:
-        """Spawn every worker and wait for its ready handshake."""
+        """Spawn every worker and wait for its ready handshake.
+
+        A partial failure (worker N dies before its handshake) must not
+        leak: every already-spawned process is terminated and joined,
+        and the shared-memory export is unlinked, before the error
+        propagates.
+        """
         if self._started:
             return
-        for worker in self._workers:
-            worker.process = self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker.shard,
-                    self._export.handle,
-                    self._schema_graph,
-                    self.base_config,
-                    worker.request_queue,
-                    worker.response_queue,
-                ),
-                daemon=True,
-                name=f"cajade-worker-{worker.shard}",
-            )
-            worker.process.start()
-        for worker in self._workers:
-            self._await_message(worker, "ready", _READY_TIMEOUT)
+        if self._stopped:
+            raise ServiceError("pool was stopped and cannot restart")
+        try:
+            for shard in range(self.num_shards):
+                self._spawn(shard)
+            for worker in self._workers:
+                assert worker is not None
+                self._await_message(worker, "ready", _READY_TIMEOUT)
+        except Exception:
+            self._teardown_workers()
+            self._export.close()
+            self._stopped = True
+            raise
         self._started = True
 
-    def stop(self) -> None:
-        """Shut workers down and unlink the shared-memory export."""
-        if self._stopped:
-            return
-        self._stopped = True
+    def _teardown_workers(self) -> None:
         for worker in self._workers:
-            process = worker.process
-            if process is None:
+            if worker is None or worker.process is None:
                 continue
+            process = worker.process
             if process.is_alive():
                 try:
                     worker.request_queue.put(None)
@@ -166,7 +319,18 @@ class ProcessPoolBackend:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Shut workers down and unlink the shared-memory export."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._teardown_workers()
         self._export.close()
+        with self._fallback_lock:
+            for session in self._fallback_sessions.values():
+                session.close()
+            self._fallback_sessions.clear()
 
     def __enter__(self) -> "ProcessPoolBackend":
         self.start()
@@ -176,21 +340,142 @@ class ProcessPoolBackend:
         self.stop()
 
     # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _ensure_worker(self, shard: int) -> _Worker:
+        """The shard's live worker, respawning a dead one if allowed.
+
+        Consecutive respawns back off exponentially (seeded jitter) so
+        a crash-looping shard does not busy-spin through its quarantine
+        budget.  A respawn that fails its ready handshake counts as
+        another failure; crossing the budget quarantines the shard.
+        """
+        worker = self._workers[shard]
+        if (
+            worker is not None
+            and not worker.dead
+            and worker.process is not None
+            and worker.process.is_alive()
+        ):
+            return worker
+        if not self._started or self._stopped or self._export.closed:
+            raise ServiceError(f"pool is not running (shard {shard})")
+        if worker is not None and worker.process is not None:
+            worker.process.join(timeout=1.0)  # reap the corpse
+        streak = self._supervisor.consecutive_failures(shard)
+        delay = (
+            self._restart_backoff
+            * (2 ** max(0, streak - 1))
+            * (1.0 + self._restart_rng.random())
+        )
+        time.sleep(min(delay, _MAX_RESPAWN_BACKOFF))
+        worker = self._spawn(shard)
+        try:
+            self._await_message(worker, "ready", _READY_TIMEOUT)
+        except WorkerDiedError as exc:
+            worker.dead = True
+            if self._supervisor.record_failure(shard, exc):
+                raise
+            self._supervisor.check(shard)  # raises ShardQuarantinedError
+            raise  # pragma: no cover - check always raises here
+        self._supervisor.record_restart(shard)
+        return worker
+
+    def health(self) -> dict:
+        """Per-shard supervision state plus fault-injection totals."""
+        snapshot = self._supervisor.snapshot()
+        if self._fault_plan is not None:
+            snapshot["faults_injected"] = self._fault_plan.fired_total
+        return snapshot
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(
-        self, shard: int, requests: list[ExplanationRequest]
-    ) -> list[str]:
-        worker = self._workers[shard]
-        if worker.process is None or not worker.process.is_alive():
-            raise ServiceError(f"worker {shard} is not running")
-        worker.batch_seq += 1
-        batch_id = worker.batch_seq
-        worker.request_queue.put((batch_id, tuple(requests)))
-        kind, payload = self._await_batch(worker, batch_id)
-        if kind == "error":
-            raise ServiceError(f"worker {shard} failed: {payload}")
-        return payload
+        self,
+        shard: int,
+        work: list[tuple[ExplanationRequest, float | None]],
+    ) -> list[Outcome]:
+        self._supervisor.check(shard)
+        worker = self._ensure_worker(shard)
+        corrupt = False
+        for action in self._fault_actions(shard, len(work)):
+            if action.kind == DELAY:
+                time.sleep(action.delay_seconds)
+            elif action.kind == CORRUPT:
+                corrupt = True
+            elif action.kind == KILL and worker.process.is_alive():
+                os.kill(worker.process.pid, signal.SIGKILL)
+        self._batch_seq[shard] += 1
+        batch_id = self._batch_seq[shard]
+        deadlines = [d for _r, d in work]
+        batch_deadline = (
+            max(deadlines) if all(d is not None for d in deadlines) else None
+        )
+        worker.request_queue.put((batch_id, tuple(work)))
+        try:
+            outcomes = self._await_batch(worker, batch_id, batch_deadline)
+            checked = self._verify(shard, outcomes, corrupt)
+        except (WorkerDiedError, CorruptReplyError) as exc:
+            if isinstance(exc, WorkerDiedError):
+                worker.dead = True
+            if self._supervisor.record_failure(shard, exc):
+                raise
+            self._supervisor.check(shard)  # raises ShardQuarantinedError
+            raise  # pragma: no cover - check always raises here
+        self._supervisor.record_success(shard)
+        return checked
+
+    def _fault_actions(
+        self, shard: int, num_requests: int
+    ) -> list[FaultRule]:
+        if self._fault_plan is None:
+            return []
+        return self._fault_plan.admit(shard, num_requests)
+
+    def _verify(
+        self, shard: int, outcomes: list[tuple], corrupt: bool
+    ) -> list[Outcome]:
+        """Checksum-verify every payload; strip digests from the wire
+        form.  ``corrupt`` applies the injected wire mangling *before*
+        verification — proving a corrupt reply cannot get through."""
+        checked: list[Outcome] = []
+        for outcome in outcomes:
+            if outcome[0] != _OK:
+                checked.append(tuple(outcome))
+                continue
+            _tag, payload, digest = outcome
+            if corrupt:
+                payload = _corrupt_payload(payload)
+                corrupt = False  # mangle one reply per injected fault
+            if _digest(payload) != digest:
+                raise CorruptReplyError(
+                    f"shard {shard} reply failed checksum verification"
+                )
+            checked.append((_OK, payload))
+        return checked
+
+    def execute_fallback(
+        self,
+        shard: int,
+        work: list[tuple[ExplanationRequest, float | None]],
+    ) -> list[Outcome]:
+        """Degraded-mode execution for a quarantined shard: a lazily
+        built in-parent session over the original database.  Slower
+        (no warm worker state) but byte-identical — the session memo
+        contract does not care which process runs the mining."""
+        with self._fallback_lock:
+            session = self._fallback_sessions.get(shard)
+            if session is None:
+                session = CajadeSession(
+                    self._db, self._schema_graph, self.base_config
+                )
+                self._fallback_sessions[shard] = session
+        outcomes = _execute_work(session, work)
+        return [
+            (_OK, outcome[1]) if outcome[0] == _OK else tuple(outcome)
+            for outcome in outcomes
+        ]
 
     def _await_message(
         self, worker: _Worker, expected: str, timeout: float
@@ -205,12 +490,12 @@ class ProcessPoolBackend:
             except queue.Empty:
                 waited += _POLL_SECONDS
                 if not worker.process.is_alive():
-                    raise ServiceError(
+                    raise WorkerDiedError(
                         f"worker {worker.shard} died during startup "
                         f"(exit code {worker.process.exitcode})"
                     )
                 if waited >= deadline:
-                    raise ServiceError(
+                    raise WorkerDiedError(
                         f"worker {worker.shard} did not become ready "
                         f"within {timeout}s"
                     )
@@ -224,23 +509,34 @@ class ProcessPoolBackend:
             )
 
     def _await_batch(
-        self, worker: _Worker, batch_id: int
-    ) -> tuple[str, Any]:
+        self,
+        worker: _Worker,
+        batch_id: int,
+        deadline: float | None,
+    ) -> list[tuple]:
         while True:
+            if deadline is not None and time.time() > deadline:
+                # Every request in the batch is past its budget.  The
+                # worker keeps computing; its late reply is dropped as
+                # stale by the batch-id check of the next dispatch.
+                raise DeadlineExceededError(
+                    f"shard {worker.shard} batch {batch_id} exceeded "
+                    "its deadline"
+                )
             try:
                 message = worker.response_queue.get(
                     timeout=_POLL_SECONDS
                 )
             except queue.Empty:
                 if not worker.process.is_alive():
-                    raise ServiceError(
+                    raise WorkerDiedError(
                         f"worker {worker.shard} died mid-batch "
                         f"(exit code {worker.process.exitcode})"
                     )
                 continue
-            kind, got_id, payload = message
+            _kind, got_id, outcomes = message
             if got_id == batch_id:
-                return kind, payload
+                return outcomes
             # A stale response from a batch the caller gave up on;
             # drop it and keep waiting for ours.
 
@@ -252,6 +548,14 @@ class InlineBackend:
     layout (each shard's tries and memos warm independently) without
     any processes — deterministic and fast for tests, and a correct
     single-process fallback for ``--serve --workers 0``.
+
+    Fault injection maps the process-pool failure matrix onto inline
+    analogues: ``KILL`` drops the shard's session (its warm state — the
+    exact loss a worker death causes) and raises a retryable
+    :class:`WorkerDiedError`; ``CORRUPT`` mangles a reply before the
+    same checksum verification the pool performs; ``DELAY`` sleeps.
+    The supervisor accounting is identical, so restart/quarantine/
+    degraded paths are testable without spawning a single process.
     """
 
     def __init__(
@@ -260,16 +564,24 @@ class InlineBackend:
         schema_graph: SchemaGraph | None = None,
         config: CajadeConfig | None = None,
         num_shards: int = 1,
+        max_restarts: int = 3,
+        fault_plan: FaultPlan | None = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards
         self.base_config = config or CajadeConfig()
-        graph = schema_graph or SchemaGraph.from_database(db)
+        self._db = db
+        self._graph = schema_graph or SchemaGraph.from_database(db)
         self._sessions = [
-            CajadeSession(db, graph, self.base_config)
+            CajadeSession(db, self._graph, self.base_config)
             for _ in range(num_shards)
         ]
+        self._supervisor = ShardSupervisor(
+            num_shards, max_restarts=max_restarts
+        )
+        self._fault_plan = fault_plan
+        self._fallback_sessions: dict[int, CajadeSession] = {}
         self._lock = threading.Lock()
         self.requests_executed = 0
         self.batches_executed = 0
@@ -280,16 +592,94 @@ class InlineBackend:
     def stop(self) -> None:
         for session in self._sessions:
             session.close()
+        for session in self._fallback_sessions.values():
+            session.close()
+        self._fallback_sessions.clear()
 
     def session(self, shard: int) -> CajadeSession:
         """The shard's session (test hook)."""
         return self._sessions[shard]
 
+    def health(self) -> dict:
+        snapshot = self._supervisor.snapshot()
+        if self._fault_plan is not None:
+            snapshot["faults_injected"] = self._fault_plan.fired_total
+        return snapshot
+
     def execute(
-        self, shard: int, requests: list[ExplanationRequest]
-    ) -> list[str]:
+        self,
+        shard: int,
+        work: list[tuple[ExplanationRequest, float | None]],
+    ) -> list[Outcome]:
+        self._supervisor.check(shard)
         with self._lock:
-            self.requests_executed += len(requests)
+            self.requests_executed += len(work)
             self.batches_executed += 1
-        responses = self._sessions[shard].explain_batch(requests)
-        return [canonical_payload(r) for r in responses]
+        corrupt = False
+        killed = False
+        if self._fault_plan is not None:
+            for action in self._fault_plan.admit(shard, len(work)):
+                if action.kind == DELAY:
+                    time.sleep(action.delay_seconds)
+                elif action.kind == CORRUPT:
+                    corrupt = True
+                elif action.kind == KILL:
+                    killed = True
+        if killed:
+            # The inline analogue of worker death: the shard's warm
+            # session is lost and rebuilt cold, exactly like a respawn.
+            self._sessions[shard].close()
+            self._sessions[shard] = CajadeSession(
+                self._db, self._graph, self.base_config
+            )
+            exc = WorkerDiedError(
+                f"shard {shard} session killed by fault injection"
+            )
+            if self._supervisor.record_failure(shard, exc):
+                self._supervisor.record_restart(shard)
+                raise exc
+            self._supervisor.check(shard)
+            raise exc  # pragma: no cover - check always raises here
+        outcomes = _execute_work(self._sessions[shard], work)
+        checked: list[Outcome] = []
+        try:
+            for outcome in outcomes:
+                if outcome[0] != _OK:
+                    checked.append(tuple(outcome))
+                    continue
+                _tag, payload, digest = outcome
+                if corrupt:
+                    payload = _corrupt_payload(payload)
+                    corrupt = False
+                if _digest(payload) != digest:
+                    raise CorruptReplyError(
+                        f"shard {shard} reply failed checksum "
+                        "verification"
+                    )
+                checked.append((_OK, payload))
+        except CorruptReplyError as exc:
+            if self._supervisor.record_failure(shard, exc):
+                raise
+            self._supervisor.check(shard)
+            raise  # pragma: no cover - check always raises here
+        self._supervisor.record_success(shard)
+        return checked
+
+    def execute_fallback(
+        self,
+        shard: int,
+        work: list[tuple[ExplanationRequest, float | None]],
+    ) -> list[Outcome]:
+        """Degraded-mode execution on a quarantine-exempt session."""
+        with self._lock:
+            session = self._fallback_sessions.get(shard)
+            if session is None:
+                session = CajadeSession(
+                    self._db, self._graph, self.base_config
+                )
+                self._fallback_sessions[shard] = session
+        outcomes = _execute_work(session, work)
+        return [
+            (_OK, outcome[1]) if outcome[0] == _OK else tuple(outcome)
+            for outcome in outcomes
+        ]

@@ -22,6 +22,11 @@ Batches are cut by :meth:`Scheduler.take_batch`, which drains up to
 ``max_batch`` queued tickets for one shard.  The front-end enforces at
 most one outstanding batch per shard, so a long batch on shard 0 never
 blocks dispatch to shard 1.
+
+Queues are *bounded* (``max_queue_depth``): :meth:`Scheduler.enqueue`
+raises :class:`QueueFullError` when a shard's backlog is at capacity,
+which the front-end translates into a structured 429 — load shedding
+is a server-side admission decision here, not a client courtesy.
 """
 
 from __future__ import annotations
@@ -40,6 +45,11 @@ def shard_for(fingerprint: str, num_shards: int) -> int:
     return int(fingerprint[:16], 16) % num_shards
 
 
+class QueueFullError(Exception):
+    """A shard's queue is at ``max_queue_depth``; the ticket was not
+    enqueued.  The front-end maps this to a 429 with Retry-After."""
+
+
 @dataclass
 class Ticket:
     """One admitted request travelling through the scheduler.
@@ -47,13 +57,18 @@ class Ticket:
     ``key`` is the response-cache key (fingerprint, question repr,
     mining-config key); every ticket with the same key resolves to the
     same payload, and the front-end coalesces them onto one ticket
-    before enqueueing.  ``context`` is an opaque front-end cookie (the
-    future + timing bookkeeping) the scheduler never inspects.
+    before enqueueing.  ``deadline`` is an absolute ``time.time()``
+    epoch the whole lifecycle (queueing, execution, retries) must fit
+    inside (``None`` = no budget); ``attempts`` counts completed
+    retries for the front-end's bounded-retry policy.  ``context`` is
+    an opaque front-end cookie the scheduler never inspects.
     """
 
     request: ExplanationRequest
     key: tuple
     seq: int
+    deadline: float | None = None
+    attempts: int = 0
     context: Any = None
 
     @property
@@ -87,6 +102,7 @@ class Scheduler:
 
     num_shards: int
     max_batch: int = 16
+    max_queue_depth: int | None = None
     _queues: list[deque[Ticket]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -94,12 +110,31 @@ class Scheduler:
             raise ValueError("num_shards must be >= 1")
         if self.max_batch <= 0:
             raise ValueError("max_batch must be >= 1")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
         self._queues = [deque() for _ in range(self.num_shards)]
 
+    def shard_of(self, fingerprint: str) -> int:
+        """The shard a fingerprint routes to (admission pre-check)."""
+        return shard_for(fingerprint, self.num_shards)
+
     def enqueue(self, ticket: Ticket) -> int:
-        """Queue a ticket on its fingerprint's shard; returns the shard."""
+        """Queue a ticket on its fingerprint's shard; returns the shard.
+
+        Raises :class:`QueueFullError` when the shard's backlog is at
+        ``max_queue_depth`` — the ticket is *not* enqueued.
+        """
         shard = shard_for(ticket.fingerprint, self.num_shards)
-        self._queues[shard].append(ticket)
+        queue = self._queues[shard]
+        if (
+            self.max_queue_depth is not None
+            and len(queue) >= self.max_queue_depth
+        ):
+            raise QueueFullError(
+                f"{len(queue)} tickets >= max_queue_depth="
+                f"{self.max_queue_depth}"
+            )
+        queue.append(ticket)
         return shard
 
     def take_batch(self, shard: int) -> list[Ticket]:

@@ -248,6 +248,11 @@ class RelationExport:
     def shared_bytes(self) -> int:
         return sum(shm.size for shm in self._segments)
 
+    @property
+    def closed(self) -> bool:
+        """True once the segments are unlinked; attaches must stop."""
+        return self._closed
+
     def close(self) -> None:
         """Unmap and unlink every owned segment (idempotent)."""
         for shm in self._segments:
@@ -275,6 +280,7 @@ class DatabaseExport:
 
     def __init__(self, db: Database):
         self._exports: list[RelationExport] = []
+        self._closed = False
         try:
             relations = [
                 RelationExport(db.table(name)) for name in db.table_names
@@ -293,9 +299,15 @@ class DatabaseExport:
     def shared_bytes(self) -> int:
         return sum(e.shared_bytes for e in self._exports)
 
+    @property
+    def closed(self) -> bool:
+        """True once the segments are unlinked; spawns must stop."""
+        return self._closed
+
     def close(self) -> None:
         for export in self._exports:
             export.close()
+        self._closed = True
 
     def __enter__(self) -> "DatabaseExport":
         return self

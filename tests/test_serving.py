@@ -10,12 +10,25 @@ import pytest
 
 from repro import CajadeConfig, CajadeSession, ComparisonQuestion, ExplanationRequest
 from repro.serving import (
+    CORRUPT,
+    DELAY,
+    KILL,
+    QUARANTINED,
+    STARTUP_CRASH,
+    DeadlineExceededError,
     ExplanationService,
+    FaultPlan,
+    FaultRule,
     InlineBackend,
     ProcessPoolBackend,
+    QueueFullError,
     Scheduler,
     ServiceError,
+    ServiceOverloadedError,
+    ShardQuarantinedError,
+    ShardSupervisor,
     Ticket,
+    WorkerDiedError,
     canonical_payload,
     locality_order,
     request_cache_key,
@@ -85,6 +98,15 @@ class TestScheduler:
         assert len(scheduler.take_batch(0)) == 2
         assert scheduler.pending(0) == 3
 
+    def test_enqueue_bounded_by_max_queue_depth(self):
+        scheduler = Scheduler(num_shards=1, max_queue_depth=2)
+        for i in range(2):
+            scheduler.enqueue(Ticket(request=request(), key=("k", i), seq=i))
+        with pytest.raises(QueueFullError):
+            scheduler.enqueue(Ticket(request=request(), key=("k", 9), seq=9))
+        # The rejected ticket was not enqueued.
+        assert scheduler.pending(0) == 2
+
     def test_locality_order_groups_by_fingerprint_then_question(self):
         sql2 = GSW_WINS_SQL + " ORDER BY win"
         reqs = [
@@ -100,6 +122,315 @@ class TestScheduler:
         ordered = locality_order(tickets)
         # First-seen fingerprint first, its questions grouped, then sql2.
         assert [t.seq for t in ordered] == [0, 3, 2, 1]
+
+
+# ---------------------------------------------------------------------------
+# Fault injection and supervision (pure units)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_kill_every_fires_on_multiples_per_shard(self):
+        plan = FaultPlan.kill_every(3)
+        # Shard 0: requests 1..2 (no fire), 3..4 (fires on 3).
+        assert plan.admit(0, 2) == []
+        assert [r.kind for r in plan.admit(0, 2)] == [KILL]
+        # Shard 1 has its own counter.
+        assert plan.admit(1, 2) == []
+        assert [r.kind for r in plan.admit(1, 1)] == [KILL]
+        assert plan.fired_total == 2
+
+    def test_rule_fires_at_most_once_per_batch(self):
+        plan = FaultPlan.kill_every(1)
+        # A 5-request batch matches ticks 1..5 but a worker dies once.
+        assert len(plan.admit(0, 5)) == 1
+
+    def test_times_caps_total_firings(self):
+        plan = FaultPlan((FaultRule(kind=KILL, every=1, times=2),))
+        fired = sum(len(plan.admit(0, 1)) for _ in range(5))
+        assert fired == 2
+
+    def test_shard_scoped_rule_ignores_other_shards(self):
+        plan = FaultPlan((FaultRule(kind=KILL, shard=1, at=1),))
+        assert plan.admit(0, 3) == []
+        assert [r.kind for r in plan.admit(1, 1)] == [KILL]
+
+    def test_startup_crash_is_pure_and_picklable(self):
+        import pickle
+
+        plan = FaultPlan((FaultRule(kind=STARTUP_CRASH, shard=0, at=2),))
+        clone = pickle.loads(pickle.dumps(plan))
+        for copy in (plan, clone):
+            assert not copy.startup_crash(0, 1)
+            assert copy.startup_crash(0, 2)
+            assert not copy.startup_crash(1, 2)
+        # Pure: asking twice answers the same.
+        assert plan.startup_crash(0, 2)
+
+    def test_rejects_bad_rules(self):
+        with pytest.raises(ValueError):
+            FaultRule(kind="nope", at=1)
+        with pytest.raises(ValueError):
+            FaultRule(kind=KILL)
+        with pytest.raises(ValueError):
+            FaultRule(kind=KILL, at=0)
+
+    def test_describe_records_identity(self):
+        plan = FaultPlan.kill_every(3, times=2, seed=7)
+        plan.admit(0, 3)
+        view = plan.describe()
+        assert view["seed"] == 7
+        assert view["fired"] == 1
+        assert view["rules"][0]["every"] == 3
+
+
+class TestShardSupervisor:
+    def test_quarantines_after_consecutive_budget(self):
+        sup = ShardSupervisor(1, max_restarts=2)
+        assert sup.record_failure(0, "boom")
+        sup.record_restart(0)
+        assert sup.record_failure(0, "boom")
+        sup.record_restart(0)
+        # Third consecutive failure crosses max_restarts=2.
+        assert not sup.record_failure(0, "boom")
+        with pytest.raises(ShardQuarantinedError):
+            sup.check(0)
+        snap = sup.snapshot()
+        assert snap["quarantined"] == [0]
+        assert snap["restarts"] == 2
+        assert snap["shards"][0]["state"] == QUARANTINED
+
+    def test_success_resets_the_streak(self):
+        sup = ShardSupervisor(1, max_restarts=1)
+        for _ in range(5):  # kill/recover forever, never quarantined
+            assert sup.record_failure(0, "killed")
+            sup.record_restart(0)
+            sup.record_success(0)
+        sup.check(0)
+        assert sup.consecutive_failures(0) == 0
+        assert sup.restarts_total == 5
+
+    def test_shards_are_independent(self):
+        sup = ShardSupervisor(2, max_restarts=0)
+        assert not sup.record_failure(1, "boom")
+        sup.check(0)  # shard 0 unaffected
+        with pytest.raises(ShardQuarantinedError):
+            sup.check(1)
+
+
+# ---------------------------------------------------------------------------
+# Chaos: the failure matrix on the inline backend (no processes)
+# ---------------------------------------------------------------------------
+
+
+class TestChaosInline:
+    def test_kill_retries_to_byte_identical_answer(
+        self, mini_db, mini_schema_graph
+    ):
+        expected = serial_payload(mini_db, mini_schema_graph)
+        plan = FaultPlan((FaultRule(kind=KILL, at=1),))
+
+        async def main():
+            backend = InlineBackend(
+                mini_db, mini_schema_graph, CONFIG, fault_plan=plan
+            )
+            async with ExplanationService(
+                backend, retry_backoff=0.01
+            ) as service:
+                response = await service.submit(request())
+                return response, service.stats.snapshot()
+
+        response, stats = asyncio.run(main())
+        assert response.payload == expected
+        assert response.source == "executed"
+        assert stats["retries"] == 1
+        assert stats["health"]["restarts"] == 1
+        assert stats["health"]["shards"][0]["state"] == "healthy"
+        assert stats["availability"] == 1.0
+
+    def test_corrupt_reply_never_reaches_the_client(
+        self, mini_db, mini_schema_graph
+    ):
+        expected = serial_payload(mini_db, mini_schema_graph)
+        plan = FaultPlan((FaultRule(kind=CORRUPT, at=1),))
+
+        async def main():
+            backend = InlineBackend(
+                mini_db, mini_schema_graph, CONFIG, fault_plan=plan
+            )
+            async with ExplanationService(
+                backend, retry_backoff=0.01
+            ) as service:
+                response = await service.submit(request())
+                return response, service.stats.snapshot()
+
+        response, stats = asyncio.run(main())
+        assert response.payload == expected
+        assert stats["retries"] == 1
+        assert stats["health"]["failures"] == 1
+
+    def test_crash_loop_quarantines_then_degrades_inline(
+        self, mini_db, mini_schema_graph
+    ):
+        expected = serial_payload(mini_db, mini_schema_graph)
+        plan = FaultPlan((FaultRule(kind=KILL, every=1),))
+
+        async def main():
+            backend = InlineBackend(
+                mini_db,
+                mini_schema_graph,
+                CONFIG,
+                max_restarts=1,
+                fault_plan=plan,
+            )
+            async with ExplanationService(
+                backend, max_retries=5, retry_backoff=0.01
+            ) as service:
+                response = await service.submit(request())
+                return response, service.stats.snapshot()
+
+        response, stats = asyncio.run(main())
+        assert response.source == "degraded"
+        assert response.payload == expected
+        assert stats["health"]["quarantined"] == [0]
+        assert stats["degraded"] == 1
+        assert stats["availability"] == 1.0
+
+    def test_crash_loop_error_mode_returns_structured_503(
+        self, mini_db, mini_schema_graph
+    ):
+        plan = FaultPlan((FaultRule(kind=KILL, every=1),))
+
+        async def main():
+            backend = InlineBackend(
+                mini_db,
+                mini_schema_graph,
+                CONFIG,
+                max_restarts=1,
+                fault_plan=plan,
+            )
+            async with ExplanationService(
+                backend,
+                max_retries=5,
+                retry_backoff=0.01,
+                degraded_mode="error",
+            ) as service:
+                with pytest.raises(ShardQuarantinedError) as info:
+                    await service.submit(request())
+                return info.value, service.stats.snapshot()
+
+        exc, stats = asyncio.run(main())
+        assert exc.status == 503
+        assert exc.kind == "quarantined"
+        assert stats["health"]["quarantined"] == [0]
+        assert stats["failures"] == 1
+
+    def test_deterministic_error_is_never_retried(
+        self, mini_db, mini_schema_graph
+    ):
+        bad = ExplanationRequest(
+            "SELECT x FROM nope GROUP BY x",
+            ComparisonQuestion({"x": 1}, {"x": 2}),
+        )
+
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                with pytest.raises(ServiceError) as info:
+                    await service.submit(bad)
+                return info.value, service.stats.snapshot()
+
+        exc, stats = asyncio.run(main())
+        assert not exc.retryable
+        assert stats["retries"] == 0
+        assert stats["failures"] == 1
+        # A poison request must not poison its shard's health.
+        assert stats["health"]["failures"] == 0
+
+    def test_poison_request_does_not_fail_batchmates(
+        self, mini_db, mini_schema_graph
+    ):
+        good = request()
+        bad = ExplanationRequest(
+            "SELECT x FROM nope GROUP BY x", QUESTION
+        )
+        expected = serial_payload(mini_db, mini_schema_graph)
+
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(backend) as service:
+                results = await asyncio.gather(
+                    service.submit(good),
+                    service.submit(bad),
+                    return_exceptions=True,
+                )
+                return results
+
+        ok, err = asyncio.run(main())
+        assert ok.payload == expected
+        assert isinstance(err, ServiceError) and not err.retryable
+
+    def test_deadline_exceeded_is_a_504(self, mini_db, mini_schema_graph):
+        plan = FaultPlan(
+            (FaultRule(kind=DELAY, at=1, delay_seconds=0.4),)
+        )
+
+        async def main():
+            backend = InlineBackend(
+                mini_db, mini_schema_graph, CONFIG, fault_plan=plan
+            )
+            async with ExplanationService(backend) as service:
+                with pytest.raises(DeadlineExceededError) as info:
+                    await service.submit(request(), timeout=0.05)
+                return info.value, service.stats.snapshot()
+
+        exc, stats = asyncio.run(main())
+        assert exc.status == 504
+        assert stats["deadline_exceeded"] >= 1
+        assert stats["completed"] == 0
+
+    def test_admission_control_sheds_with_retry_after(
+        self, mini_db, mini_schema_graph
+    ):
+        req2 = ExplanationRequest(GSW_WINS_SQL, QUESTION2)
+
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(
+                backend, max_in_flight=1
+            ) as service:
+                results = await asyncio.gather(
+                    service.submit(request()),
+                    service.submit(req2),
+                    return_exceptions=True,
+                )
+                return results, service.stats.snapshot()
+
+        (ok, shed), stats = asyncio.run(main())
+        assert ok.payload  # the admitted request completed
+        assert isinstance(shed, ServiceOverloadedError)
+        assert shed.status == 429
+        assert shed.retry_after is not None and shed.retry_after > 0
+        assert stats["shed"] == 1
+
+    def test_cache_hits_are_never_shed(self, mini_db, mini_schema_graph):
+        async def main():
+            backend = InlineBackend(mini_db, mini_schema_graph, CONFIG)
+            async with ExplanationService(
+                backend, max_in_flight=1
+            ) as service:
+                await service.submit(request())
+                # Saturate the backlog with a distinct request, then
+                # hit the cache: the hit must not be shed.
+                plan_req = ExplanationRequest(GSW_WINS_SQL, QUESTION2)
+                waiter = asyncio.ensure_future(service.submit(plan_req))
+                await asyncio.sleep(0)  # plan_req is now in flight
+                hit = await service.submit(request())
+                await waiter
+                return hit
+
+        hit = asyncio.run(main())
+        assert hit.source == "cache"
 
 
 # ---------------------------------------------------------------------------
@@ -363,14 +694,17 @@ class TestExplanationService:
 
 @pytest.mark.slow
 class TestProcessPool:
-    def test_pool_byte_identical_and_worker_death(
+    def test_pool_survives_worker_death_byte_identically(
         self, mini_db, mini_schema_graph
     ):
-        """One pool exercise: correct bytes, death surfaces, no leaks."""
+        """One pool exercise: correct bytes, supervised restart after a
+        SIGKILL, restart visible in stats, and no process or shm leaks."""
         expected = serial_payload(mini_db, mini_schema_graph)
 
         async def main(backend):
-            async with ExplanationService(backend) as service:
+            async with ExplanationService(
+                backend, retry_backoff=0.01
+            ) as service:
                 first = await service.submit(request())
                 assert first.payload == expected
                 assert first.source == "executed"
@@ -385,8 +719,19 @@ class TestProcessPool:
                 os.kill(victim.pid, signal.SIGKILL)
                 victim.join(timeout=10.0)
                 service._cache.clear()
-                with pytest.raises(ServiceError):
-                    await service.submit(request())
+
+                # The supervisor respawns the shard's worker against
+                # the still-live shm export; the answer is the same
+                # bytes as before the crash.
+                third = await service.submit(request())
+                assert third.payload == expected
+                assert third.source == "executed"
+                stats = service.stats.snapshot()
+                assert stats["health"]["restarts"] == 1
+                assert stats["health"]["quarantined"] == []
+                assert stats["availability"] == 1.0
+                replacement = backend._workers[shard].process
+                assert replacement.pid != victim.pid
 
         backend = ProcessPoolBackend(
             mini_db, mini_schema_graph, CONFIG, num_shards=2
@@ -394,15 +739,45 @@ class TestProcessPool:
         segment_names = backend._export.handle.segment_names
         asyncio.run(main(backend))
 
-        # stop() ran in close(); the parent still owned every segment
-        # (the killed worker shares the parent's resource tracker, so
-        # its death must not have unlinked anything prematurely), and
-        # after stop they are all gone.
+        # stop() ran in close(): no worker survives it, and the parent
+        # still owned every segment (the killed worker shares the
+        # parent's resource tracker, so its death must not have
+        # unlinked anything prematurely) — after stop they are gone.
         from multiprocessing import shared_memory
 
+        for worker in backend._workers:
+            assert worker is None or not worker.process.is_alive()
         for name in segment_names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+    def test_start_partial_failure_leaks_nothing(
+        self, mini_db, mini_schema_graph
+    ):
+        """A worker crashing before its ready handshake fails start():
+        the spawned siblings are reaped and the export is unlinked."""
+        plan = FaultPlan(
+            (FaultRule(kind=STARTUP_CRASH, shard=1, at=1),)
+        )
+        backend = ProcessPoolBackend(
+            mini_db, mini_schema_graph, CONFIG, num_shards=2,
+            fault_plan=plan,
+        )
+        segment_names = backend._export.handle.segment_names
+        assert segment_names
+        with pytest.raises(WorkerDiedError):
+            backend.start()
+
+        from multiprocessing import shared_memory
+
+        for worker in backend._workers:
+            assert worker is None or not worker.process.is_alive()
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        # The torn-down pool refuses to restart rather than limp.
+        with pytest.raises(ServiceError):
+            backend.start()
 
 
 # ---------------------------------------------------------------------------
@@ -511,5 +886,171 @@ class TestHttp:
         snapshot = json.loads(stats[2])
         assert snapshot["requests"] == 2
         assert snapshot["cache_hits"] == 1
+        assert "health" in snapshot
         assert missing[0].startswith("HTTP/1.1 404")
         assert bad[0].startswith("HTTP/1.1 400")
+        bad_body = json.loads(bad[2])
+        assert bad_body["kind"] == "bad-request"
+        assert bad_body["status"] == 400
+        assert bad_body["retryable"] is False
+
+    def test_error_statuses_and_bodies_are_structured(
+        self, mini_db, mini_schema_graph
+    ):
+        """504 on deadline, 503 on quarantine (error mode), all with
+        machine-readable bodies and the fingerprint header when the
+        request parsed far enough to have one."""
+
+        async def http_request(port, method, path, payload=b""):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            head = (
+                f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + payload)
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            header_blob, _, response_body = raw.partition(b"\r\n\r\n")
+            status = header_blob.split(b"\r\n")[0].decode()
+            headers = {}
+            for line in header_blob.split(b"\r\n")[1:]:
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            return status, headers, response_body
+
+        body = {
+            "sql": GSW_WINS_SQL,
+            "question": {
+                "primary": {"season": "2015-16"},
+                "secondary": {"season": "2012-13"},
+            },
+        }
+        slow_body = json.dumps(
+            {**body, "timeout_seconds": 0.05}
+        ).encode()
+        plan = FaultPlan(
+            (
+                FaultRule(kind=DELAY, at=1, delay_seconds=0.4),
+                FaultRule(kind=KILL, every=1),
+            )
+        )
+
+        async def main():
+            backend = InlineBackend(
+                mini_db,
+                mini_schema_graph,
+                CONFIG,
+                max_restarts=0,
+                fault_plan=plan,
+            )
+            async with ExplanationService(
+                backend,
+                max_retries=3,
+                retry_backoff=0.01,
+                degraded_mode="error",
+            ) as service:
+                server = await serve_http(service, port=0)
+                port = server.sockets[0].getsockname()[1]
+                try:
+                    timed_out = await http_request(
+                        port, "POST", "/explain", slow_body
+                    )
+                    quarantined = await http_request(
+                        port, "POST", "/explain", json.dumps(body).encode()
+                    )
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                return timed_out, quarantined
+
+        timed_out, quarantined = asyncio.run(main())
+        fingerprint = request().fingerprint
+
+        assert timed_out[0].startswith("HTTP/1.1 504")
+        timed_body = json.loads(timed_out[2])
+        assert timed_body["kind"] == "deadline-exceeded"
+        assert timed_body["retryable"] is False
+        assert timed_out[1]["x-cajade-fingerprint"] == fingerprint
+
+        assert quarantined[0].startswith("HTTP/1.1 503")
+        q_body = json.loads(quarantined[2])
+        assert q_body["kind"] == "quarantined"
+        assert q_body["status"] == 503
+        assert q_body["retryable"] is True
+        assert quarantined[1]["x-cajade-fingerprint"] == fingerprint
+
+    def test_shed_request_gets_429_with_retry_after(
+        self, mini_db, mini_schema_graph
+    ):
+        # The first request holds the executor for 1s; the second fills
+        # the depth-1 queue; the HTTP request must then be shed.
+        plan = FaultPlan(
+            (FaultRule(kind=DELAY, at=1, delay_seconds=1.0),)
+        )
+
+        async def main():
+            backend = InlineBackend(
+                mini_db, mini_schema_graph, CONFIG, fault_plan=plan
+            )
+            async with ExplanationService(
+                backend, max_batch=1, max_queue_depth=1
+            ) as service:
+                first = asyncio.ensure_future(service.submit(request()))
+                await asyncio.sleep(0.2)  # batch 1 is now executing
+                second = asyncio.ensure_future(
+                    service.submit(
+                        ExplanationRequest(GSW_WINS_SQL, QUESTION2)
+                    )
+                )
+                await asyncio.sleep(0)  # second is now queued
+                server = await serve_http(service, port=0)
+                port = server.sockets[0].getsockname()[1]
+                body = json.dumps(
+                    {
+                        "sql": GSW_WINS_SQL,
+                        "question": {
+                            "primary": {"season": "2015-16"},
+                            "secondary": {"season": "2012-13"},
+                        },
+                        "top_k": 3,
+                    }
+                ).encode()
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    head = (
+                        "POST /explain HTTP/1.1\r\nHost: t\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: close\r\n\r\n"
+                    )
+                    writer.write(head.encode() + body)
+                    await writer.drain()
+                    raw = await reader.read()
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+                    await asyncio.gather(first, second)
+                return raw
+
+        raw = asyncio.run(main())
+        header_blob, _, response_body = raw.partition(b"\r\n\r\n")
+        status = header_blob.split(b"\r\n")[0].decode()
+        headers = {
+            line.decode().partition(":")[0].strip().lower():
+            line.decode().partition(":")[2].strip()
+            for line in header_blob.split(b"\r\n")[1:]
+        }
+        assert status.startswith("HTTP/1.1 429")
+        shed_body = json.loads(response_body)
+        assert shed_body["kind"] == "overloaded"
+        assert shed_body["retryable"] is True
+        assert shed_body["retry_after_seconds"] > 0
+        assert int(headers["retry-after"]) >= 1
