@@ -69,6 +69,9 @@ from ..core.timing import (
     APT_CACHE_MISSES,
     JG_ENUMERATION,
     JOIN_MEMO_HITS,
+    JOIN_PERMUTATION_REUSES,
+    JOIN_SEARCHSORTED_PROBES,
+    JOIN_WINDOWS_BUILT,
     MATERIALIZE_APTS,
     StepTimer,
 )
@@ -88,9 +91,9 @@ from .types import ExplanationRequest, ExplanationResponse, query_fingerprint
 # Config fields that do not change mining output: ``workers``
 # preserves results exactly (per-graph generators), the engine-level
 # cache knobs only move bytes around, and the scoring-kernel /
-# late-materialization / histogram-forest knobs are byte-identical by
-# construction (asserted by tests).  Everything else keys the
-# session's per-graph mining memo.
+# late-materialization / histogram-forest / join-strategy knobs are
+# byte-identical by construction (asserted by tests).  Everything else
+# keys the session's per-graph mining memo.
 _MINING_NEUTRAL_FIELDS = frozenset(
     {
         "workers",
@@ -102,6 +105,7 @@ _MINING_NEUTRAL_FIELDS = frozenset(
         "use_code_lca",
         "late_materialization",
         "use_hist_forest",
+        "join_strategy",
     }
 )
 
@@ -267,6 +271,7 @@ class CajadeSession:
             cache_mb=self.config.apt_cache_mb,
             join_memo_entries=self.config.join_memo_entries,
             late_materialization=self.config.late_materialization,
+            join_strategy=self.config.join_strategy,
         )
         state = _QueryState(fingerprint, query, pt, engine)
         self._queries[fingerprint] = state
@@ -540,6 +545,14 @@ class CajadeSession:
             )
         if config.join_memo_entries > 0:
             timer.count(JOIN_MEMO_HITS, engine_delta.join_memo_hits)
+        if self.config.join_strategy != "hash":
+            timer.count(JOIN_WINDOWS_BUILT, engine_delta.windows_built)
+            timer.count(
+                JOIN_SEARCHSORTED_PROBES, engine_delta.searchsorted_probes
+            )
+            timer.count(
+                JOIN_PERMUTATION_REUSES, engine_delta.permutation_reuses
+            )
 
         if config.use_diversity:
             chosen = select_diverse_top_k(collected, config.top_k)

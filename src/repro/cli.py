@@ -112,6 +112,14 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                              "eager column-copying pipeline instead of "
                              "index vectors with gather-on-demand "
                              "columns (identical results, slower)")
+    parser.add_argument("--join-strategy", default="sorted-window",
+                        choices=["hash", "sorted-window"],
+                        help="how the engine executes APT join steps: "
+                             "'sorted-window' (default) probes shared "
+                             "sort permutations with searchsorted and "
+                             "caches compact windows in the prefix "
+                             "trie; 'hash' runs the reference "
+                             "hash-build core (identical results)")
     parser.add_argument("--sentences", action="store_true",
                         help="also print natural-language renderings")
 
@@ -131,6 +139,7 @@ def _config_from(args: argparse.Namespace) -> CajadeConfig:
             use_code_lca=not args.no_code_lca,
             use_hist_forest=not args.no_hist_forest,
             late_materialization=not args.no_late_mat,
+            join_strategy=args.join_strategy,
         )
     except ValueError as exc:
         raise SystemExit(f"repro: invalid configuration: {exc}")

@@ -138,6 +138,19 @@ class CajadeConfig:
     instead of re-encoding objects per APT.  Off restores the eager
     pipeline end to end; ranked output is byte-identical either way."""
 
+    join_strategy: str = "sorted-window"
+    """How the engine executes APT join steps and what the prefix trie
+    caches for them.  ``"sorted-window"`` (the default) serves FK joins
+    as ``np.searchsorted`` window lookups into lazily built, per-table
+    sort permutations over the join-key codes (built once per column
+    per process and shared by every alias), and caches compact
+    ``(lo, hi)`` windows plus the shared permutation handle instead of
+    full index vectors; steps the window path cannot mirror fall back
+    to the hash core automatically.  ``"hash"`` runs the reference
+    hash-build core for every step.  Requires ``late_materialization``
+    to take effect (the eager pipeline always hash joins); ranked
+    output is byte-identical across strategies."""
+
     # -- engine: caching and parallelism ---------------------------------
     workers: int = 1
     """Worker threads mining APTs across join graphs.  1 (the default)
@@ -211,6 +224,14 @@ class CajadeConfig:
             raise ValueError("join_memo_entries must be >= 0 (0 disables)")
         if self.kernel_cache_mb < 0:
             raise ValueError("kernel_cache_mb must be >= 0 (0 disables)")
+        # Kept as a literal so config stays import-light; the registry
+        # itself lives in repro.db.join_strategy.JOIN_STRATEGIES and the
+        # two are asserted in sync by tests/test_join_strategies.py.
+        if self.join_strategy not in ("hash", "sorted-window"):
+            raise ValueError(
+                "join_strategy must be 'hash' or 'sorted-window', got "
+                f"{self.join_strategy!r}"
+            )
 
     def with_overrides(self, **kwargs) -> "CajadeConfig":
         """A copy with some fields replaced (keeps configs immutable-ish)."""

@@ -50,6 +50,16 @@ APT_CACHE_ENTRIES = "APT cache entries"
 APT_CACHE_MEDIAN_ENTRY_BYTES = "APT cache median entry bytes"
 JOIN_MEMO_HITS = "Join memo hits"
 
+# Canonical counter labels (sorted-window join strategy).  "Windows
+# built" counts join steps served by the searchsorted window fast path,
+# "searchsorted probes" the probe rows ranged into (lo, hi) windows,
+# and "permutation reuses" the window joins that hit an already-built
+# sort permutation (permutations are built once per table column per
+# process and shared across aliases and engines).
+JOIN_WINDOWS_BUILT = "Join windows built"
+JOIN_SEARCHSORTED_PROBES = "Join searchsorted probes"
+JOIN_PERMUTATION_REUSES = "Join permutation reuses"
+
 # Canonical counter labels (mining-kernel mask cache behaviour).
 KERNEL_MASK_HITS = "Kernel mask hits"
 KERNEL_MASK_MISSES = "Kernel mask misses"
@@ -106,6 +116,9 @@ ALL_COUNTERS = (
     APT_CACHE_ENTRIES,
     APT_CACHE_MEDIAN_ENTRY_BYTES,
     JOIN_MEMO_HITS,
+    JOIN_WINDOWS_BUILT,
+    JOIN_SEARCHSORTED_PROBES,
+    JOIN_PERMUTATION_REUSES,
     KERNEL_MASK_HITS,
     KERNEL_MASK_MISSES,
     KERNEL_MASK_EVICTIONS,

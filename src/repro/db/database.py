@@ -125,6 +125,31 @@ class Database:
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    def warm_join_indexes(self) -> int:
+        """Eagerly build sort indexes for declared foreign-key columns.
+
+        The sorted-window join strategy builds each per-column sort
+        permutation lazily on first probe; serving deployments can call
+        this after load so the first request never pays the argsort.
+        Joins key on the FK endpoints (both directions of the schema
+        graph), so those columns are warmed.  Returns the number of
+        indexable FK endpoint columns; idempotent — repeated calls
+        reuse the process-shared indexes.
+        """
+        warmed = 0
+        for fk in self._foreign_keys:
+            for table, columns in (
+                (fk.table, fk.columns),
+                (fk.ref_table, fk.ref_columns),
+            ):
+                relation = self._tables.get(table)
+                if relation is None:
+                    continue
+                for column in columns:
+                    if relation.sort_index(column) is not None:
+                        warmed += 1
+        return warmed
+
     def statistics(self, name: str) -> "TableStatistics":
         """Cached per-table statistics for the cost model."""
         from .statistics import TableStatistics

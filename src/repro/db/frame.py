@@ -220,6 +220,7 @@ class IndexFrame:
         self,
         other: "IndexFrame | Relation",
         conditions: list[tuple[str, str]],
+        strategy=None,
     ) -> "IndexFrame":
         """Equi-join with another frame/relation on index vectors.
 
@@ -228,9 +229,17 @@ class IndexFrame:
         build/probe/swap behaviour to the eager ``hash_join``, so the
         output row order matches byte for byte), and composes the row
         index vectors of both sides.
+
+        ``strategy`` optionally routes the step through a pluggable
+        :mod:`repro.db.join_strategy` implementation (e.g. the
+        sorted-window searchsorted path); every registered strategy is
+        byte-identical to the default hash core.
         """
         from .executor import join_row_indices
 
+        if strategy is not None:
+            result, _entry = strategy.join_frame(self, other, conditions)
+            return result
         if not conditions:
             raise ExecutionError("join requires at least one condition")
         right = (

@@ -66,6 +66,7 @@ from ..core.join_graph import JoinGraph
 from ..db.database import Database
 from ..db.executor import JoinCache
 from ..db.frame import IndexFrame
+from ..db.join_strategy import WindowEntry, make_join_strategy
 from ..db.provenance import ProvenanceTable
 from ..db.relation import Relation
 from .trie import CacheStats, PrefixCache
@@ -118,6 +119,9 @@ class EngineStats:
     (an isomorphic materialization) was already cached.  ``cache`` holds
     the underlying trie's probe/eviction/byte counters and
     ``join_memo_hits`` the db-layer memoized-join hits.
+    ``windows_built``/``searchsorted_probes``/``permutation_reuses``
+    mirror the engine's join-strategy counters (all zero under the
+    default ``hash`` strategy).
     """
 
     graphs: int = 0
@@ -125,6 +129,9 @@ class EngineStats:
     steps_computed: int = 0
     full_hits: int = 0
     join_memo_hits: int = 0
+    windows_built: int = 0
+    searchsorted_probes: int = 0
+    permutation_reuses: int = 0
     cache: CacheStats | None = None
 
     def copy(self) -> "EngineStats":
@@ -162,6 +169,13 @@ class EngineStats:
             steps_computed=self.steps_computed - since.steps_computed,
             full_hits=self.full_hits - since.full_hits,
             join_memo_hits=self.join_memo_hits - since.join_memo_hits,
+            windows_built=self.windows_built - since.windows_built,
+            searchsorted_probes=(
+                self.searchsorted_probes - since.searchsorted_probes
+            ),
+            permutation_reuses=(
+                self.permutation_reuses - since.permutation_reuses
+            ),
             cache=cache,
         )
 
@@ -208,6 +222,15 @@ class MaterializationEngine:
             relations, and APT columns gather on demand at the mining
             edge.  Off restores the eager pipeline; results are
             byte-identical either way.
+        join_strategy: how frame join steps execute and what the trie
+            caches for them — ``"hash"`` (the reference core, cached as
+            index-vector frames) or ``"sorted-window"``
+            (:mod:`repro.db.join_strategy`: searchsorted windows over
+            shared per-column sort permutations, cached as compact
+            :class:`~repro.db.join_strategy.WindowEntry` objects that
+            expand byte-identically on hit).  Applies to the
+            late-materialized pipeline; the eager pipeline always hash
+            joins.  Results are byte-identical across strategies.
     """
 
     def __init__(
@@ -218,12 +241,15 @@ class MaterializationEngine:
         cache_mb: float = 256.0,
         join_memo_entries: int = 0,
         late_materialization: bool = True,
+        join_strategy: str = "hash",
     ):
         if cache_mb < 0:
             raise ValueError("cache_mb must be >= 0")
         self._pt = pt
         self._db = db
         self._late = late_materialization
+        self._strategy = make_join_strategy(join_strategy)
+        self._windowed = late_materialization and join_strategy != "hash"
         self._default_restriction = restrict_row_ids
         # Restriction fingerprint -> restricted PT-side base relation.
         # Memoized so re-asked questions reuse the same base object and
@@ -367,17 +393,23 @@ class MaterializationEngine:
         steps = plan.steps
         self._graphs += 1
 
-        # Trie keys are namespaced by the restriction so APTs of
-        # different questions never alias.
+        # Trie keys are namespaced by the restriction (so APTs of
+        # different questions never alias) and by the join strategy
+        # (entry shapes differ — frames vs window entries — so a
+        # strategy never reads another strategy's intermediates).
         def prefix_key(depth: int) -> tuple:
-            return (restriction_key,) + steps[:depth]
+            return (restriction_key, self._strategy.name) + steps[:depth]
 
         current = base
         depth = len(steps)
         while depth > 0:
             cached = self._cache.get(prefix_key(depth))
             if cached is not None:
-                current = cached
+                current = (
+                    cached.expand()
+                    if isinstance(cached, WindowEntry)
+                    else cached
+                )
                 break
             depth -= 1
         self._steps_reused += depth
@@ -386,7 +418,15 @@ class MaterializationEngine:
 
         for i in range(depth, len(steps)):
             step = steps[i]
-            if isinstance(step, JoinStep):
+            if isinstance(step, JoinStep) and self._windowed and isinstance(
+                current, IndexFrame
+            ):
+                current, cache_value = self._strategy.join_frame(
+                    current,
+                    self._context(step.table, step.alias),
+                    step.conditions,
+                )
+            elif isinstance(step, JoinStep):
                 current = execute_join_step(
                     current,
                     step,
@@ -394,22 +434,30 @@ class MaterializationEngine:
                     join_cache=self._join_cache,
                     context=self._context(step.table, step.alias),
                 )
+                cache_value = current
             else:
                 current = apply_filter_step(current, step)
+                if self._windowed and isinstance(current, IndexFrame):
+                    current = self._strategy.compact(current)
+                cache_value = current
             self._steps_computed += 1
-            self._cache.put(prefix_key(i + 1), current)
+            self._cache.put(prefix_key(i + 1), cache_value)
 
         return _wrap_apt(join_graph, self._pt, current, self._db)
 
     # ------------------------------------------------------------------
     @property
     def stats(self) -> EngineStats:
+        strategy = self._strategy.stats
         return EngineStats(
             graphs=self._graphs,
             steps_reused=self._steps_reused,
             steps_computed=self._steps_computed,
             full_hits=self._full_hits,
             join_memo_hits=self._join_cache.hits if self._join_cache else 0,
+            windows_built=strategy.windows_built,
+            searchsorted_probes=strategy.searchsorted_probes,
+            permutation_reuses=strategy.permutation_reuses,
             cache=self._cache.refresh_gauges(),
         )
 
@@ -417,3 +465,8 @@ class MaterializationEngine:
     def late_materialization(self) -> bool:
         """Whether this engine runs the index-vector pipeline."""
         return self._late
+
+    @property
+    def join_strategy(self) -> str:
+        """The configured join strategy's registry name."""
+        return self._strategy.name

@@ -275,7 +275,7 @@ class TestEngineLateMaterialization:
         assert late_stats.median_entry_bytes < eager_stats.median_entry_bytes
         assert late._cache is not None
         cached_values = [
-            entry for entry, _ in late._cache._entries.values()
+            entry for entry, _, _ in late._cache._entries.values()
         ]
         assert all(isinstance(v, IndexFrame) for v in cached_values)
 
