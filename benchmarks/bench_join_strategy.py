@@ -40,6 +40,9 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_harness import rusage_peak_bytes
 
 from repro.api import CajadeSession
 from repro.core.config import CajadeConfig
@@ -198,6 +201,7 @@ def run(args: argparse.Namespace) -> int:
         "trie_median_entry_bytes_sorted_window": window_entry,
         "median_entry_shrink": round(entry_shrink, 2),
         "byte_identical": not failures,
+        "peak_rss": {"ru_maxrss_bytes": rusage_peak_bytes()},
     }
     target = RESULTS_PATH
     if args.smoke and RESULTS_PATH.exists():

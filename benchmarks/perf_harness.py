@@ -1,0 +1,83 @@
+"""Shared benchmark instrumentation: wall-clock + peak-RSS per step.
+
+Every ``benchmarks/results/BENCH_*.json`` written after this harness
+landed carries a ``"peak_rss"`` object so runs can be compared on
+memory footprint, not just speed.  Two complementary readings:
+
+- ``ru_maxrss`` — the kernel's high-water mark for the whole process
+  (monotonic; a step's reading is "the peak so far", which is exactly
+  the bound an operator cares about when sizing a box);
+- ``VmRSS`` (Linux ``/proc/self/status``) — the *current* resident set,
+  sampled before/after a step, so the per-step delta shows which step
+  grew the footprint even after the global peak has been set.
+
+Usage:
+    meter = StepMeter()
+    db = meter.measure("cold ingest", lambda: load_database(csv_dir))
+    report["peak_rss"] = meter.report()
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from typing import Any, Callable
+
+
+def rusage_peak_bytes() -> int:
+    """The process high-water resident set, in bytes (monotonic)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def current_rss_bytes() -> int:
+    """Current resident set from /proc (falls back to the peak)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return rusage_peak_bytes()
+
+
+class StepMeter:
+    """Time + memory accounting for a sequence of named benchmark steps."""
+
+    def __init__(self) -> None:
+        self.steps: list[dict[str, Any]] = []
+
+    def measure(self, name: str, fn: Callable[[], Any]) -> Any:
+        before = current_rss_bytes()
+        start = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - start
+        after = current_rss_bytes()
+        self.steps.append(
+            {
+                "step": name,
+                "seconds": round(seconds, 4),
+                "rss_before_bytes": before,
+                "rss_after_bytes": after,
+                "rss_delta_bytes": after - before,
+                "ru_maxrss_bytes": rusage_peak_bytes(),
+            }
+        )
+        return result
+
+    def seconds(self, name: str) -> float:
+        """Latest recorded wall-clock for ``name`` (KeyError if absent)."""
+        for entry in reversed(self.steps):
+            if entry["step"] == name:
+                return entry["seconds"]
+        raise KeyError(name)
+
+    def report(self) -> dict[str, Any]:
+        """The ``"peak_rss"`` payload for a BENCH_*.json report."""
+        return {
+            "ru_maxrss_bytes": rusage_peak_bytes(),
+            "per_step": self.steps,
+        }

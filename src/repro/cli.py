@@ -4,6 +4,9 @@ Commands:
 
 - ``generate``  — write a synthetic NBA or MIMIC database to a CSV
   directory (loadable with ``repro.db.csvio.load_database``);
+- ``ingest``    — convert a CSV database into the memory-mappable
+  column-store cache (``Database.save``), so later sessions reopen it
+  in O(manifest) instead of re-parsing CSVs;
 - ``explain``   — run CaJaDE on a CSV database with an inline SQL query
   and user question;
 - ``workload``  — run one of the paper's named workload queries
@@ -16,7 +19,8 @@ Commands:
 Examples:
 
     python -m repro generate nba --scale 0.25 --out /tmp/nba
-    python -m repro explain /tmp/nba \
+    python -m repro ingest /tmp/nba --out /tmp/nba_colstore
+    python -m repro explain /tmp/nba --db-cache-dir /tmp/nba_colstore \
         --sql "SELECT COUNT(*) AS win, s.season_name FROM team t, game g, \
                season s WHERE t.team_id = g.winner_id AND \
                g.season_id = s.season_id AND t.team = 'GSW' \
@@ -150,6 +154,34 @@ def _print_cache_stats(result) -> None:
         print(result.engine.describe())
 
 
+def _load_with_cache(database: str, cache_dir: str | None):
+    """Load a CSV database, going through the column-store cache.
+
+    With ``--db-cache-dir``: a populated cache directory is memory-mapped
+    directly (``Database.open`` — no CSV parsing, no dictionary
+    unpickling); an empty/missing one is populated from the CSVs first,
+    so the *next* start is the fast path.  Without the flag this is
+    plain ``load_database``.
+    """
+    from pathlib import Path
+
+    from .db.colstore import MANIFEST_NAME
+    from .db.csvio import load_database
+    from .db.database import Database
+
+    if cache_dir is None:
+        return load_database(database)
+    cache = Path(cache_dir)
+    if (cache / MANIFEST_NAME).exists():
+        db = Database.open(cache)
+        print(f"opened column store {cache} ({len(db.table_names)} tables)")
+        return db
+    db = load_database(database)
+    db.save(cache)
+    print(f"ingested {database} into column store {cache}")
+    return db
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     from .db.csvio import save_database
 
@@ -166,11 +198,18 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_explain(args: argparse.Namespace) -> int:
+def cmd_ingest(args: argparse.Namespace) -> int:
     from .db.csvio import load_database
 
-    config = _config_from(args)
     db = load_database(args.database)
+    db.save(args.out)
+    print(f"wrote column store for {db} to {args.out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    db = _load_with_cache(args.database, args.db_cache_dir)
     schema_graph = SchemaGraph.from_database(db)
     session = CajadeSession(db, schema_graph, config)
 
@@ -216,7 +255,6 @@ def cmd_workload(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .db.csvio import load_database
     from .serving import (
         ExplanationService,
         InlineBackend,
@@ -225,7 +263,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     config = _config_from(args)
-    db = load_database(args.database)
+    db = _load_with_cache(args.database, args.db_cache_dir)
     schema_graph = SchemaGraph.from_database(db)
     if args.shards == 0:
         backend: Any = InlineBackend(
@@ -307,8 +345,21 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, help="output directory")
     gen.set_defaults(func=cmd_generate)
 
+    ing = sub.add_parser(
+        "ingest", help="convert a CSV database to a column-store cache"
+    )
+    ing.add_argument("database", help="CSV database directory")
+    ing.add_argument("--out", required=True,
+                     help="column-store output directory (reopen with "
+                          "--db-cache-dir, in O(manifest) time)")
+    ing.set_defaults(func=cmd_ingest)
+
     exp = sub.add_parser("explain", help="explain a query answer")
     exp.add_argument("database", help="CSV database directory")
+    exp.add_argument("--db-cache-dir", default=None,
+                     help="column-store cache directory: memory-mapped "
+                          "directly if populated, else populated from "
+                          "the CSVs on first use")
     exp.add_argument("--sql", required=True)
     exp.add_argument(
         "--t1", nargs="+", required=True,
@@ -332,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve explanations over HTTP (concurrent)"
     )
     srv.add_argument("database", help="CSV database directory")
+    srv.add_argument("--db-cache-dir", default=None,
+                     help="column-store cache directory: memory-mapped "
+                          "directly if populated, else populated from "
+                          "the CSVs on first use")
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8321,
                      help="listen port (default 8321; 0 = any free port)")

@@ -137,7 +137,7 @@ class AugmentedProvenanceTable:
     def column_dtype(self, name: str) -> np.dtype:
         """The storage dtype of a column, without gathering any values."""
         if self._relation is not None:
-            return self._relation.column(name).dtype
+            return self._relation.column_dtype(name)
         assert self._frame is not None
         return self._frame.column_dtype(name)
 

@@ -41,6 +41,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from ..db.relation import encode_object_column
 from .pattern import OP_EQ, OP_LE, Pattern, PatternPredicate
 from .timing import (
     KERNEL_FULL_EVALS,
@@ -208,12 +209,19 @@ class MiningKernel:
     def _gather_categorical(
         self, name: str, encoding: Any, rows: np.ndarray | None
     ) -> None:
-        """Adopt a table-level encoding gathered through index vectors."""
-        base_codes = encoding.codes
-        match_codes = encoding.match_codes
-        if rows is not None:
-            base_codes = base_codes[rows]
-            match_codes = match_codes[rows]
+        """Adopt a table-level encoding gathered through index vectors.
+
+        Subset gathers route through ``ColumnEncoding.gather_match`` and
+        copy only the gathered slice, so a disk-backed (memmap) code
+        array never forces a whole-table match-code temporary just to
+        serve one APT's rows.
+        """
+        if rows is None:
+            base_codes = np.asarray(encoding.codes)
+            match_codes = np.asarray(encoding.match_codes)
+        else:
+            base_codes = np.asarray(encoding.codes[rows])
+            match_codes = encoding.gather_match(rows)
         self._codes[name] = match_codes
         self._ml_codes[name] = base_codes
         self._dicts[name] = encoding.code_of
@@ -277,35 +285,19 @@ class MiningKernel:
         return self
 
     def _encode_categorical(self, name: str, arr: np.ndarray) -> None:
-        code_of: dict[Any, int] = {}
-        ml = np.empty(len(arr), dtype=np.int32)
-        try:
-            for i, value in enumerate(arr):
-                code = code_of.get(value)
-                if code is None:
-                    code = len(code_of)
-                    code_of[value] = code
-                ml[i] = code
-        except TypeError:
+        encoding = encode_object_column(arr)
+        if encoding is None:
             # Unhashable values (not produced by the db layer, but the
             # kernel must not be less general than ``matches_array``):
             # keep the raw column and evaluate such predicates naively.
             self._fallback[name] = arr
             return
-        null_codes = [
-            code for value, code in code_of.items() if _is_null_value(value)
-        ]
-        if null_codes:
-            match = ml.copy()
-            for code in null_codes:
-                match[ml == code] = -1
-        else:
-            match = ml
-        self._dicts[name] = code_of
-        self._codes[name] = match
-        self._ml_codes[name] = ml
-        if None in code_of:
-            self._none_code[name] = code_of[None]
+        self._dicts[name] = encoding.code_of
+        self._codes[name] = encoding.match_codes
+        self._ml_codes[name] = encoding.codes
+        none_code = encoding.none_code
+        if none_code is not None:
+            self._none_code[name] = none_code
 
     def match_codes(self, attr: str) -> np.ndarray | None:
         """``int32`` codes of a categorical column; ``-1`` marks NULLs.

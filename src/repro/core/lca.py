@@ -41,13 +41,37 @@ import numpy as np
 
 from .config import CajadeConfig
 from .pattern import OP_EQ, Pattern, PatternPredicate
-from .timing import LCA_PAIRS_EXAMINED, LCA_PATTERNS_BUILT, StepTimer
+from .timing import (
+    LCA_PAIRS_EXAMINED,
+    LCA_PATTERNS_BUILT,
+    LCA_PEAK_CHUNK_BYTES,
+    StepTimer,
+)
 
-# Pairwise agreement matrices are materialized in bounded chunks
-# (~16 MB of int32 per gathered side at this cell count) so the
+# Pairwise agreement matrices are materialized in bounded chunks so the
 # λpat-samp cross product's peak allocation stays flat even on the
-# no-feature-selection arm where n_attrs can be large.
-_PAIR_CHUNK_CELLS = 4_000_000
+# no-feature-selection arm where n_attrs can be large.  The budget is
+# expressed in bytes of live chunk temporaries rather than cells, so a
+# wide attribute set shrinks the row count instead of inflating the
+# footprint: each chunk cell costs 13 bytes — gathered left codes (4) +
+# gathered right codes (4) + boolean agreement (1) + masked keys (4).
+_PAIR_CHUNK_BYTES = 48 * 2**20
+_BYTES_PER_PAIR_CELL = 13
+
+
+def _pair_chunk_rows(n_attrs: int, budget_bytes: int = _PAIR_CHUNK_BYTES) -> int:
+    """Rows per agreement chunk under the byte budget (always ≥ 1)."""
+    return max(1, budget_bytes // (_BYTES_PER_PAIR_CELL * max(1, n_attrs)))
+
+
+def _record_peak_chunk_bytes(timer: StepTimer | None, peak_bytes: int) -> None:
+    """Fold this call's peak chunk footprint into the running-max gauge."""
+    if timer is None or peak_bytes <= 0:
+        return
+    timer.set_gauge(
+        LCA_PEAK_CHUNK_BYTES,
+        max(timer.counter(LCA_PEAK_CHUNK_BYTES), peak_bytes),
+    )
 
 
 def _sample_row_indices(
@@ -219,14 +243,18 @@ def lca_candidates_codes(
 
     pair_i, pair_j = _pair_indices(m, config, rng)
     n_attrs = len(attrs)
-    chunk = max(1, _PAIR_CHUNK_CELLS // max(1, n_attrs))
+    chunk = _pair_chunk_rows(n_attrs)
+    peak_bytes = 0
     for start in range(0, len(pair_i), chunk):
+        rows = min(chunk, len(pair_i) - start)
+        peak_bytes = max(peak_bytes, rows * n_attrs * _BYTES_PER_PAIR_CELL)
         left = match[pair_i[start : start + chunk]]
         right = match[pair_j[start : start + chunk]]
         agree = left == right
         agree &= left != -1
         keys = np.where(agree, left, np.int32(-1))
         key_chunks.append(np.unique(keys, axis=0))
+    _record_peak_chunk_bytes(timer, peak_bytes)
 
     all_keys = np.unique(np.concatenate(key_chunks, axis=0), axis=0)
     nonempty = (all_keys != -1).any(axis=1)

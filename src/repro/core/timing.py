@@ -84,6 +84,10 @@ HIST_SPLITS_EVALUATED = "Hist forest splits evaluated"
 # object-based reference it is every agreeing pair and singleton row.
 LCA_PAIRS_EXAMINED = "LCA pairs examined"
 LCA_PATTERNS_BUILT = "LCA patterns built"
+# Peak bytes any single pair-agreement chunk materialized (gauge,
+# recorded as a running max across chunk loops) — the observable for
+# the byte-budgeted chunk sizing in :mod:`repro.core.lca`.
+LCA_PEAK_CHUNK_BYTES = "LCA peak chunk bytes"
 
 # Canonical counter labels (serving layer).  Requests are counted once
 # at admission; "coalesced" counts requests that joined an identical
@@ -129,6 +133,7 @@ ALL_COUNTERS = (
     HIST_SPLITS_EVALUATED,
     LCA_PAIRS_EXAMINED,
     LCA_PATTERNS_BUILT,
+    LCA_PEAK_CHUNK_BYTES,
     SERVICE_REQUESTS,
     SERVICE_COALESCED,
     SERVICE_CACHE_HITS,

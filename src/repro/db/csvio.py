@@ -16,7 +16,12 @@ import numpy as np
 
 from .database import Database
 from .errors import SchemaError
-from .relation import Relation, _column_array
+from .relation import (
+    ColumnEncoding,
+    Relation,
+    _column_array,
+    encoding_from_distinct,
+)
 from .schema import Column, TableSchema
 from .types import ColumnType, coerce_value, infer_column_type, parse_literal
 
@@ -50,7 +55,7 @@ def _stripped_and_nulls(
 
 def _distinct_coerced(
     stripped: np.ndarray, ctype: ColumnType
-) -> np.ndarray:
+) -> tuple[np.ndarray, ColumnEncoding | None]:
     """Per-cell reference semantics, paid once per *distinct* cell.
 
     ``parse_literal`` + ``coerce_value`` run on each unique string and
@@ -60,17 +65,26 @@ def _distinct_coerced(
     Distincts coerce in first-occurrence order so a file with several
     differently-malformed cells raises for the same cell the per-row
     pipeline raised for.
+
+    The same ``np.unique`` triple also yields the column's dictionary
+    encoding for free (:func:`encoding_from_distinct` dedups coerced
+    values at O(distinct) cost), so loading a CSV never pays the
+    per-row first-occurrence encoding loop.
     """
     uniq, first_idx, inverse = np.unique(
         stripped, return_index=True, return_inverse=True
     )
+    inverse = inverse.reshape(-1)
     table = np.empty(len(uniq), dtype=object)
     for j in np.argsort(first_idx, kind="stable"):
         table[j] = coerce_value(parse_literal(str(uniq[j])), ctype)
-    return table[inverse.reshape(-1)]
+    gathered = table[inverse] if len(stripped) else table[:0]
+    return gathered, encoding_from_distinct(table, first_idx, inverse)
 
 
-def _coerce_column(cells: Sequence[str], ctype: ColumnType) -> np.ndarray:
+def _coerce_column(
+    cells: Sequence[str], ctype: ColumnType
+) -> tuple[np.ndarray, ColumnEncoding | None]:
     """Build one column's storage array under an explicit schema type.
 
     Numeric columns first try one whole-column ``astype`` (numpy calls
@@ -79,6 +93,11 @@ def _coerce_column(cells: Sequence[str], ctype: ColumnType) -> np.ndarray:
     are identical, minus the per-cell try/except chain).  Columns the
     fast path cannot prove safe (text cells, NaN/huge values under INT,
     out-of-range ints) fall back to :func:`_distinct_coerced`.
+
+    Returns ``(storage, encoding)``; the encoding is the column's
+    dictionary encoding when the storage is an object array (built from
+    the distinct table, byte-identical to the lazy per-row build) and
+    ``None`` for numeric storage.
     """
     stripped, null_mask = _stripped_and_nulls(cells)
     has_null = bool(null_mask.any())
@@ -104,10 +123,10 @@ def _coerce_column(cells: Sequence[str], ctype: ColumnType) -> np.ndarray:
                 ints = np.trunc(floats).astype(np.int64)
         if ints is not None:
             if not has_null:
-                return ints
+                return ints, None
             out = np.full(len(stripped), np.nan, dtype=np.float64)
             out[~null_mask] = ints.astype(np.float64)
-            return out
+            return out, None
     elif ctype is ColumnType.FLOAT and values.size:
         try:
             floats = values.astype(np.float64)
@@ -116,17 +135,37 @@ def _coerce_column(cells: Sequence[str], ctype: ColumnType) -> np.ndarray:
         if floats is not None:
             out = np.full(len(stripped), np.nan, dtype=np.float64)
             out[~null_mask] = floats
-            return out
+            return out, None
     elif values.size == 0:  # all-NULL column: storage by type alone
-        return _column_array([None] * len(stripped), ctype)
+        storage = _column_array([None] * len(stripped), ctype)
+        return storage, _all_null_encoding(storage)
 
-    return _column_array(list(_distinct_coerced(stripped, ctype)), ctype)
+    coerced, encoding = _distinct_coerced(stripped, ctype)
+    storage = _column_array(list(coerced), ctype)
+    if storage.dtype != object:
+        encoding = None
+    return storage, encoding
+
+
+def _all_null_encoding(storage: np.ndarray) -> ColumnEncoding | None:
+    """The trivial encoding of an all-``None`` object column."""
+    if storage.dtype != object:
+        return None
+    if not len(storage):
+        return ColumnEncoding(
+            codes=np.empty(0, dtype=np.int32), code_of={}, null_codes=()
+        )
+    return ColumnEncoding(
+        codes=np.zeros(len(storage), dtype=np.int32),
+        code_of={None: 0},
+        null_codes=(0,),
+    )
 
 
 def _infer_column(
     cells: Sequence[str],
-) -> tuple[np.ndarray, ColumnType]:
-    """Parse one schemaless column, returning (storage, inferred type).
+) -> tuple[np.ndarray, ColumnEncoding | None, ColumnType]:
+    """Parse one schemaless column: (storage, encoding, inferred type).
 
     Mirrors ``parse_literal`` + ``infer_column_type`` + ``from_rows``:
     all-int columns infer INT, any float-parseable cell promotes to
@@ -160,10 +199,10 @@ def _infer_column(
             pass
         if ints is not None:
             if not has_null:
-                return ints, ColumnType.INT
+                return ints, None, ColumnType.INT
             out = np.full(len(stripped), np.nan, dtype=np.float64)
             out[~null_mask] = ints.astype(np.float64)
-            return out, ColumnType.INT
+            return out, None, ColumnType.INT
         floats = None
         if not overflow:
             try:
@@ -175,18 +214,25 @@ def _infer_column(
         if floats is not None and not np.isnan(floats).all():
             out = np.full(len(stripped), np.nan, dtype=np.float64)
             out[~null_mask] = floats
-            return out, ColumnType.FLOAT
+            return out, None, ColumnType.FLOAT
 
     uniq, first_idx, inverse = np.unique(
         stripped, return_index=True, return_inverse=True
     )
+    inverse = inverse.reshape(-1)
     parsed = [parse_literal(str(u)) for u in uniq]
     ctype = infer_column_type(parsed)
     table = np.empty(len(uniq), dtype=object)
     for j in np.argsort(first_idx, kind="stable"):
         table[j] = coerce_value(parsed[j], ctype)
-    gathered = table[inverse.reshape(-1)] if len(stripped) else table[:0]
-    return _column_array(list(gathered), ctype), ctype
+    gathered = table[inverse] if len(stripped) else table[:0]
+    storage = _column_array(list(gathered), ctype)
+    encoding = (
+        encoding_from_distinct(table, first_idx, inverse)
+        if storage.dtype == object
+        else None
+    )
+    return storage, encoding, ctype
 
 
 def read_relation_csv(
@@ -227,21 +273,30 @@ def read_relation_csv(
     )
 
     storage: dict[str, np.ndarray] = {}
+    encodings: dict[str, ColumnEncoding] = {}
     if schema is not None:
         for col, cells in zip(schema.columns, columns_cells):
-            storage[col.name] = _coerce_column(cells, col.ctype)
+            array, encoding = _coerce_column(cells, col.ctype)
+            storage[col.name] = array
+            if encoding is not None:
+                encodings[col.name] = encoding
         relation = Relation(schema, storage)
+        relation._encodings.update(encodings)
         if schema.primary_key:
             relation._check_primary_key()
         return relation
 
     columns = []
     for cname, cells in zip(header, columns_cells):
-        array, ctype = _infer_column(cells)
+        array, encoding, ctype = _infer_column(cells)
         storage[cname] = array
+        if encoding is not None:
+            encodings[cname] = encoding
         columns.append(Column(cname, ctype))
     inferred = TableSchema(name=name or path.stem, columns=columns)
-    return Relation(inferred, storage)
+    relation = Relation(inferred, storage)
+    relation._encodings.update(encodings)
+    return relation
 
 
 def save_database(db: Database, directory: str | Path) -> None:

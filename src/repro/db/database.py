@@ -162,6 +162,27 @@ class Database:
         self._stats_cache.clear()
 
     # ------------------------------------------------------------------
+    # Persistence (out-of-core column store)
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Persist every table in the memory-mappable column-store format.
+
+        See :mod:`repro.db.colstore` for the file layout.  A database
+        saved here reopens with :meth:`open` in O(manifest + dicts
+        touched) time instead of re-running CSV coercion and encoding.
+        """
+        from .colstore import save_columnar
+
+        save_columnar(self, directory)
+
+    @classmethod
+    def open(cls, directory) -> "Database":
+        """Open a database saved by :meth:`save` with memmap-backed columns."""
+        from .colstore import open_columnar
+
+        return open_columnar(directory)
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def sql(self, text: str) -> Relation:

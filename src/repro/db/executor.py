@@ -623,6 +623,120 @@ def _evaluate_select_item(
     raise ExecutionError(f"cannot evaluate SELECT expression {expression}")
 
 
+def _vectorized_select_column(
+    expression: Expression,
+    relation: Relation,
+    group_list: list[np.ndarray],
+) -> list[Any] | None:
+    """Evaluate a SELECT expression for every group at once.
+
+    Element-for-element identical to mapping
+    :func:`_evaluate_select_item` over the groups (same scalar types,
+    same NaN/None semantics); returns ``None`` when a sub-expression
+    needs the retained per-group reference path (object-dtype
+    aggregates, unknown expression kinds), and the caller falls back.
+    """
+    if isinstance(expression, AggregateCall):
+        return _vectorized_aggregate(expression, relation, group_list)
+    if isinstance(expression, Literal):
+        return [expression.value] * len(group_list)
+    if isinstance(expression, ColumnRef):
+        if not group_list:
+            return []
+        values = expression.values(relation)
+        firsts = np.fromiter(
+            (indices[0] for indices in group_list),
+            dtype=np.int64,
+            count=len(group_list),
+        )
+        return list(values[firsts])
+    if isinstance(expression, Arithmetic):
+        left = _vectorized_select_column(expression.left, relation, group_list)
+        if left is None:
+            return None
+        right = _vectorized_select_column(
+            expression.right, relation, group_list
+        )
+        if right is None:
+            return None
+        ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b, "/": lambda a, b: a / b}
+        op = ops[expression.op]
+        combined: list[Any] = []
+        for a, b in zip(left, right):
+            if a is None or b is None:
+                combined.append(None)
+                continue
+            try:
+                combined.append(op(a, b))
+            except ZeroDivisionError:
+                combined.append(None)
+        return combined
+    return None
+
+
+def _vectorized_aggregate(
+    call: AggregateCall,
+    relation: Relation,
+    group_list: list[np.ndarray],
+) -> list[Any] | None:
+    """One aggregate for all groups: column pass + bincount reductions.
+
+    The argument expression evaluates once over the whole working table
+    (the reference path re-evaluates it per group), rows concatenate in
+    group-major order, and groups with equal valid counts reduce as the
+    rows of one ``(k, L)`` matrix.  Bit-identical to the per-group
+    reference: each matrix row holds exactly the reference's ``valid``
+    sequence, and numpy's row-wise ``sum``/``mean``/``min``/``max``
+    reduce a contiguous row exactly like the 1-D call (same pairwise
+    blocking).  Returns ``None`` for object-dtype arguments — the
+    reference path keeps Python min/max semantics and the
+    not-defined-on-categorical raise.
+    """
+    if call.func == "count" and call.argument is None:
+        return [int(len(indices)) for indices in group_list]
+    assert call.argument is not None
+    values = call.argument.values(relation)
+    if values.dtype == object:
+        return None
+    n_groups = len(group_list)
+    if n_groups == 0:
+        return []
+    order = np.concatenate(group_list)
+    lengths = np.fromiter(
+        (len(indices) for indices in group_list),
+        dtype=np.int64,
+        count=n_groups,
+    )
+    numeric = values.astype(np.float64, copy=False)[order]
+    nan_mask = np.isnan(numeric)
+    gid = np.repeat(np.arange(n_groups), lengths)
+    counts = np.bincount(gid[~nan_mask], minlength=n_groups)
+    if call.func == "count":
+        return [int(c) for c in counts]
+    out: list[Any] = [None] * n_groups  # all-NaN groups aggregate to None
+    valid = numeric[~nan_mask]  # group-major, within-group row order
+    starts = np.zeros(n_groups, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    for length in np.unique(counts):
+        width = int(length)
+        if width == 0:
+            continue
+        g_ids = np.nonzero(counts == length)[0]
+        mat = valid[starts[g_ids][:, None] + np.arange(width)]
+        if call.func == "sum":
+            reduced = mat.sum(axis=1)
+        elif call.func == "avg":
+            reduced = mat.mean(axis=1)
+        elif call.func == "min":
+            reduced = mat.min(axis=1)
+        else:
+            reduced = mat.max(axis=1)
+        for g, value in zip(g_ids.tolist(), reduced.tolist()):
+            out[g] = value
+    return out
+
+
 def group_columns_in_working(query: Query, work: Relation) -> list[str]:
     """Resolve the query's GROUP BY references to working-table columns."""
     from .expressions import resolve_column
@@ -630,18 +744,37 @@ def group_columns_in_working(query: Query, work: Relation) -> list[str]:
     return [resolve_column(work, ref.name) for ref in query.group_by]
 
 
-def aggregate(query: Query, work: Relation) -> Relation:
-    """Apply grouping + aggregate evaluation to a working table."""
+def aggregate(
+    query: Query, work: Relation, vectorized: bool = True
+) -> Relation:
+    """Apply grouping + aggregate evaluation to a working table.
+
+    ``vectorized=True`` (default) evaluates each SELECT item for all
+    groups at once (:func:`_vectorized_select_column`);
+    ``vectorized=False`` runs the retained per-group reference loop.
+    The two are byte-identical — tests/test_db_executor.py holds the
+    parity property — and items the vectorized path declines (object
+    aggregates) fall back per item.
+    """
     group_cols = group_columns_in_working(query, work)
     groups = group_indices(work, group_cols)
-    rows: list[list[Any]] = []
-    for key in groups:
-        indices = groups[key]
-        row = [
-            _evaluate_select_item(item.expression, work, indices)
-            for item in query.select
-        ]
-        rows.append(row)
+    group_list = list(groups.values())
+    out_columns: list[list[Any]] = []
+    for item in query.select:
+        col = (
+            _vectorized_select_column(item.expression, work, group_list)
+            if vectorized
+            else None
+        )
+        if col is None:
+            col = [
+                _evaluate_select_item(item.expression, work, indices)
+                for indices in group_list
+            ]
+        out_columns.append(col)
+    rows: list[list[Any]] = [
+        [col[g] for col in out_columns] for g in range(len(group_list))
+    ]
 
     columns: list[Column] = []
     for pos, item in enumerate(query.select):

@@ -109,7 +109,7 @@ class IndexFrame:
 
     def column_dtype(self, name: str) -> np.dtype:
         """A column's storage dtype, without gathering any values."""
-        return self.sources[self._source_index(name)].column(name).dtype
+        return self.sources[self._source_index(name)].column_dtype(name)
 
     @property
     def schema(self) -> TableSchema:
@@ -160,9 +160,11 @@ class IndexFrame:
     def column(self, name: str) -> np.ndarray:
         """Gather one column's values (a copy unless identity-mapped)."""
         index = self._source_index(name)
-        arr = self.sources[index].column(name)
+        source = self.sources[index]
         idx = self.rows[index]
-        return arr if idx is None else arr[idx]
+        return source.column(name) if idx is None else source.gather_column(
+            name, idx
+        )
 
     def gather_column(
         self, name: str, subset: np.ndarray | None = None
@@ -170,15 +172,16 @@ class IndexFrame:
         """Gather ``name`` for ``subset`` frame rows (all rows if None).
 
         Index composition happens before touching the data array, so a
-        sampled evaluator over a huge frame gathers only its own rows.
+        sampled evaluator over a huge frame gathers only its own rows —
+        and disk-backed source columns decode only the gathered slice.
         """
         index = self._source_index(name)
-        arr = self.sources[index].column(name)
+        source = self.sources[index]
         idx = self.rows[index]
         if subset is None:
-            return arr if idx is None else arr[idx]
+            return self.column(name)
         combined = subset if idx is None else idx[subset]
-        return arr[combined]
+        return source.gather_column(name, combined)
 
     def column_encoding(
         self, name: str, subset: np.ndarray | None = None
@@ -301,6 +304,9 @@ class IndexFrame:
         columns: dict[str, np.ndarray] = {}
         for source, idx in zip(self.sources, self.rows):
             for cname in source.column_names:
-                arr = source.column(cname)
-                columns[cname] = arr if idx is None else arr[idx]
+                columns[cname] = (
+                    source.column(cname)
+                    if idx is None
+                    else source.gather_column(cname, idx)
+                )
         return Relation(self.schema, columns)

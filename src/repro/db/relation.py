@@ -85,6 +85,24 @@ class ColumnEncoding:
     def num_codes(self) -> int:
         return len(self.code_of)
 
+    def gather_match(self, rows: np.ndarray | None) -> np.ndarray:
+        """Match codes for a row subset without materializing the table.
+
+        Equivalent to ``match_codes[rows]`` but, when the full match
+        array has not been built yet, gathers the raw codes first and
+        masks NULL-ish codes on the (much smaller) gathered slice — so
+        disk-backed code arrays never force a whole-column temporary
+        just to serve a subset gather.
+        """
+        if rows is None:
+            return self.match_codes
+        if self._match is not None:
+            return self._match[rows]
+        gathered = np.asarray(self.codes[rows])  # fancy indexing: a copy
+        if self.null_codes:
+            gathered[np.isin(gathered, np.array(self.null_codes))] = -1
+        return gathered
+
 
 def encode_object_column(arr: np.ndarray) -> ColumnEncoding | None:
     """Dictionary-encode one object column; ``None`` on unhashable values."""
@@ -103,6 +121,45 @@ def encode_object_column(arr: np.ndarray) -> ColumnEncoding | None:
         code for value, code in code_of.items() if _is_null_cell(value)
     )
     return ColumnEncoding(codes=codes, code_of=code_of, null_codes=null_codes)
+
+
+def encoding_from_distinct(
+    table: np.ndarray,
+    first_idx: np.ndarray,
+    inverse: np.ndarray,
+) -> ColumnEncoding | None:
+    """Build a :class:`ColumnEncoding` from a precomputed distinct table.
+
+    ``table[j]`` holds the (coerced) value of the ``j``-th *raw* distinct
+    cell, ``first_idx[j]`` the row where that raw cell first occurs, and
+    ``inverse`` maps every row to its raw distinct — exactly the triple
+    the CSV reader's whole-column ``np.unique`` already produces.  Codes
+    reproduce :func:`encode_object_column`'s first-occurrence numbering:
+    raw distincts are visited in ascending first-row order and coerced
+    values deduplicated under dict semantics, so the ``k``-th *new*
+    coerced value seen while scanning rows top-to-bottom gets code ``k``
+    — provably the numbering the per-row loop assigns, at O(distinct)
+    Python cost instead of O(rows).
+    """
+    raw_to_code = np.empty(len(table), dtype=np.int32)
+    code_of: dict[Any, int] = {}
+    try:
+        for j in np.argsort(first_idx, kind="stable"):
+            value = table[j]
+            code = code_of.get(value)
+            if code is None:
+                code = len(code_of)
+                code_of[value] = code
+            raw_to_code[j] = code
+    except TypeError:
+        return None
+    codes = raw_to_code[inverse.reshape(-1)] if len(inverse) else raw_to_code[:0]
+    null_codes = tuple(
+        code for value, code in code_of.items() if _is_null_cell(value)
+    )
+    return ColumnEncoding(
+        codes=codes, code_of=code_of, null_codes=null_codes
+    )
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +340,34 @@ def _column_array(values: Sequence[Any], ctype: ColumnType) -> np.ndarray:
     return np.array(list(values), dtype=object)
 
 
+# ----------------------------------------------------------------------
+# Lazy (disk-backed) column support
+# ----------------------------------------------------------------------
+# A Relation column slot may hold, instead of an ndarray, any object
+# implementing the lazy-column protocol: ``dtype``, ``__len__``,
+# ``nbytes``, ``materialize() -> np.ndarray`` (cached, identity-stable)
+# and ``gather(rows) -> np.ndarray`` (bounded by ``len(rows)``).  The
+# out-of-core column store (repro.db.colstore) installs such proxies for
+# object columns so opening a saved database never unpickles a value
+# dictionary it does not touch.  The proxy object itself stays in
+# ``_columns`` forever — array-identity registries (sort indexes) and
+# inherited encodings key on the slot value, which must not change.
+
+
+def _column_values(arr: Any) -> np.ndarray:
+    """The full value array of a column slot (materializing proxies)."""
+    if isinstance(arr, np.ndarray):
+        return arr
+    return arr.materialize()
+
+
+def _gather_values(arr: Any, rows: np.ndarray) -> np.ndarray:
+    """``arr[rows]`` for ndarrays; a bounded proxy gather otherwise."""
+    if isinstance(arr, np.ndarray):
+        return arr[rows]
+    return arr.gather(rows)
+
+
 class Relation:
     """An immutable columnar table: a schema plus one array per column."""
 
@@ -379,8 +464,8 @@ class Relation:
         """
         key_cols = list(self.schema.primary_key)
         codes = self._row_codes(key_cols)
-        arrays = [self._columns[c] for c in key_cols]
         if codes is None:
+            arrays = [self.column(c) for c in key_cols]
             seen: set[tuple[Any, ...]] = set()
             for i in range(self._nrows):
                 key = tuple(arr[i] for arr in arrays)
@@ -398,7 +483,7 @@ class Relation:
         duplicate = np.nonzero(first_idx[inverse] != np.arange(self._nrows))[0]
         if len(duplicate):
             i = int(duplicate[0])
-            key = tuple(arr[i] for arr in arrays)
+            key = tuple(self.column(c)[i] for c in key_cols)
             raise IntegrityError(
                 f"duplicate primary key {key} in table {self.schema.name!r}"
             )
@@ -484,10 +569,36 @@ class Relation:
         return self._nrows
 
     def column(self, name: str) -> np.ndarray:
-        """The storage array for one column (do not mutate)."""
+        """The storage array for one column (do not mutate).
+
+        Disk-backed object columns materialize here (decode table
+        applied to the code array, cached on the proxy); prefer
+        :meth:`column_dtype` / :meth:`gather_column` when the full value
+        array is not actually needed.
+        """
         if name not in self._columns:
             raise SchemaError(f"no column {name!r} in {self.schema.name!r}")
-        return self._columns[name]
+        return _column_values(self._columns[name])
+
+    def column_dtype(self, name: str) -> np.dtype:
+        """One column's storage dtype, without materializing any values."""
+        if name not in self._columns:
+            raise SchemaError(f"no column {name!r} in {self.schema.name!r}")
+        return self._columns[name].dtype
+
+    def gather_column(self, name: str, rows: np.ndarray | None) -> np.ndarray:
+        """``column(name)[rows]`` without materializing lazy columns.
+
+        The gather's peak footprint is bounded by ``len(rows)`` even for
+        disk-backed columns (codes gather from the memmap, then only the
+        gathered slice decodes).  ``rows=None`` returns the full column.
+        """
+        if name not in self._columns:
+            raise SchemaError(f"no column {name!r} in {self.schema.name!r}")
+        arr = self._columns[name]
+        if rows is None:
+            return _column_values(arr)
+        return _gather_values(arr, rows)
 
     def column_type(self, name: str) -> ColumnType:
         return self.schema.column_type(name)
@@ -507,10 +618,10 @@ class Relation:
         """
         if name in self._encodings:
             return self._encodings[name]
-        arr = self.column(name)
-        encoding = (
-            encode_object_column(arr) if arr.dtype == object else None
-        )
+        if self.column_dtype(name) != object:
+            self._encodings[name] = None
+            return None
+        encoding = encode_object_column(self.column(name))
         self._encodings[name] = encoding
         return encoding
 
@@ -539,7 +650,12 @@ class Relation:
         """
         if name in self._sort_indexes:
             return self._sort_indexes[name]
-        arr = self.column(name)
+        if name not in self._columns:
+            raise SchemaError(f"no column {name!r} in {self.schema.name!r}")
+        # The raw slot (a proxy for disk-backed object columns) is the
+        # registry key and, for object columns, never touched beyond its
+        # length — building a sort index must not materialize values.
+        arr = self._columns[name]
         index = shared_sort_index(arr, self.encoding(name))
         self._sort_indexes[name] = index
         return index
@@ -577,11 +693,11 @@ class Relation:
 
     def row(self, index: int) -> tuple[Any, ...]:
         """One row as a tuple in schema column order."""
-        return tuple(self._columns[c][index] for c in self.schema.column_names)
+        return tuple(self.column(c)[index] for c in self.schema.column_names)
 
     def iter_rows(self) -> Iterator[tuple[Any, ...]]:
         names = self.schema.column_names
-        arrays = [self._columns[c] for c in names]
+        arrays = [self.column(c) for c in names]
         for i in range(self._nrows):
             yield tuple(arr[i] for arr in arrays)
 
@@ -600,7 +716,10 @@ class Relation:
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray) -> "Relation":
         """Rows selected by an index array (preserves duplicates/order)."""
-        columns = {name: arr[indices] for name, arr in self._columns.items()}
+        columns = {
+            name: _gather_values(arr, indices)
+            for name, arr in self._columns.items()
+        }
         return Relation(self.schema, columns)
 
     def filter_mask(self, mask: np.ndarray) -> "Relation":
@@ -659,8 +778,8 @@ class Relation:
             raise SchemaError("concat requires identical column lists")
         columns = {}
         for col in self.schema.columns:
-            left = self._columns[col.name]
-            right = other._columns[col.name]
+            left = self.column(col.name)
+            right = other.column(col.name)
             if left.dtype != right.dtype:
                 left = left.astype(np.float64)
                 right = right.astype(np.float64)
@@ -716,7 +835,7 @@ class Relation:
         """Rows sorted ascending by the listed columns (stable)."""
         order = np.arange(self._nrows)
         for name in reversed(names):
-            arr = self._columns[name]
+            arr = self.column(name)
             if arr.dtype == object:
                 keys = np.array([str(v) for v in arr[order]])
             else:

@@ -171,10 +171,14 @@ class DatabaseHandle:
 
 
 def _new_segment(arr: np.ndarray) -> shared_memory.SharedMemory:
+    from ..db.colstore import copy_chunked
+
     shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
     if arr.nbytes:
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-        view[:] = arr
+        # Chunked fill: exporting a memmap-backed column streams pages
+        # into the segment instead of materializing the whole array.
+        copy_chunked(view, arr)
     with _registry_lock:
         _exported_names.add(shm.name)
     return shm
@@ -196,8 +200,12 @@ class RelationExport:
         specs: list[ColumnSpec] = []
         try:
             for column in relation.schema.columns:
-                arr = relation.column(column.name)
-                if arr.dtype != object:
+                # Dtype dispatch before any value materialization: a
+                # disk-backed relation exports numeric arrays and code
+                # arrays straight from its memmaps; only columns that
+                # defeated dictionary encoding materialize values here.
+                if relation.column_dtype(column.name) != object:
+                    arr = relation.column(column.name)
                     shm = _new_segment(arr)
                     self._segments.append(shm)
                     specs.append(
@@ -212,6 +220,7 @@ class RelationExport:
                     continue
                 encoding = relation.encoding(column.name)
                 if encoding is None:
+                    arr = relation.column(column.name)
                     specs.append(
                         ColumnSpec(
                             name=column.name,

@@ -1,0 +1,410 @@
+"""Out-of-core column store: memmap-backed relations ≡ in-memory.
+
+Differential suite for :mod:`repro.db.colstore`: a database saved with
+``Database.save`` and reopened with ``Database.open`` must be
+indistinguishable from the in-memory original through every consumer —
+column materialization, subset gathers, sort indexes, frame joins under
+both registered join strategies, the mining kernel's code matrices, and
+the shared-memory export round-trip — over adversarial inputs (NULL
+text, ``-1`` sentinel ints, float NaN, zero-row tables, all-NULL
+columns).  The lazy-dictionary contract is asserted directly:
+``open`` reads zero value-dict pickles, and only tables whose object
+values are actually gathered ever load one.
+
+Also holds the vectorized-encoding and vectorized-aggregate parity
+properties (this PR's load-path and executor satellites):
+``encoding_from_distinct`` must reproduce ``encode_object_column``
+exactly, and ``aggregate(..., vectorized=True)`` must match the
+retained per-group reference path byte for byte.
+
+CI runs this file under the deterministic raised-example profile
+(``HYPOTHESIS_PROFILE=ci``), like the join-strategy oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import ColumnType, Relation, TableSchema
+from repro.db.colstore import LazyObjectColumn, open_columnar, save_columnar
+from repro.db.database import Database
+from repro.db.frame import IndexFrame
+from repro.db.join_strategy import make_join_strategy
+from repro.db.relation import encode_object_column, encoding_from_distinct
+from tests.test_engine import assert_relations_identical
+
+settings.register_profile(
+    "ci", settings(max_examples=200, deadline=None, derandomize=True)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+# NULL text, duplicate-heavy tiny domains, NaN floats, -1 sentinel ints:
+# every encoder edge the eager load path handles.
+TEXT_CELLS = st.one_of(st.none(), st.sampled_from(["a", "b", "c", ""]))
+INT_CELLS = st.one_of(st.none(), st.integers(min_value=-1, max_value=4))
+FLOAT_CELLS = st.one_of(
+    st.none(), st.just(math.nan), st.sampled_from([-2.0, 0.0, 1.5])
+)
+ROWS = st.lists(st.tuples(INT_CELLS, FLOAT_CELLS, TEXT_CELLS), max_size=24)
+
+
+def _table(name: str, rows) -> Relation:
+    return Relation.from_rows(
+        TableSchema.build(
+            name,
+            {
+                f"{name}.k": ColumnType.INT,
+                f"{name}.x": ColumnType.FLOAT,
+                f"{name}.s": ColumnType.TEXT,
+            },
+        ),
+        rows,
+    )
+
+
+def _database(tables: list[Relation]) -> Database:
+    db = Database(name="colstore_test")
+    for relation in tables:
+        db.add_relation(relation)
+    return db
+
+
+def _reopened(db: Database, tmp_path) -> Database:
+    directory = tmp_path / "store"
+    save_columnar(db, directory)
+    return open_columnar(directory)
+
+
+# ----------------------------------------------------------------------
+# O(dict) open
+# ----------------------------------------------------------------------
+class TestLazyDictionaries:
+    def test_open_loads_zero_dicts(self, tmp_path):
+        db = _database([_table("t", [(1, 1.0, "a"), (2, math.nan, None)])])
+        reopened = _reopened(db, tmp_path)
+        assert reopened.column_store.dicts_loaded == 0
+
+    def test_gather_loads_only_touched_tables(self, tmp_path):
+        db = _database(
+            [
+                _table("t", [(1, 1.0, "a")]),
+                _table("u", [(2, 2.0, "b")]),
+            ]
+        )
+        reopened = _reopened(db, tmp_path)
+        # Numeric columns and sort indexes never need the dictionaries.
+        reopened.table("t").column("t.k")
+        reopened.table("t").sort_index("t.k")
+        reopened.table("u").sort_index("u.s")
+        assert reopened.column_store.dicts_loaded == 0
+        # An object-value gather loads exactly its own table's pickle.
+        reopened.table("t").column("t.s")
+        assert reopened.column_store.loaded_tables() == ["t"]
+
+    def test_lazy_column_slot_is_identity_stable(self, tmp_path):
+        db = _database([_table("t", [(1, 1.0, "a"), (2, 2.0, "b")])])
+        relation = _reopened(db, tmp_path).table("t")
+        slot = relation._columns["t.s"]
+        assert isinstance(slot, LazyObjectColumn)
+        first = relation.column("t.s")
+        assert relation.column("t.s") is first
+        assert relation._columns["t.s"] is slot
+
+
+# ----------------------------------------------------------------------
+# Memmap ≡ in-memory parity
+# ----------------------------------------------------------------------
+class TestRoundTripParity:
+    @given(rows=ROWS)
+    def test_columns_and_schema(self, rows, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("colstore")
+        db = _database([_table("t", rows)])
+        relation = _reopened(db, tmp).table("t")
+        original = db.table("t")
+        assert relation.schema.columns == original.schema.columns
+        assert_relations_identical(original, relation)
+        for name in original.column_names:
+            assert relation.column_dtype(name) == original.column_dtype(name)
+
+    @given(rows=ROWS, data=st.data())
+    def test_subset_gathers(self, rows, data, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("colstore")
+        db = _database([_table("t", rows)])
+        relation = _reopened(db, tmp).table("t")
+        original = db.table("t")
+        n = original.num_rows
+        subset = np.asarray(
+            data.draw(
+                st.lists(st.integers(min_value=0, max_value=max(0, n - 1)))
+            )
+            if n
+            else [],
+            dtype=np.int64,
+        )
+        for name in original.column_names:
+            left = original.gather_column(name, subset)
+            right = relation.gather_column(name, subset)
+            assert left.dtype == right.dtype
+            if left.dtype.kind == "f":
+                assert np.array_equal(left, right, equal_nan=True)
+            else:
+                assert list(left) == list(right)
+
+    @given(rows=ROWS)
+    def test_sort_indexes(self, rows, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("colstore")
+        db = _database([_table("t", rows)])
+        relation = _reopened(db, tmp).table("t")
+        original = db.table("t")
+        for name in original.column_names:
+            left = original.sort_index(name)
+            right = relation.sort_index(name)
+            if left is None:
+                assert right is None
+                continue
+            assert right is not None
+            assert np.array_equal(left.perm, right.perm)
+        # Sort indexes on codes never load a value dictionary.
+        assert relation._columns  # opened relation still lazy where object
+        assert db is not None
+
+    @given(left_rows=ROWS, right_rows=ROWS)
+    def test_joins_both_strategies(
+        self, left_rows, right_rows, tmp_path_factory
+    ):
+        tmp = tmp_path_factory.mktemp("colstore")
+        db = _database([_table("l", left_rows), _table("r", right_rows)])
+        reopened = _reopened(db, tmp)
+        conditions = [("l.k", "r.k"), ("l.s", "r.s")]
+        for strategy_name in (None, "sorted-window"):
+            strategy = (
+                make_join_strategy(strategy_name) if strategy_name else None
+            )
+            eager = (
+                IndexFrame.from_relation(db.table("l"))
+                .join(db.table("r"), conditions, strategy=strategy)
+                .to_relation()
+            )
+            lazy = (
+                IndexFrame.from_relation(reopened.table("l"))
+                .join(reopened.table("r"), conditions, strategy=strategy)
+                .to_relation()
+            )
+            assert_relations_identical(eager, lazy)
+
+    @given(rows=ROWS)
+    def test_kernel_code_matrices(self, rows, tmp_path_factory):
+        from repro.core.kernel import MiningKernel
+
+        tmp = tmp_path_factory.mktemp("colstore")
+        db = _database([_table("t", rows)])
+        reopened = _reopened(db, tmp)
+
+        def build(relation):
+            n = relation.num_rows
+            encoding = relation.encoding("t.s")
+            encodings = (
+                {"t.s": (encoding, None)} if encoding is not None else None
+            )
+            return MiningKernel(
+                columns={"t.s": relation.column("t.s")}
+                if encodings is None
+                else {"t.s": None},
+                row_slot=np.zeros(n, dtype=np.int64),
+                m1=1,
+                m2=0,
+                encodings=encodings,
+            )
+
+        left = build(db.table("t"))
+        right = build(reopened.table("t"))
+        for kind in ("match", "counting"):
+            a = left.code_matrix(["t.s"], kind=kind)
+            b = right.code_matrix(["t.s"], kind=kind)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert np.array_equal(a, b)
+
+    @given(rows=ROWS)
+    def test_shm_export_round_trip(self, rows, tmp_path_factory):
+        from repro.serving.shm import AttachedDatabase, DatabaseExport
+
+        tmp = tmp_path_factory.mktemp("colstore")
+        db = _database([_table("t", rows)])
+        reopened = _reopened(db, tmp)
+        export = DatabaseExport(reopened)
+        try:
+            attached = AttachedDatabase(export.handle)
+            try:
+                assert_relations_identical(
+                    db.table("t"), attached.database.table("t")
+                )
+            finally:
+                attached.close()
+        finally:
+            export.close()
+
+    def test_zero_row_table(self, tmp_path):
+        db = _database([_table("t", [])])
+        relation = _reopened(db, tmp_path).table("t")
+        assert relation.num_rows == 0
+        assert_relations_identical(db.table("t"), relation)
+
+    def test_all_null_text_column(self, tmp_path):
+        db = _database([_table("t", [(1, 1.0, None), (2, 2.0, None)])])
+        relation = _reopened(db, tmp_path).table("t")
+        assert_relations_identical(db.table("t"), relation)
+        encoding = relation.encoding("t.s")
+        assert encoding is not None
+        assert list(encoding.match_codes) == [-1, -1]
+
+    def test_foreign_keys_survive(self, tmp_path):
+        db = _database(
+            [_table("l", [(1, 1.0, "a")]), _table("r", [(1, 2.0, "b")])]
+        )
+        db.add_foreign_key("l", ["l.k"], "r", ["r.k"])
+        reopened = _reopened(db, tmp_path)
+        fks = reopened.foreign_keys
+        assert len(fks) == 1
+        assert (fks[0].table, fks[0].ref_table) == ("l", "r")
+
+
+# ----------------------------------------------------------------------
+# Vectorized load-path encoding (satellite: np.unique fold-in)
+# ----------------------------------------------------------------------
+class TestEncodingFromDistinct:
+    @given(
+        cells=st.lists(
+            st.one_of(st.none(), st.sampled_from(["a", "b", "c", "", "-1"])),
+        )
+    )
+    def test_matches_reference_encoder(self, cells):
+        arr = np.empty(len(cells), dtype=object)
+        arr[:] = cells
+        reference = encode_object_column(arr)
+        raw = np.array([("" if c is None else f"v{c}") for c in cells])
+        table, first_idx, inverse = np.unique(
+            raw.reshape(-1, 1) if len(raw) else raw.reshape(0, 1),
+            return_index=True,
+            return_inverse=True,
+            axis=0,
+        )
+        coerced = {
+            i: cells[int(first_idx[i])] for i in range(len(table))
+        }
+        vectorized = encoding_from_distinct(
+            np.array([coerced[i] for i in range(len(table))], dtype=object)
+            if len(table)
+            else np.empty(0, dtype=object),
+            first_idx,
+            inverse,
+        )
+        assert vectorized is not None and reference is not None
+        assert np.array_equal(vectorized.codes, reference.codes)
+        assert dict(vectorized.code_of) == dict(reference.code_of)
+        assert set(vectorized.null_codes) == set(reference.null_codes)
+
+
+# ----------------------------------------------------------------------
+# Vectorized aggregate (satellite: bincount group reductions)
+# ----------------------------------------------------------------------
+class TestVectorizedAggregate:
+    def _run(self, sql: str, db: Database):
+        from repro.db.executor import aggregate, working_table
+        from repro.db.parser import parse_sql
+
+        query = parse_sql(sql)
+        work = working_table(query, db)
+        return (
+            aggregate(query, work),
+            aggregate(query, work, vectorized=False),
+        )
+
+    def _db(self, rows) -> Database:
+        return _database([_table("t", rows)])
+
+    GOLDEN_ROWS = [
+        (1, 10.0, "a"),
+        (1, math.nan, "a"),
+        (2, 3.5, "b"),
+        (2, -1.0, "b"),
+        (None, 7.0, None),
+        (3, math.nan, "c"),
+    ]
+
+    def test_golden_all_aggregates(self):
+        db = self._db(self.GOLDEN_ROWS)
+        vec, ref = self._run(
+            "SELECT s, COUNT(*) AS n, COUNT(x) AS nx, SUM(x) AS sx, "
+            "AVG(x) AS ax, MIN(x) AS mn, MAX(x) AS mx "
+            "FROM t GROUP BY s",
+            db,
+        )
+        assert_relations_identical(vec, ref)
+        by_s = {
+            row[0]: row[1:]
+            for row in zip(*(ref.column(c) for c in ref.column_names))
+        }
+        assert by_s["a"] == (2, 1, 10.0, 10.0, 10.0, 10.0)
+        assert by_s["b"] == (2, 2, 2.5, 1.25, -1.0, 3.5)
+        # All-NaN group: COUNT(x) is 0 and every value aggregate is None
+        # (stored as NaN once the FLOAT result column materializes).
+        assert by_s["c"][:2] == (1, 0)
+        assert all(math.isnan(v) for v in by_s["c"][2:])
+
+    def test_golden_arithmetic_and_literal(self):
+        db = self._db(self.GOLDEN_ROWS)
+        vec, ref = self._run(
+            "SELECT s, SUM(x) / COUNT(x) AS manual_avg, 7 AS lucky "
+            "FROM t GROUP BY s",
+            db,
+        )
+        assert_relations_identical(vec, ref)
+
+    def test_ungrouped_aggregate(self):
+        db = self._db(self.GOLDEN_ROWS)
+        vec, ref = self._run("SELECT COUNT(*) AS n, AVG(x) AS ax FROM t", db)
+        assert_relations_identical(vec, ref)
+
+    def test_object_min_max_falls_back(self):
+        db = self._db(self.GOLDEN_ROWS)
+        vec, ref = self._run(
+            "SELECT k, MIN(s) AS mn, MAX(s) AS mx, COUNT(s) AS n "
+            "FROM t GROUP BY k",
+            db,
+        )
+        assert_relations_identical(vec, ref)
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.one_of(
+                    st.none(),
+                    st.just(math.nan),
+                    st.floats(
+                        min_value=-1e6,
+                        max_value=1e6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                ),
+                st.one_of(st.none(), st.sampled_from(["a", "b"])),
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_parity(self, rows):
+        db = self._db(rows)
+        vec, ref = self._run(
+            "SELECT k, COUNT(*) AS n, SUM(x) AS sx, AVG(x) AS ax, "
+            "MIN(x) AS mn, MAX(x) AS mx FROM t GROUP BY k",
+            db,
+        )
+        assert_relations_identical(vec, ref)
